@@ -1,0 +1,655 @@
+//! The shared periodic-probing harness the three baselines run on.
+//!
+//! The structure mirrors how these protocols are deployed in practice (and in
+//! the paper's simulations): every source keeps sending probe packets along
+//! its path at a fixed interval; every link stamps the packet with the rate it
+//! is willing to grant (according to the protocol's per-link controller); the
+//! destination echoes a response; the source adopts the granted rate and
+//! schedules the next probe. None of these protocols can detect convergence,
+//! so the probing never stops — the defining contrast with B-Neck.
+
+use bneck_maxmin::{Allocation, Rate, RateLimit, SessionId};
+use bneck_net::{LinkId, Network, NodeId, Path, Router};
+use bneck_sim::{Address, ChannelId, ChannelSpec, Context, Engine, SimTime, World};
+use bneck_workload::ScheduleTarget;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// The per-link rate controller of a baseline protocol.
+pub trait LinkController {
+    /// Called when a probe of `session` crosses the link. `demand` is the
+    /// session's maximum requested rate and `current` the rate the source is
+    /// currently using. Returns the rate this link is willing to grant the
+    /// session.
+    fn on_probe(&mut self, session: SessionId, demand: Rate, current: Rate, now: SimTime)
+        -> Rate;
+
+    /// Called when the session's departure notification crosses the link.
+    fn on_leave(&mut self, session: SessionId);
+}
+
+/// A baseline protocol: a factory of per-link controllers plus its probing
+/// period.
+pub trait BaselineProtocol {
+    /// The per-link controller type.
+    type Controller: LinkController;
+
+    /// Human-readable protocol name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Creates the controller for a link of the given capacity (bits per
+    /// second).
+    fn controller(&self, capacity: Rate) -> Self::Controller;
+
+    /// The interval at which every source re-probes its path.
+    fn probe_interval(&self) -> bneck_net::Delay;
+}
+
+/// Configuration of a [`BaselineSimulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineConfig {
+    /// Size of a control packet in bits (transmission-time model).
+    pub packet_bits: u64,
+}
+
+impl Default for BaselineConfig {
+    fn default() -> Self {
+        BaselineConfig { packet_bits: 256 }
+    }
+}
+
+/// Packet counters of a baseline run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineStats {
+    /// Probe packets transmitted (one count per link traversal).
+    pub probes: u64,
+    /// Response packets transmitted.
+    pub responses: u64,
+    /// Leave packets transmitted.
+    pub leaves: u64,
+}
+
+impl BaselineStats {
+    /// Total packets transmitted.
+    pub fn total(&self) -> u64 {
+        self.probes + self.responses + self.leaves
+    }
+
+    /// The difference between this counter and an earlier snapshot.
+    pub fn since(&self, earlier: &BaselineStats) -> BaselineStats {
+        BaselineStats {
+            probes: self.probes - earlier.probes,
+            responses: self.responses - earlier.responses,
+            leaves: self.leaves - earlier.leaves,
+        }
+    }
+}
+
+impl fmt::Display for BaselineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "total={} probes={} responses={} leaves={}",
+            self.total(),
+            self.probes,
+            self.responses,
+            self.leaves
+        )
+    }
+}
+
+/// Messages exchanged by the baseline harness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Message {
+    /// API call: start the session.
+    Start { session: SessionId },
+    /// API call: stop the session.
+    Stop { session: SessionId },
+    /// Probe travelling downstream; `hop` is the index of the link whose
+    /// controller processes it next.
+    Probe {
+        session: SessionId,
+        granted: Rate,
+        hop: usize,
+    },
+    /// Response travelling upstream; `hops_left` reverse hops remain.
+    Response {
+        session: SessionId,
+        granted: Rate,
+        hops_left: usize,
+    },
+    /// Departure notification travelling downstream.
+    Leave { session: SessionId, hop: usize },
+    /// Source timer: time to send the next periodic probe.
+    Timer { session: SessionId },
+}
+
+/// Per-session state kept by the harness.
+#[derive(Debug, Clone)]
+struct SessionState {
+    path: Path,
+    demand: Rate,
+    limit: RateLimit,
+    current: Rate,
+    active: bool,
+}
+
+/// The simulator world: controllers, sessions, accounting.
+struct BaselineWorld<P: BaselineProtocol> {
+    protocol: P,
+    controllers: HashMap<LinkId, P::Controller>,
+    sessions: BTreeMap<SessionId, SessionState>,
+    active: BTreeSet<SessionId>,
+    stats: BaselineStats,
+    probe_interval: bneck_net::Delay,
+    /// Channel of each directed link, indexed by `LinkId::index()`.
+    channels: Vec<ChannelId>,
+    /// Channel of the *reverse* of each directed link (used by upstream
+    /// responses), indexed by `LinkId::index()`.
+    reverse_channels: Vec<ChannelId>,
+    /// Capacity of each directed link, indexed by `LinkId::index()`.
+    capacities: Vec<Rate>,
+}
+
+impl<P: BaselineProtocol> BaselineWorld<P> {
+    fn send_probe(&mut self, ctx: &mut Context<'_, Message>, session: SessionId) {
+        let Some(state) = self.sessions.get(&session) else {
+            return;
+        };
+        if !state.active {
+            return;
+        }
+        ctx.deliver_now(
+            Address(0),
+            Message::Probe {
+                session,
+                granted: state.demand,
+                hop: 0,
+            },
+        );
+    }
+
+    fn dispatch(&mut self, ctx: &mut Context<'_, Message>, msg: Message) {
+        match msg {
+            Message::Start { session } | Message::Timer { session } => {
+                self.send_probe(ctx, session);
+            }
+            Message::Stop { session } => {
+                if let Some(state) = self.sessions.get_mut(&session) {
+                    state.active = false;
+                }
+                self.active.remove(&session);
+                ctx.deliver_now(Address(0), Message::Leave { session, hop: 0 });
+            }
+            Message::Probe {
+                session,
+                granted,
+                hop,
+            } => {
+                let Some(state) = self.sessions.get(&session) else {
+                    return;
+                };
+                if !state.active {
+                    return;
+                }
+                let demand = state.demand;
+                let current = state.current;
+                let links = state.path.links().to_vec();
+                let link = links[hop];
+                let capacity = self.capacities[link.index()];
+                if !self.controllers.contains_key(&link) {
+                    let controller = self.protocol.controller(capacity);
+                    self.controllers.insert(link, controller);
+                }
+                let controller = self
+                    .controllers
+                    .get_mut(&link)
+                    .expect("controller was just inserted");
+                let advertised = controller.on_probe(session, demand, current, ctx.now());
+                let granted = granted.min(advertised).min(demand);
+                self.stats.probes += 1;
+                let next = if hop + 1 < links.len() {
+                    Message::Probe {
+                        session,
+                        granted,
+                        hop: hop + 1,
+                    }
+                } else {
+                    Message::Response {
+                        session,
+                        granted,
+                        hops_left: links.len(),
+                    }
+                };
+                ctx.send(self.channels[link.index()], Address(0), next);
+            }
+            Message::Response {
+                session,
+                granted,
+                hops_left,
+            } => {
+                if hops_left == 0 {
+                    // Reached the source: adopt the granted rate and schedule
+                    // the next periodic probe. The probing never stops.
+                    let interval = self.probe_interval;
+                    if let Some(state) = self.sessions.get_mut(&session) {
+                        if state.active {
+                            state.current = granted;
+                            ctx.schedule_after(interval, Address(0), Message::Timer { session });
+                        }
+                    }
+                    return;
+                }
+                let Some(state) = self.sessions.get(&session) else {
+                    return;
+                };
+                let forward = state.path.links()[hops_left - 1];
+                self.stats.responses += 1;
+                ctx.send(
+                    self.reverse_channels[forward.index()],
+                    Address(0),
+                    Message::Response {
+                        session,
+                        granted,
+                        hops_left: hops_left - 1,
+                    },
+                );
+            }
+            Message::Leave { session, hop } => {
+                let Some(state) = self.sessions.get(&session) else {
+                    return;
+                };
+                let links = state.path.links().to_vec();
+                if hop >= links.len() {
+                    return;
+                }
+                let link = links[hop];
+                if let Some(controller) = self.controllers.get_mut(&link) {
+                    controller.on_leave(session);
+                }
+                self.stats.leaves += 1;
+                ctx.send(
+                    self.channels[link.index()],
+                    Address(0),
+                    Message::Leave {
+                        session,
+                        hop: hop + 1,
+                    },
+                );
+            }
+        }
+    }
+}
+
+impl<P: BaselineProtocol> World for BaselineWorld<P> {
+    type Message = Message;
+    fn handle(&mut self, ctx: &mut Context<'_, Message>, _to: Address, msg: Message) {
+        self.dispatch(ctx, msg);
+    }
+}
+
+/// A baseline protocol simulation over a network.
+///
+/// # Example
+///
+/// ```
+/// use bneck_net::prelude::*;
+/// use bneck_maxmin::prelude::*;
+/// use bneck_baselines::prelude::*;
+/// use bneck_sim::SimTime;
+///
+/// let net = synthetic::dumbbell(2, Capacity::from_mbps(100.0),
+///                               Capacity::from_mbps(60.0), Delay::from_micros(1));
+/// let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+/// let mut sim = BaselineSimulation::new(&net, Bfyz::default(), BaselineConfig::default());
+/// sim.join(SimTime::ZERO, SessionId(0), hosts[0], hosts[1], RateLimit::unlimited());
+/// sim.join(SimTime::ZERO, SessionId(1), hosts[2], hosts[3], RateLimit::unlimited());
+/// sim.run_until(SimTime::from_millis(50));
+/// let rates = sim.current_rates();
+/// assert!((rates.rate(SessionId(0)).unwrap() - 30e6).abs() < 1e6);
+/// // Unlike B-Neck, the protocol is still generating traffic.
+/// assert!(!sim.is_quiescent());
+/// ```
+pub struct BaselineSimulation<'a, P: BaselineProtocol> {
+    engine: Engine<Message>,
+    network: &'a Network,
+    name: &'static str,
+    config: BaselineConfig,
+    world: BaselineWorld<P>,
+    router: Router<'a>,
+}
+
+impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
+    /// Creates a simulation of `protocol` over `network`.
+    pub fn new(network: &'a Network, protocol: P, config: BaselineConfig) -> Self {
+        let mut engine = Engine::new();
+        let mut channels = Vec::with_capacity(network.link_count());
+        let mut capacities = Vec::with_capacity(network.link_count());
+        for link in network.links() {
+            channels.push(engine.add_channel(ChannelSpec::new(
+                link.capacity().as_bps(),
+                link.delay(),
+                config.packet_bits,
+            )));
+            capacities.push(link.capacity().as_bps());
+        }
+        // Upstream responses travel over the reverse link of each hop; fall
+        // back to the forward channel if a link happens to have no reverse.
+        let reverse_channels: Vec<ChannelId> = network
+            .links()
+            .map(|link| {
+                network
+                    .reverse_link(link.id())
+                    .map(|r| channels[r.index()])
+                    .unwrap_or(channels[link.id().index()])
+            })
+            .collect();
+        let name = protocol.name();
+        let probe_interval = protocol.probe_interval();
+        let world = BaselineWorld {
+            protocol,
+            controllers: HashMap::new(),
+            sessions: BTreeMap::new(),
+            active: BTreeSet::new(),
+            stats: BaselineStats::default(),
+            probe_interval,
+            channels,
+            reverse_channels,
+            capacities,
+        };
+        BaselineSimulation {
+            engine,
+            network,
+            name,
+            config,
+            world,
+            router: Router::new(network),
+        }
+    }
+
+    /// The protocol's display name.
+    pub fn protocol_name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The network the simulation runs over.
+    pub fn network(&self) -> &'a Network {
+        self.network
+    }
+
+    /// Starts a session at time `at` between two hosts. Returns `false` if no
+    /// path exists or the identifier is already in use by an active session.
+    pub fn join(
+        &mut self,
+        at: SimTime,
+        session: SessionId,
+        source: NodeId,
+        destination: NodeId,
+        limit: RateLimit,
+    ) -> bool {
+        if self.world.active.contains(&session) {
+            return false;
+        }
+        let Some(path) = self.router.shortest_path(source, destination) else {
+            return false;
+        };
+        let first_capacity = self.network.link(path.first_link()).capacity().as_bps();
+        let demand = limit.effective_demand(first_capacity);
+        self.world.sessions.insert(
+            session,
+            SessionState {
+                path,
+                demand,
+                limit,
+                current: 0.0,
+                active: true,
+            },
+        );
+        self.world.active.insert(session);
+        self.engine.inject(at, Address(0), Message::Start { session });
+        true
+    }
+
+    /// Stops a session at time `at`. Returns `false` for unknown sessions.
+    pub fn leave(&mut self, at: SimTime, session: SessionId) -> bool {
+        if !self.world.active.contains(&session) {
+            return false;
+        }
+        self.engine.inject(at, Address(0), Message::Stop { session });
+        true
+    }
+
+    /// Changes a session's maximum requested rate. The new demand takes
+    /// effect with the next periodic probe. Returns `false` for unknown
+    /// sessions.
+    pub fn change(&mut self, _at: SimTime, session: SessionId, limit: RateLimit) -> bool {
+        if !self.world.active.contains(&session) {
+            return false;
+        }
+        let Some(state) = self.world.sessions.get_mut(&session) else {
+            return false;
+        };
+        let first_capacity = self
+            .network
+            .link(state.path.first_link())
+            .capacity()
+            .as_bps();
+        state.limit = limit;
+        state.demand = limit.effective_demand(first_capacity);
+        true
+    }
+
+    /// Runs the simulation up to `horizon` (the baselines never go quiescent,
+    /// so an unbounded run would not terminate while sessions are active).
+    pub fn run_until(&mut self, horizon: SimTime) {
+        self.engine.run_until(&mut self.world, horizon);
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// `true` when no protocol packet or timer is pending (only happens once
+    /// every session has left).
+    pub fn is_quiescent(&self) -> bool {
+        self.engine.is_quiescent()
+    }
+
+    /// The rate each active session is currently using.
+    pub fn current_rates(&self) -> Allocation {
+        self.world
+            .active
+            .iter()
+            .filter_map(|s| self.world.sessions.get(s).map(|st| (*s, st.current)))
+            .collect()
+    }
+
+    /// The active sessions and their paths/limits, for feeding the oracle.
+    pub fn session_set(&self) -> bneck_maxmin::SessionSet {
+        self.world
+            .active
+            .iter()
+            .filter_map(|s| {
+                let st = self.world.sessions.get(s)?;
+                Some(bneck_maxmin::Session::new(*s, st.path.clone(), st.limit))
+            })
+            .collect()
+    }
+
+    /// Number of currently active sessions.
+    pub fn active_count(&self) -> usize {
+        self.world.active.len()
+    }
+
+    /// Cumulative packet counters.
+    pub fn stats(&self) -> BaselineStats {
+        self.world.stats
+    }
+
+    /// The configured control-packet size in bits.
+    pub fn packet_bits(&self) -> u64 {
+        self.config.packet_bits
+    }
+}
+
+impl<'a, P: BaselineProtocol> ScheduleTarget for BaselineSimulation<'a, P> {
+    fn apply_join(
+        &mut self,
+        at: SimTime,
+        session: SessionId,
+        source: NodeId,
+        destination: NodeId,
+        limit: RateLimit,
+    ) -> bool {
+        self.join(at, session, source, destination, limit)
+    }
+
+    fn apply_leave(&mut self, at: SimTime, session: SessionId) -> bool {
+        self.leave(at, session)
+    }
+
+    fn apply_change(&mut self, at: SimTime, session: SessionId, limit: RateLimit) -> bool {
+        self.change(at, session, limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial protocol granting every session the full link capacity;
+    /// exercises the harness plumbing independently of the real baselines.
+    #[derive(Debug, Clone, Copy)]
+    struct GrantAll;
+
+    struct GrantAllController {
+        capacity: Rate,
+        seen: usize,
+        left: usize,
+    }
+
+    impl LinkController for GrantAllController {
+        fn on_probe(&mut self, _s: SessionId, _d: Rate, _c: Rate, _now: SimTime) -> Rate {
+            self.seen += 1;
+            self.capacity
+        }
+        fn on_leave(&mut self, _s: SessionId) {
+            self.left += 1;
+        }
+    }
+
+    impl BaselineProtocol for GrantAll {
+        type Controller = GrantAllController;
+        fn name(&self) -> &'static str {
+            "grant-all"
+        }
+        fn controller(&self, capacity: Rate) -> GrantAllController {
+            GrantAllController {
+                capacity,
+                seen: 0,
+                left: 0,
+            }
+        }
+        fn probe_interval(&self) -> bneck_net::Delay {
+            bneck_net::Delay::from_millis(1)
+        }
+    }
+
+    fn network() -> Network {
+        bneck_net::topology::synthetic::dumbbell(
+            2,
+            bneck_net::Capacity::from_mbps(100.0),
+            bneck_net::Capacity::from_mbps(60.0),
+            bneck_net::Delay::from_micros(1),
+        )
+    }
+
+    #[test]
+    fn probing_is_periodic_and_never_stops() {
+        let net = network();
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BaselineSimulation::new(&net, GrantAll, BaselineConfig::default());
+        assert!(sim.join(
+            SimTime::ZERO,
+            SessionId(0),
+            hosts[0],
+            hosts[1],
+            RateLimit::unlimited()
+        ));
+        sim.run_until(SimTime::from_millis(10));
+        let after_10ms = sim.stats();
+        assert!(after_10ms.probes > 0);
+        assert!(after_10ms.responses > 0);
+        assert!(!sim.is_quiescent(), "baselines keep probing forever");
+        sim.run_until(SimTime::from_millis(20));
+        assert!(
+            sim.stats().probes > after_10ms.probes,
+            "traffic keeps flowing after convergence"
+        );
+        // The session is granted the minimum capacity along its path.
+        let rate = sim.current_rates().rate(SessionId(0)).unwrap();
+        assert!((rate - 60e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn leave_stops_the_sessions_probing() {
+        let net = network();
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BaselineSimulation::new(&net, GrantAll, BaselineConfig::default());
+        sim.join(
+            SimTime::ZERO,
+            SessionId(0),
+            hosts[0],
+            hosts[1],
+            RateLimit::unlimited(),
+        );
+        sim.run_until(SimTime::from_millis(5));
+        assert!(sim.leave(SimTime::from_millis(6), SessionId(0)));
+        sim.run_until(SimTime::from_millis(30));
+        assert_eq!(sim.active_count(), 0);
+        assert!(sim.current_rates().is_empty());
+        assert!(
+            sim.is_quiescent(),
+            "with no active session the probing dies out"
+        );
+        assert!(sim.stats().leaves > 0);
+    }
+
+    #[test]
+    fn join_and_change_validation() {
+        let net = network();
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BaselineSimulation::new(&net, GrantAll, BaselineConfig::default());
+        assert!(!sim.join(
+            SimTime::ZERO,
+            SessionId(0),
+            hosts[0],
+            hosts[0],
+            RateLimit::unlimited()
+        ));
+        assert!(sim.join(
+            SimTime::ZERO,
+            SessionId(0),
+            hosts[0],
+            hosts[1],
+            RateLimit::unlimited()
+        ));
+        assert!(!sim.join(
+            SimTime::ZERO,
+            SessionId(0),
+            hosts[2],
+            hosts[3],
+            RateLimit::unlimited()
+        ));
+        assert!(sim.change(SimTime::ZERO, SessionId(0), RateLimit::finite(5e6)));
+        assert!(!sim.change(SimTime::ZERO, SessionId(9), RateLimit::finite(5e6)));
+        assert!(!sim.leave(SimTime::ZERO, SessionId(9)));
+        sim.run_until(SimTime::from_millis(5));
+        let rate = sim.current_rates().rate(SessionId(0)).unwrap();
+        assert!((rate - 5e6).abs() < 1.0, "demand caps the granted rate");
+        assert_eq!(sim.protocol_name(), "grant-all");
+        assert_eq!(sim.packet_bits(), 256);
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion benchmark behind Figures 7 and 8 (Experiment 3): cost of the
+//! head-to-head comparison between B-Neck and the non-quiescent baselines over
+//! a fixed observation horizon.
+
+use bneck_bench::run_experiment3;
+use bneck_net::Delay;
+use bneck_workload::{Experiment3Config, NetworkScenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment3_baselines");
+    group.sample_size(10);
+    for baseline in ["BFYZ", "CG", "RCP"] {
+        group.bench_with_input(
+            BenchmarkId::new("bneck_vs", baseline),
+            &baseline,
+            |b, &baseline| {
+                let config = Experiment3Config {
+                    scenario: NetworkScenario::small_lan(150),
+                    joins: 50,
+                    leaves: 5,
+                    horizon: Delay::from_millis(40),
+                    ..Experiment3Config::scaled()
+                };
+                b.iter(|| {
+                    let results = run_experiment3(&config, &[baseline]);
+                    assert_eq!(results.len(), 2);
+                    // B-Neck goes quiescent, the baseline does not.
+                    assert!(results[0].quiescent_at_us.is_some());
+                    assert!(results[1].quiescent_at_us.is_none());
+                    results[1].total_packets
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmark behind Figure 5 (Experiment 1): wall-clock cost of
+//! driving the distributed B-Neck protocol to quiescence as the number of
+//! simultaneously joining sessions grows, on Small LAN and WAN networks.
+
+use bneck_bench::run_experiment1_point;
+use bneck_workload::{Experiment1Config, NetworkScenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_convergence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment1_convergence");
+    group.sample_size(10);
+    for &sessions in &[10usize, 50, 200] {
+        for (label, scenario) in [
+            ("small_lan", NetworkScenario::small_lan(2 * sessions.max(10))),
+            ("small_wan", NetworkScenario::small_wan(2 * sessions.max(10))),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, sessions),
+                &sessions,
+                |b, &sessions| {
+                    let config = Experiment1Config::scaled(scenario, sessions);
+                    b.iter(|| {
+                        let point = run_experiment1_point(&config);
+                        assert!(point.validated);
+                        point.total_packets
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion benchmark behind Figure 6 (Experiment 2): cost of running the
+//! five-phase churn workload (join / leave / change / join / mixed) to
+//! quiescence.
+
+use bneck_bench::run_experiment2;
+use bneck_workload::{Experiment2Config, NetworkScenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_dynamics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment2_dynamics");
+    group.sample_size(10);
+    for &initial in &[50usize, 150] {
+        group.bench_with_input(
+            BenchmarkId::new("five_phases", initial),
+            &initial,
+            |b, &initial| {
+                let config = Experiment2Config {
+                    scenario: NetworkScenario::small_lan(3 * initial),
+                    initial_sessions: initial,
+                    churn: initial / 5,
+                    ..Experiment2Config::scaled()
+                };
+                b.iter(|| {
+                    let (phases, series) = run_experiment2(&config);
+                    assert!(phases.iter().all(|p| p.validated));
+                    series.total()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dynamics);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benchmark of the evaluation substrate itself: generating the
+//! transit–stub topologies of Section IV and routing sessions across them.
+
+use bneck_net::prelude::*;
+use bneck_net::topology::transit_stub::paper_network;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_generation");
+    group.sample_size(10);
+    for (label, size, hosts) in [
+        ("small", NetworkSize::Small, 1_000usize),
+        ("medium", NetworkSize::Medium, 5_000),
+    ] {
+        group.bench_function(BenchmarkId::new("generate", label), |b| {
+            b.iter(|| {
+                let net = paper_network(size, hosts, DelayModel::Wan, 7);
+                assert_eq!(net.router_count(), size.router_count());
+                net.link_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shortest_path_routing");
+    let net = paper_network(NetworkSize::Medium, 2_000, DelayModel::Lan, 7);
+    let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+    group.bench_function("medium_1000_paths", |b| {
+        b.iter(|| {
+            let mut router = Router::new(&net);
+            let mut total_hops = 0usize;
+            for i in 0..1_000 {
+                let src = hosts[i % hosts.len()];
+                let dst = hosts[(i * 7 + 13) % hosts.len()];
+                if src == dst {
+                    continue;
+                }
+                if let Some(path) = router.shortest_path(src, dst) {
+                    total_hops += path.hop_count();
+                }
+            }
+            total_hops
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_routing);
+criterion_main!(benches);

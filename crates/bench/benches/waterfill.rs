@@ -1,0 +1,64 @@
+//! Criterion benchmark of the centralized oracles (Water-Filling and
+//! Centralized B-Neck, Figure 1 of the paper), which every experiment uses for
+//! validation: cost of solving the max-min allocation as the number of
+//! sessions grows.
+
+use bneck_maxmin::prelude::*;
+use bneck_net::DelayModel;
+use bneck_workload::{LimitPolicy, NetworkScenario, SessionPlanner};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn session_set(sessions: usize) -> (bneck_net::Network, SessionSet) {
+    let scenario = NetworkScenario {
+        size: bneck_net::NetworkSize::Small,
+        delay_model: DelayModel::Lan,
+        hosts: 2 * sessions,
+        seed: 3,
+    };
+    let network = scenario.build();
+    let mut planner = SessionPlanner::new(&network, 17);
+    let requests = planner.plan(
+        sessions,
+        LimitPolicy::RandomFinite {
+            probability: 0.2,
+            min_bps: 1e6,
+            max_bps: 80e6,
+        },
+    );
+    let mut router = Router::new(&network);
+    let set: SessionSet = requests
+        .iter()
+        .filter_map(|r| {
+            let path = router.shortest_path(r.source, r.destination)?;
+            Some(Session::new(r.session, path, r.limit))
+        })
+        .collect();
+    (network, set)
+}
+
+use bneck_net::Router;
+
+fn bench_oracles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("centralized_oracles");
+    for &sessions in &[100usize, 500, 2_000] {
+        let (network, set) = session_set(sessions);
+        group.bench_with_input(
+            BenchmarkId::new("centralized_bneck", sessions),
+            &set,
+            |b, set| {
+                b.iter(|| CentralizedBneck::new(&network, set).solve());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("water_filling", sessions),
+            &set,
+            |b, set| {
+                b.iter(|| WaterFilling::new(&network, set).solve());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

@@ -1,0 +1,127 @@
+//! Experiment 1 (Figure 5): time to quiescence and control traffic as a
+//! function of the number of sessions joining simultaneously.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bneck-bench --bin experiment1 [-- --full] [-- --sessions 10,100,1000]
+//! ```
+//!
+//! By default a scaled-down sweep is run on the Small LAN, Small WAN and
+//! Medium LAN scenarios; `--full` switches to the paper's sweep (10 to
+//! 300,000 sessions on Small/Medium/Big networks), which takes hours and lots
+//! of memory.
+
+use bneck_bench::run_experiment1_point;
+use bneck_metrics::Table;
+use bneck_workload::{Experiment1Config, NetworkScenario};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let sessions_override = args
+        .iter()
+        .position(|a| a == "--sessions")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| {
+            list.split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<usize>()
+                        .expect("--sessions takes a comma-separated list of integers")
+                })
+                .collect::<Vec<_>>()
+        });
+
+    let sweep = sessions_override.unwrap_or_else(|| {
+        if full {
+            Experiment1Config::paper_sweep()
+        } else {
+            Experiment1Config::scaled_sweep()
+        }
+    });
+
+    let scenarios: Vec<fn(usize) -> NetworkScenario> = if full {
+        vec![
+            NetworkScenario::small_lan,
+            NetworkScenario::small_wan,
+            NetworkScenario::medium_lan,
+            NetworkScenario::medium_wan,
+            NetworkScenario::big_lan,
+        ]
+    } else {
+        vec![
+            NetworkScenario::small_lan,
+            NetworkScenario::small_wan,
+            NetworkScenario::medium_lan,
+        ]
+    };
+
+    let mut left = Table::new(
+        "figure-5-left: time until quiescence (Experiment 1)",
+        &["scenario", "sessions", "time_to_quiescence_us", "validated"],
+    );
+    let mut right = Table::new(
+        "figure-5-right: packets transmitted (Experiment 1)",
+        &["scenario", "sessions", "total_packets", "packets_per_session"],
+    );
+
+    // The sweep points are independent simulations: run one scenario per
+    // thread (crossbeam scoped threads keep the borrow of `sweep` simple) and
+    // report the points in a deterministic order afterwards.
+    let points: Vec<_> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = scenarios
+            .iter()
+            .map(|make_scenario| {
+                let sweep = &sweep;
+                scope.spawn(move |_| {
+                    sweep
+                        .iter()
+                        .map(|&sessions| {
+                            // One source host per session plus room for
+                            // destinations.
+                            let hosts = (2 * sessions).max(20);
+                            let scenario = make_scenario(hosts);
+                            let config = Experiment1Config::scaled(scenario, sessions);
+                            let point = run_experiment1_point(&config);
+                            eprintln!(
+                                "[experiment1] {} sessions={} quiescence={}us packets={} validated={}",
+                                point.scenario,
+                                point.sessions,
+                                point.time_to_quiescence_us,
+                                point.total_packets,
+                                point.validated
+                            );
+                            point
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+    .expect("sweep threads panicked");
+
+    for point in &points {
+        left.add_row(&[
+            point.scenario.clone(),
+            point.sessions.to_string(),
+            point.time_to_quiescence_us.to_string(),
+            point.validated.to_string(),
+        ]);
+        right.add_row(&[
+            point.scenario.clone(),
+            point.sessions.to_string(),
+            point.total_packets.to_string(),
+            format!("{:.1}", point.packets_per_session),
+        ]);
+    }
+
+    println!("{left}");
+    println!("{right}");
+    println!("{}", left.to_csv());
+    println!("{}", right.to_csv());
+}

@@ -1,0 +1,89 @@
+//! Experiment 2 (Figure 6): behaviour of B-Neck under a highly dynamic
+//! system — five phases of joins, leaves and rate changes.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bneck-bench --bin experiment2 [-- --full]
+//! ```
+//!
+//! The default is a scaled-down version of the paper's workload (which uses
+//! 100,000 initial sessions and 20,000-session churn phases on a Medium LAN
+//! network); `--full` runs the paper's parameters.
+
+use bneck_bench::run_experiment2;
+use bneck_core::PacketKind;
+use bneck_metrics::Table;
+use bneck_workload::Experiment2Config;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let config = if full {
+        Experiment2Config::paper()
+    } else {
+        Experiment2Config::scaled()
+    };
+
+    eprintln!(
+        "[experiment2] scenario={} initial_sessions={} churn={}",
+        config.scenario.label(),
+        config.initial_sessions,
+        config.churn
+    );
+    let (phases, series) = run_experiment2(&config);
+
+    let mut summary = Table::new(
+        "figure-6 (summary): per-phase convergence (Experiment 2)",
+        &[
+            "phase",
+            "started_at_us",
+            "time_to_quiescence_us",
+            "active_sessions",
+            "packets",
+            "validated",
+        ],
+    );
+    for phase in &phases {
+        summary.add_row(&[
+            phase.name.to_string(),
+            phase.started_at_us.to_string(),
+            phase.time_to_quiescence_us.to_string(),
+            phase.active_sessions.to_string(),
+            phase.packets.total().to_string(),
+            phase.validated.to_string(),
+        ]);
+    }
+    println!("{summary}");
+
+    let mut traffic = Table::new(
+        "figure-6: packets per 5 ms interval, by type (Experiment 2)",
+        &[
+            "interval_start_ms",
+            "Join",
+            "Probe",
+            "Response",
+            "Update",
+            "Bottleneck",
+            "SetBottleneck",
+            "Leave",
+            "total",
+        ],
+    );
+    for (start, stats) in series.iter() {
+        traffic.add_row(&[
+            start.as_millis().to_string(),
+            stats.count(PacketKind::Join).to_string(),
+            stats.count(PacketKind::Probe).to_string(),
+            stats.count(PacketKind::Response).to_string(),
+            stats.count(PacketKind::Update).to_string(),
+            stats.count(PacketKind::Bottleneck).to_string(),
+            stats.count(PacketKind::SetBottleneck).to_string(),
+            stats.count(PacketKind::Leave).to_string(),
+            stats.total().to_string(),
+        ]);
+    }
+    println!("{traffic}");
+    println!("{}", summary.to_csv());
+    println!("{}", traffic.to_csv());
+}

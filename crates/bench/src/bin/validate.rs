@@ -1,0 +1,69 @@
+//! Validation harness: runs randomized workloads on all scenario flavours and
+//! cross-checks the distributed B-Neck rates against the centralized oracle,
+//! reproducing the validation methodology of Section IV of the paper ("every
+//! B-Neck execution result has been successfully validated against the result
+//! obtained when executing the centralized version with the same input data").
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bneck-bench --bin validate [-- --runs 5] [-- --sessions 100]
+//! ```
+
+use bneck_bench::validate_scenario;
+use bneck_metrics::Table;
+use bneck_workload::NetworkScenario;
+
+fn arg_value(args: &[String], name: &str) -> Option<usize> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("argument must be an integer"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let runs = arg_value(&args, "--runs").unwrap_or(3);
+    let sessions = arg_value(&args, "--sessions").unwrap_or(60);
+
+    let scenarios = [
+        NetworkScenario::small_lan(2 * sessions),
+        NetworkScenario::small_wan(2 * sessions),
+        NetworkScenario::medium_lan(2 * sessions),
+        NetworkScenario::medium_wan(2 * sessions),
+    ];
+
+    let mut table = Table::new(
+        "validation: distributed B-Neck vs centralized oracle",
+        &[
+            "scenario",
+            "seed",
+            "sessions",
+            "time_to_quiescence_us",
+            "mismatches",
+            "violations",
+        ],
+    );
+    let mut failures = 0usize;
+    for scenario in &scenarios {
+        for seed in 0..runs as u64 {
+            let report = validate_scenario(&scenario.with_seed(seed + 1), sessions, seed + 100);
+            failures += report.mismatches + report.violations;
+            table.add_row(&[
+                report.scenario.clone(),
+                (seed + 1).to_string(),
+                report.sessions.to_string(),
+                report.time_to_quiescence_us.to_string(),
+                report.mismatches.to_string(),
+                report.violations.to_string(),
+            ]);
+        }
+    }
+    println!("{table}");
+    if failures == 0 {
+        println!("all runs converged to the exact max-min fair rates");
+    } else {
+        println!("FAILURES: {failures} mismatching sessions or violated conditions");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,24 @@
+//! # bneck-bench
+//!
+//! The experiment harness of the B-Neck reproduction. The [`runner`] module
+//! contains the code that regenerates every figure of the paper's evaluation
+//! section; the binaries in `src/bin/` print the corresponding series as
+//! text tables, and the Criterion benchmarks in `benches/` time the key
+//! building blocks.
+//!
+//! | Paper figure | Runner | Binary |
+//! |---|---|---|
+//! | Figure 5 (left, right) | [`runner::run_experiment1_point`] | `experiment1` |
+//! | Figure 6 | [`runner::run_experiment2`] | `experiment2` |
+//! | Figures 7 and 8 | [`runner::run_experiment3`] | `experiment3` |
+//! | Correctness validation (Section IV) | [`runner::validate_scenario`] | `validate` |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod runner;
+
+pub use runner::{
+    run_experiment1_point, run_experiment2, run_experiment3, validate_scenario, Experiment1Point,
+    Experiment2PhaseResult, Experiment3Result, Experiment3Sample, ValidationReport,
+};

@@ -1,0 +1,410 @@
+//! Experiment runners: one function per figure of the paper.
+
+use bneck_baselines::prelude::*;
+use bneck_core::prelude::*;
+use bneck_maxmin::prelude::*;
+use bneck_metrics::prelude::*;
+use bneck_net::Delay;
+use bneck_sim::SimTime;
+use bneck_workload::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One point of Figure 5: a session count on one scenario.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Experiment1Point {
+    /// Scenario label (`small/lan`, `medium/wan`, …).
+    pub scenario: String,
+    /// Number of sessions that joined.
+    pub sessions: usize,
+    /// Time until quiescence, in microseconds (Figure 5, left).
+    pub time_to_quiescence_us: u64,
+    /// Total packets transmitted across all links (Figure 5, right).
+    pub total_packets: u64,
+    /// Average packets per session.
+    pub packets_per_session: f64,
+    /// `true` when the final rates match the centralized oracle.
+    pub validated: bool,
+}
+
+/// Runs one point of Experiment 1: `config.sessions` sessions join within the
+/// first millisecond; the run proceeds to quiescence and the resulting rates
+/// are validated against the centralized oracle.
+pub fn run_experiment1_point(config: &Experiment1Config) -> Experiment1Point {
+    let network = config.scenario.build();
+    let schedule = config.schedule(&network);
+    let mut sim = BneckSimulation::new(&network, BneckConfig::default());
+    let stats = schedule.apply(&mut sim);
+    let report = sim.run_to_quiescence();
+    let sessions = sim.session_set();
+    let oracle = CentralizedBneck::new(&network, &sessions).solve();
+    let validated = compare_allocations(
+        &sessions,
+        &sim.allocation(),
+        &oracle,
+        Tolerance::new(1e-6, 10.0),
+    )
+    .is_ok();
+    let total_packets = sim.packet_stats().total();
+    Experiment1Point {
+        scenario: config.scenario.label(),
+        sessions: stats.joins,
+        time_to_quiescence_us: report.quiescent_at.as_micros(),
+        total_packets,
+        packets_per_session: if stats.joins > 0 {
+            total_packets as f64 / stats.joins as f64
+        } else {
+            0.0
+        },
+        validated,
+    }
+}
+
+/// One phase of Figure 6.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Experiment2PhaseResult {
+    /// Phase name (`join`, `leave`, `change`, `join-2`, `mixed`).
+    pub name: &'static str,
+    /// Time the phase started at (when its churn was injected).
+    pub started_at_us: u64,
+    /// Time the network needed to become quiescent again, in microseconds.
+    pub time_to_quiescence_us: u64,
+    /// Number of sessions active once the phase settled.
+    pub active_sessions: usize,
+    /// Packets transmitted during the phase, by kind.
+    pub packets: PacketStats,
+    /// `true` when the rates after the phase match the centralized oracle.
+    pub validated: bool,
+}
+
+/// Runs Experiment 2: five churn phases on one network; after each phase the
+/// protocol runs to quiescence and is validated against the oracle.
+///
+/// Returns the per-phase results plus the packet time series (5 ms bins, as in
+/// Figure 6) of the whole run.
+pub fn run_experiment2(config: &Experiment2Config) -> (Vec<Experiment2PhaseResult>, PacketTimeSeries) {
+    let network = config.scenario.build();
+    let mut planner = config.planner(&network);
+    let mut sim = BneckSimulation::new(&network, BneckConfig::default().with_packet_log());
+    let mut results = Vec::new();
+    for phase in config.phases() {
+        let start = if sim.now() == SimTime::ZERO {
+            SimTime::ZERO
+        } else {
+            sim.now() + Delay::from_millis(1)
+        };
+        let schedule = planner.phase(
+            start,
+            config.change_window,
+            phase.joins,
+            phase.leaves,
+            phase.changes,
+            config.limits,
+        );
+        let before = *sim.packet_stats();
+        schedule.apply(&mut sim);
+        let report = sim.run_to_quiescence();
+        let sessions = sim.session_set();
+        let oracle = CentralizedBneck::new(&network, &sessions).solve();
+        let validated = compare_allocations(
+            &sessions,
+            &sim.allocation(),
+            &oracle,
+            Tolerance::new(1e-6, 10.0),
+        )
+        .is_ok();
+        results.push(Experiment2PhaseResult {
+            name: phase.name,
+            started_at_us: start.as_micros(),
+            time_to_quiescence_us: report
+                .quiescent_at
+                .saturating_since(start)
+                .as_micros(),
+            active_sessions: sessions.len(),
+            packets: sim.packet_stats().since(&before),
+            validated,
+        });
+    }
+    let series = PacketTimeSeries::from_log(sim.packet_log(), Delay::from_millis(5));
+    (results, series)
+}
+
+/// One sampling instant of Experiment 3, for one protocol.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Experiment3Sample {
+    /// Sampling time in microseconds.
+    pub at_us: u64,
+    /// Relative error (in percent) of the assigned rates at the sources.
+    pub source_error: Summary,
+    /// Relative error (in percent) of the aggregate rates on bottleneck links.
+    pub link_error: Summary,
+    /// Packets transmitted since the previous sample.
+    pub packets_in_interval: u64,
+}
+
+/// The outcome of Experiment 3 for one protocol.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Experiment3Result {
+    /// Protocol name (`B-Neck`, `BFYZ`, `CG`, `RCP`).
+    pub protocol: String,
+    /// Samples every `sample_interval` until the horizon.
+    pub samples: Vec<Experiment3Sample>,
+    /// Total packets transmitted over the whole horizon.
+    pub total_packets: u64,
+    /// Time after which the protocol stopped sending packets entirely, if it
+    /// did (only B-Neck does).
+    pub quiescent_at_us: Option<u64>,
+}
+
+/// Runs Experiment 3 for B-Neck and the requested baselines on the same
+/// workload: joins plus early leaves, then rate samples every
+/// `config.sample_interval` until `config.horizon`, with the error measured
+/// against the centralized max-min rates of the surviving sessions (Figures 7
+/// and 8).
+pub fn run_experiment3(config: &Experiment3Config, baselines: &[&str]) -> Vec<Experiment3Result> {
+    let network = config.scenario.build();
+    let schedule = config.schedule(&network);
+    let sample_times = config.sample_times();
+
+    // The reference allocation: the max-min fair rates of the sessions that
+    // remain after the initial churn.
+    let mut reference = BneckSimulation::new(&network, BneckConfig::default());
+    schedule.apply(&mut reference);
+    let final_sessions = reference.session_set();
+    let solution = CentralizedBneck::new(&network, &final_sessions).solve_with_bottlenecks();
+
+    let mut results = Vec::new();
+
+    // B-Neck itself.
+    {
+        let mut sim = BneckSimulation::new(&network, BneckConfig::default());
+        schedule.apply(&mut sim);
+        let mut samples = Vec::new();
+        let mut previous_packets = 0u64;
+        let mut quiescent_at = None;
+        for &at in &sample_times {
+            let report = sim.run_until(at);
+            if report.quiescent && quiescent_at.is_none() {
+                quiescent_at = Some(report.quiescent_at.as_micros());
+            }
+            let assigned = sim.current_rates();
+            let source_error = Summary::of(&rate_errors(&assigned, &solution.allocation));
+            let link_error = Summary::of(&link_stress_errors(&assigned, &solution));
+            let total = sim.packet_stats().total();
+            samples.push(Experiment3Sample {
+                at_us: at.as_micros(),
+                source_error,
+                link_error,
+                packets_in_interval: total - previous_packets,
+            });
+            previous_packets = total;
+        }
+        results.push(Experiment3Result {
+            protocol: "B-Neck".to_string(),
+            samples,
+            total_packets: sim.packet_stats().total(),
+            quiescent_at_us: quiescent_at,
+        });
+    }
+
+    for &name in baselines {
+        let result = match name {
+            "BFYZ" => run_baseline(
+                &network,
+                Bfyz::default(),
+                &schedule,
+                &sample_times,
+                &solution,
+            ),
+            "CG" => run_baseline(
+                &network,
+                CobbGouda::default(),
+                &schedule,
+                &sample_times,
+                &solution,
+            ),
+            "RCP" => run_baseline(
+                &network,
+                Rcp::default(),
+                &schedule,
+                &sample_times,
+                &solution,
+            ),
+            other => panic!("unknown baseline {other}; expected BFYZ, CG or RCP"),
+        };
+        results.push(result);
+    }
+    results
+}
+
+fn run_baseline<P: BaselineProtocol>(
+    network: &bneck_net::Network,
+    protocol: P,
+    schedule: &Schedule,
+    sample_times: &[SimTime],
+    solution: &CentralizedSolution,
+) -> Experiment3Result {
+    let name = protocol.name();
+    let mut sim = BaselineSimulation::new(network, protocol, BaselineConfig::default());
+    schedule.apply(&mut sim);
+    let mut samples = Vec::new();
+    let mut previous_packets = 0u64;
+    for &at in sample_times {
+        sim.run_until(at);
+        let assigned = sim.current_rates();
+        let source_error = Summary::of(&rate_errors(&assigned, &solution.allocation));
+        let link_error = Summary::of(&link_stress_errors(&assigned, solution));
+        let total = sim.stats().total();
+        samples.push(Experiment3Sample {
+            at_us: at.as_micros(),
+            source_error,
+            link_error,
+            packets_in_interval: total - previous_packets,
+        });
+        previous_packets = total;
+    }
+    Experiment3Result {
+        protocol: name.to_string(),
+        samples,
+        total_packets: sim.stats().total(),
+        quiescent_at_us: None,
+    }
+}
+
+/// Result of validating one randomized scenario against the oracle.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValidationReport {
+    /// Scenario label.
+    pub scenario: String,
+    /// Number of sessions checked.
+    pub sessions: usize,
+    /// Time to quiescence in microseconds.
+    pub time_to_quiescence_us: u64,
+    /// Number of sessions whose rate disagrees with the oracle.
+    pub mismatches: usize,
+    /// Number of max-min violations in the distributed allocation.
+    pub violations: usize,
+}
+
+/// Runs a join-only workload on a scenario and checks the distributed rates
+/// against both the centralized oracle and the max-min fairness conditions
+/// (the validation methodology of Section IV of the paper).
+pub fn validate_scenario(scenario: &NetworkScenario, sessions: usize, seed: u64) -> ValidationReport {
+    let config = Experiment1Config {
+        scenario: *scenario,
+        sessions,
+        join_window: Delay::from_millis(1),
+        limits: LimitPolicy::RandomFinite {
+            probability: 0.25,
+            min_bps: 1e6,
+            max_bps: 80e6,
+        },
+        seed,
+    };
+    let network = scenario.build();
+    let schedule = config.schedule(&network);
+    let mut sim = BneckSimulation::new(&network, BneckConfig::default());
+    schedule.apply(&mut sim);
+    let report = sim.run_to_quiescence();
+    let session_set = sim.session_set();
+    let oracle = CentralizedBneck::new(&network, &session_set).solve();
+    let mismatches = compare_allocations(
+        &session_set,
+        &sim.allocation(),
+        &oracle,
+        Tolerance::new(1e-6, 10.0),
+    )
+    .err()
+    .map(|v| v.len())
+    .unwrap_or(0);
+    let violations = verify_max_min(&network, &session_set, &sim.allocation())
+        .err()
+        .map(|v| v.len())
+        .unwrap_or(0);
+    ValidationReport {
+        scenario: scenario.label(),
+        sessions: session_set.len(),
+        time_to_quiescence_us: report.quiescent_at.as_micros(),
+        mismatches,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bneck_net::DelayModel;
+    use bneck_net::topology::transit_stub::NetworkSize;
+
+    #[test]
+    fn experiment1_point_runs_and_validates() {
+        let config = Experiment1Config::scaled(NetworkScenario::small_lan(80).with_seed(3), 30);
+        let point = run_experiment1_point(&config);
+        assert_eq!(point.sessions, 30);
+        assert!(point.validated, "rates must match the oracle");
+        assert!(point.total_packets > 0);
+        assert!(point.time_to_quiescence_us > 0);
+        assert!(point.packets_per_session > 1.0);
+    }
+
+    #[test]
+    fn experiment2_phases_all_validate() {
+        let mut config = Experiment2Config::scaled();
+        config.scenario = NetworkScenario::small_lan(200);
+        config.initial_sessions = 60;
+        config.churn = 15;
+        let (phases, series) = run_experiment2(&config);
+        assert_eq!(phases.len(), 5);
+        for phase in &phases {
+            assert!(phase.validated, "phase {} did not validate", phase.name);
+            assert!(phase.packets.total() > 0);
+        }
+        assert_eq!(
+            series.total(),
+            phases.iter().map(|p| p.packets.total()).sum::<u64>()
+        );
+        // After the leave phase fewer sessions are active than after the join
+        // phase.
+        assert!(phases[1].active_sessions < phases[0].active_sessions);
+    }
+
+    #[test]
+    fn experiment3_bneck_goes_quiescent_and_baseline_does_not() {
+        let mut config = Experiment3Config::scaled();
+        config.scenario = NetworkScenario::small_lan(150);
+        config.joins = 50;
+        config.leaves = 5;
+        config.horizon = Delay::from_millis(60);
+        let results = run_experiment3(&config, &["BFYZ"]);
+        assert_eq!(results.len(), 2);
+        let bneck = &results[0];
+        let bfyz = &results[1];
+        assert_eq!(bneck.protocol, "B-Neck");
+        assert_eq!(bfyz.protocol, "BFYZ");
+        // B-Neck stops sending packets; the baseline keeps going.
+        assert!(bneck.quiescent_at_us.is_some());
+        assert!(bfyz.quiescent_at_us.is_none());
+        assert_eq!(bneck.samples.last().unwrap().packets_in_interval, 0);
+        assert!(bfyz.samples.last().unwrap().packets_in_interval > 0);
+        // B-Neck's final error is (essentially) zero; its transient errors are
+        // never positive beyond tolerance (conservative rates).
+        let final_error = bneck.samples.last().unwrap().source_error;
+        assert!(final_error.mean.abs() < 0.5);
+        for sample in &bneck.samples {
+            assert!(sample.source_error.p90 <= 0.5);
+        }
+    }
+
+    #[test]
+    fn validation_report_is_clean_on_small_scenarios() {
+        let scenario = NetworkScenario {
+            size: NetworkSize::Small,
+            delay_model: DelayModel::Wan,
+            hosts: 60,
+            seed: 5,
+        };
+        let report = validate_scenario(&scenario, 25, 9);
+        assert_eq!(report.mismatches, 0);
+        assert_eq!(report.violations, 0);
+        assert_eq!(report.sessions, 25);
+    }
+}

@@ -1,0 +1,62 @@
+//! # bneck
+//!
+//! Facade crate of the B-Neck reproduction: re-exports the public API of every
+//! component crate so downstream users can depend on a single crate.
+//!
+//! The repository implements the paper *"B-Neck: A Distributed and Quiescent
+//! Max-min Fair Algorithm"* (Mozo, López-Presa, Fernández Anta): a distributed
+//! protocol that computes max-min fair session rates and — uniquely — stops
+//! generating any control traffic once the rates have been computed.
+//!
+//! | Component | Crate | Re-exported as |
+//! |---|---|---|
+//! | Network model & topologies | `bneck-net` | [`net`] |
+//! | Discrete-event simulator | `bneck-sim` | [`sim`] |
+//! | Max-min theory & centralized oracles | `bneck-maxmin` | [`maxmin`] |
+//! | The distributed B-Neck protocol | `bneck-core` | [`core`] |
+//! | Non-quiescent baselines (BFYZ, CG, RCP) | `bneck-baselines` | [`baselines`] |
+//! | Workload / scenario generation | `bneck-workload` | [`workload`] |
+//! | Measurement & reporting | `bneck-metrics` | [`metrics`] |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bneck::prelude::*;
+//!
+//! // Three sessions share a 90 Mbps bottleneck; one caps itself at 10 Mbps.
+//! let net = synthetic::dumbbell(3, Capacity::from_mbps(100.0),
+//!                               Capacity::from_mbps(90.0), Delay::from_micros(1));
+//! let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+//! let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+//! sim.join(SimTime::ZERO, SessionId(0), hosts[0], hosts[1], RateLimit::finite(10e6)).unwrap();
+//! sim.join(SimTime::ZERO, SessionId(1), hosts[2], hosts[3], RateLimit::unlimited()).unwrap();
+//! sim.join(SimTime::ZERO, SessionId(2), hosts[4], hosts[5], RateLimit::unlimited()).unwrap();
+//! let report = sim.run_to_quiescence();
+//! assert!(report.quiescent);
+//! let rates = sim.allocation();
+//! assert!((rates.rate(SessionId(0)).unwrap() - 10e6).abs() < 1.0);
+//! assert!((rates.rate(SessionId(1)).unwrap() - 40e6).abs() < 1.0);
+//! assert!((rates.rate(SessionId(2)).unwrap() - 40e6).abs() < 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use bneck_baselines as baselines;
+pub use bneck_core as core;
+pub use bneck_maxmin as maxmin;
+pub use bneck_metrics as metrics;
+pub use bneck_net as net;
+pub use bneck_sim as sim;
+pub use bneck_workload as workload;
+
+/// One-stop prelude combining the preludes of every component crate.
+pub mod prelude {
+    pub use bneck_baselines::prelude::*;
+    pub use bneck_core::prelude::*;
+    pub use bneck_maxmin::prelude::*;
+    pub use bneck_metrics::prelude::*;
+    pub use bneck_net::prelude::*;
+    pub use bneck_sim::prelude::*;
+    pub use bneck_workload::prelude::*;
+}

@@ -1,0 +1,147 @@
+//! Internal debugging tool: replays the randomized dynamics scenario and dumps
+//! the protocol state of any session whose final rate disagrees with the
+//! centralized oracle. Not part of the public examples.
+
+use bneck_core::prelude::*;
+use bneck_maxmin::prelude::*;
+use bneck_net::prelude::*;
+use bneck_sim::SimTime;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+fn join_random_sessions(sim: &mut BneckSimulation<'_>, rng: &mut SmallRng, n: usize, with_limits: bool) {
+    let hosts: Vec<_> = sim.network().hosts().map(|h| h.id()).collect();
+    let mut sources = hosts.clone();
+    sources.shuffle(rng);
+    for (i, chunk) in sources.chunks(2).take(n).enumerate() {
+        if chunk.len() < 2 {
+            break;
+        }
+        let limit = if with_limits && rng.gen_bool(0.3) {
+            RateLimit::finite(rng.gen_range(1e6..80e6))
+        } else {
+            RateLimit::unlimited()
+        };
+        let at = SimTime::from_nanos(rng.gen_range(0..1_000_000));
+        let _ = sim.join(at, SessionId(i as u64), chunk[0], chunk[1], limit);
+    }
+}
+
+fn check(sim: &BneckSimulation<'_>, phase: &str) {
+    let sessions = sim.session_set();
+    let solution = CentralizedBneck::new(sim.network(), &sessions).solve_with_bottlenecks();
+    let expected = solution.allocation.clone();
+    let got = sim.allocation();
+    let tol = Tolerance::new(1e-6, 10.0);
+    match compare_allocations(&sessions, &got, &expected, tol) {
+        Ok(()) => println!("[{phase}] OK ({} sessions)", sessions.len()),
+        Err(violations) => {
+            println!("[{phase}] {} violations", violations.len());
+            for v in violations.iter().take(3) {
+                println!("  {v}");
+                if let Violation::RateMismatch { session, .. } | Violation::MissingRate { session } = v {
+                    dump_session(sim, *session, &expected);
+                    // Which link does the oracle consider the session's bottleneck?
+                    if let Some(path) = sim.session_path(*session) {
+                        for &link in path.links() {
+                            if let Some(lb) = solution.link(link) {
+                                if lb.is_bottleneck() && lb.restricted.contains(session) {
+                                    println!(
+                                        "    oracle bottleneck {link}: B*={:.1} R*={:?} F*={:?}",
+                                        lb.bottleneck_rate.unwrap() / 1e6,
+                                        lb.restricted,
+                                        lb.unrestricted
+                                    );
+                                    for r in &lb.unrestricted {
+                                        println!(
+                                            "       F* member {r}: oracle={:?} distributed={:?}",
+                                            expected.rate(*r).map(|x| x / 1e6),
+                                            got.rate(*r).map(|x| x / 1e6)
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn dump_session(sim: &BneckSimulation<'_>, session: SessionId, expected: &Allocation) {
+    let Some(path) = sim.session_path(session) else { return };
+    let src = sim.source_task(session).unwrap();
+    println!(
+        "  session {session}: demand={} current={} settled={} mu={:?} expected={:?}",
+        src.demand(),
+        src.current_rate(),
+        src.is_settled(),
+        src.probe_state(),
+        expected.rate(session)
+    );
+    for &link in path.links() {
+        if let Some(task) = sim.link_task(link) {
+            let cap = sim.network().link(link).capacity().as_mbps();
+            println!(
+                "    link {link} cap={cap} Be={:.1} Re={:?} Fe={:?} mu(s)={:?} lambda(s)={:?} stable={}",
+                task.bottleneck_rate() / 1e6,
+                task.restricted().collect::<Vec<_>>(),
+                task.unrestricted().collect::<Vec<_>>(),
+                task.probe_state(session),
+                task.assigned_rate(session).map(|r| r / 1e6),
+                task.is_stable(),
+            );
+        }
+    }
+}
+
+fn main() {
+    let net = bneck_net::topology::transit_stub::paper_network(NetworkSize::Small, 80, DelayModel::Lan, 21);
+    let mut rng = SmallRng::seed_from_u64(4242);
+    let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+    join_random_sessions(&mut sim, &mut rng, 40, true);
+    sim.run_to_quiescence();
+    check(&sim, "phase 1: joins");
+
+    let active: Vec<_> = sim.active_sessions().collect();
+    let base = sim.now() + Delay::from_millis(1);
+    for s in active.iter().take(active.len() / 4) {
+        let at = base + Delay::from_nanos(rng.gen_range(0..1_000_000));
+        sim.leave(at, *s).unwrap();
+    }
+    sim.run_to_quiescence();
+    check(&sim, "phase 2: leaves");
+
+    let active: Vec<_> = sim.active_sessions().collect();
+    let base = sim.now() + Delay::from_millis(1);
+    for s in active.iter().take(active.len() / 4) {
+        let at = base + Delay::from_nanos(rng.gen_range(0..1_000_000));
+        let limit = if rng.gen_bool(0.5) {
+            RateLimit::finite(rng.gen_range(1e6..50e6))
+        } else {
+            RateLimit::unlimited()
+        };
+        sim.change(at, *s, limit).unwrap();
+    }
+    sim.run_to_quiescence();
+    check(&sim, "phase 3: changes");
+
+    let hosts: Vec<_> = sim.network().hosts().map(|h| h.id()).collect();
+    let base = sim.now() + Delay::from_millis(1);
+    let mut next_id = 1_000u64;
+    for _ in 0..10 {
+        let a = hosts[rng.gen_range(0..hosts.len())];
+        let b = hosts[rng.gen_range(0..hosts.len())];
+        if a == b {
+            continue;
+        }
+        let at = base + Delay::from_nanos(rng.gen_range(0..1_000_000));
+        let _ = sim.join(at, SessionId(next_id), a, b, RateLimit::unlimited());
+        next_id += 1;
+    }
+    sim.run_to_quiescence();
+    check(&sim, "phase 4: late joins");
+    println!("links_stable={} quiescent={}", sim.links_stable(), sim.is_quiescent());
+}

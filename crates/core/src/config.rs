@@ -1,0 +1,95 @@
+//! Configuration of a B-Neck simulation.
+
+use bneck_maxmin::Tolerance;
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of a [`crate::harness::BneckSimulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BneckConfig {
+    /// Size of a control packet in bits, used to compute per-link transmission
+    /// times (the paper models both transmission and propagation times).
+    pub packet_bits: u64,
+    /// Tolerance used for every rate comparison performed by the protocol.
+    pub tolerance: Tolerance,
+    /// When `true`, every packet transmission is logged with its timestamp so
+    /// experiments can build per-interval traffic breakdowns (Figures 6 and 8
+    /// of the paper). Costs memory proportional to the total packet count.
+    pub record_packet_log: bool,
+    /// When `true`, every `API.Rate` notification is recorded with its
+    /// timestamp (used to study convergence behaviour over time).
+    pub record_rate_history: bool,
+}
+
+impl Default for BneckConfig {
+    fn default() -> Self {
+        BneckConfig {
+            packet_bits: 256,
+            tolerance: Tolerance::default(),
+            record_packet_log: false,
+            record_rate_history: false,
+        }
+    }
+}
+
+impl BneckConfig {
+    /// Enables the per-packet log.
+    pub fn with_packet_log(mut self) -> Self {
+        self.record_packet_log = true;
+        self
+    }
+
+    /// Enables the `API.Rate` history.
+    pub fn with_rate_history(mut self) -> Self {
+        self.record_rate_history = true;
+        self
+    }
+
+    /// Sets the control packet size in bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn with_packet_bits(mut self, bits: u64) -> Self {
+        assert!(bits > 0, "control packets must have a positive size");
+        self.packet_bits = bits;
+        self
+    }
+
+    /// Sets the rate-comparison tolerance.
+    pub fn with_tolerance(mut self, tolerance: Tolerance) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_values() {
+        let c = BneckConfig::default();
+        assert_eq!(c.packet_bits, 256);
+        assert!(!c.record_packet_log);
+        assert!(!c.record_rate_history);
+    }
+
+    #[test]
+    fn builder_methods_compose() {
+        let c = BneckConfig::default()
+            .with_packet_log()
+            .with_rate_history()
+            .with_packet_bits(512)
+            .with_tolerance(Tolerance::new(1e-6, 1.0));
+        assert!(c.record_packet_log);
+        assert!(c.record_rate_history);
+        assert_eq!(c.packet_bits, 512);
+        assert_eq!(c.tolerance, Tolerance::new(1e-6, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive size")]
+    fn zero_packet_size_rejected() {
+        let _ = BneckConfig::default().with_packet_bits(0);
+    }
+}

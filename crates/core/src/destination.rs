@@ -1,0 +1,136 @@
+//! The `DestinationNode(s)` task (Figure 4 of the paper).
+//!
+//! The destination node closes Probe cycles (turning `Join`/`Probe` packets
+//! into `Response` packets sent back upstream) and, when a `SetBottleneck`
+//! arrives whose `β` flag shows that no bottleneck was found anywhere on the
+//! path, asks the source to start a new Probe cycle with an `Update`.
+
+use crate::packet::{Packet, ResponseKind};
+use crate::task::Action;
+use bneck_maxmin::SessionId;
+
+/// The per-session destination task of the B-Neck protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DestinationNode {
+    session: SessionId,
+}
+
+impl DestinationNode {
+    /// Creates the destination task for `session`.
+    pub fn new(session: SessionId) -> Self {
+        DestinationNode { session }
+    }
+
+    /// The session this task belongs to.
+    pub fn session(&self) -> SessionId {
+        self.session
+    }
+
+    /// Handles a packet that reached the destination host.
+    ///
+    /// Packets belonging to other sessions or of kinds a destination never
+    /// receives are ignored.
+    pub fn handle(&self, packet: Packet) -> Vec<Action> {
+        if packet.session() != self.session {
+            return Vec::new();
+        }
+        match packet {
+            Packet::Join {
+                session,
+                rate,
+                restricting,
+            }
+            | Packet::Probe {
+                session,
+                rate,
+                restricting,
+            } => vec![Action::SendUpstream(Packet::Response {
+                session,
+                kind: ResponseKind::Response,
+                rate,
+                restricting,
+            })],
+            Packet::SetBottleneck { session, found } => {
+                if found {
+                    Vec::new()
+                } else {
+                    vec![Action::SendUpstream(Packet::Update { session })]
+                }
+            }
+            _ => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bneck_net::LinkId;
+
+    #[test]
+    fn join_and_probe_are_answered_with_responses() {
+        let d = DestinationNode::new(SessionId(4));
+        for packet in [
+            Packet::Join {
+                session: SessionId(4),
+                rate: 5e6,
+                restricting: LinkId(2),
+            },
+            Packet::Probe {
+                session: SessionId(4),
+                rate: 5e6,
+                restricting: LinkId(2),
+            },
+        ] {
+            let actions = d.handle(packet);
+            assert_eq!(
+                actions,
+                vec![Action::SendUpstream(Packet::Response {
+                    session: SessionId(4),
+                    kind: ResponseKind::Response,
+                    rate: 5e6,
+                    restricting: LinkId(2),
+                })]
+            );
+        }
+    }
+
+    #[test]
+    fn missing_bottleneck_triggers_an_update() {
+        let d = DestinationNode::new(SessionId(4));
+        let actions = d.handle(Packet::SetBottleneck {
+            session: SessionId(4),
+            found: false,
+        });
+        assert_eq!(
+            actions,
+            vec![Action::SendUpstream(Packet::Update {
+                session: SessionId(4)
+            })]
+        );
+        assert!(d
+            .handle(Packet::SetBottleneck {
+                session: SessionId(4),
+                found: true
+            })
+            .is_empty());
+    }
+
+    #[test]
+    fn unrelated_packets_are_ignored() {
+        let d = DestinationNode::new(SessionId(4));
+        assert!(d
+            .handle(Packet::Join {
+                session: SessionId(5),
+                rate: 1.0,
+                restricting: LinkId(0)
+            })
+            .is_empty());
+        assert!(d
+            .handle(Packet::Leave {
+                session: SessionId(4)
+            })
+            .is_empty());
+        assert_eq!(d.session(), SessionId(4));
+    }
+}

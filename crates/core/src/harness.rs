@@ -1,0 +1,926 @@
+//! The simulation harness: runs the B-Neck tasks over a network on the
+//! discrete-event engine.
+//!
+//! The harness owns one [`RouterLink`] task per directed link (created lazily
+//! when the first session crosses the link), one [`SourceNode`] and one
+//! [`DestinationNode`] per session, and forwards the packets produced by the
+//! task handlers hop by hop over the network's links, each modelled as a
+//! simulator channel with the link's bandwidth and propagation delay.
+//!
+//! Quiescence detection is inherited from the simulator: the network is
+//! quiescent exactly when no protocol packet is in flight or pending, which is
+//! when [`BneckSimulation::run_to_quiescence`] returns.
+
+use crate::config::BneckConfig;
+use crate::destination::DestinationNode;
+use crate::packet::{Packet, PacketKind};
+use crate::router_link::RouterLink;
+use crate::source::SourceNode;
+use crate::stats::PacketStats;
+use crate::task::{Action, RateNotification};
+use bneck_maxmin::{Allocation, Rate, RateLimit, Session, SessionId, SessionSet};
+use bneck_net::{LinkId, Network, NodeId, Path, Router};
+use bneck_sim::{Address, ChannelId, ChannelSpec, Context, Engine, SimTime, World};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// The session API primitives, delivered to a session's source task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ApiCall {
+    Join { limit: RateLimit },
+    Leave,
+    Change { limit: RateLimit },
+}
+
+/// Where a simulated message is headed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    Source(SessionId),
+    Link(LinkId),
+    Destination(SessionId),
+}
+
+/// A simulated message: an API call or a protocol packet, with its target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Envelope {
+    target: Target,
+    payload: Payload,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Payload {
+    Api(ApiCall),
+    Protocol(Packet),
+}
+
+/// Error returned when a session cannot be created or manipulated.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinError {
+    /// No path exists between the requested source and destination hosts.
+    NoPath {
+        /// The requested source host.
+        source: NodeId,
+        /// The requested destination host.
+        destination: NodeId,
+    },
+    /// A session with the same identifier is already active.
+    DuplicateSession(SessionId),
+    /// The session is not active.
+    UnknownSession(SessionId),
+    /// Another active session already starts at the requested source host.
+    ///
+    /// The paper's system model assumes every host is the source of at most
+    /// one session (Section II: "this limitation is just for the sake of
+    /// simplicity"); the `SourceNode` task owns the host's access link, so two
+    /// sessions sharing a source host would silently over-commit that link.
+    SourceHostBusy {
+        /// The contended source host.
+        host: NodeId,
+        /// The session already using it.
+        existing: SessionId,
+    },
+}
+
+impl fmt::Display for JoinError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinError::NoPath {
+                source,
+                destination,
+            } => write!(f, "no path from {source} to {destination}"),
+            JoinError::DuplicateSession(s) => write!(f, "session {s} is already active"),
+            JoinError::UnknownSession(s) => write!(f, "session {s} is not active"),
+            JoinError::SourceHostBusy { host, existing } => write!(
+                f,
+                "host {host} is already the source of active session {existing}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Summary of a run to quiescence.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuiescenceReport {
+    /// Whether the run actually reached quiescence (always `true` for
+    /// [`BneckSimulation::run_to_quiescence`], may be `false` for horizon
+    /// limited runs).
+    pub quiescent: bool,
+    /// Time of the last processed protocol event.
+    pub quiescent_at: SimTime,
+    /// Events processed during the run.
+    pub events_processed: u64,
+    /// Packets transmitted over links during the run.
+    pub packets_sent: u64,
+}
+
+/// The simulation world: all protocol tasks plus routing and accounting state.
+struct BneckWorld<'a> {
+    network: &'a Network,
+    config: BneckConfig,
+    /// Channel of each directed link, indexed by `LinkId::index()`.
+    channels: Vec<ChannelId>,
+    router_links: HashMap<LinkId, RouterLink>,
+    sources: HashMap<SessionId, SourceNode>,
+    destinations: HashMap<SessionId, DestinationNode>,
+    paths: HashMap<SessionId, Path>,
+    stats: PacketStats,
+    packet_log: Vec<(SimTime, PacketKind)>,
+    rate_history: Vec<(SimTime, RateNotification)>,
+    notified_rates: BTreeMap<SessionId, Rate>,
+}
+
+impl<'a> BneckWorld<'a> {
+    fn dispatch(&mut self, ctx: &mut Context<'_, Envelope>, envelope: Envelope) {
+        let actions = match (envelope.target, envelope.payload) {
+            (Target::Source(s), Payload::Api(call)) => {
+                let Some(source) = self.sources.get_mut(&s) else {
+                    return;
+                };
+                match call {
+                    ApiCall::Join { limit } => source.api_join(limit),
+                    ApiCall::Leave => source.api_leave(),
+                    ApiCall::Change { limit } => source.api_change(limit),
+                }
+            }
+            (Target::Source(s), Payload::Protocol(packet)) => {
+                match self.sources.get_mut(&s) {
+                    Some(source) => source.handle(packet),
+                    None => Vec::new(),
+                }
+            }
+            (Target::Link(e), Payload::Protocol(packet)) => {
+                let capacity = self.network.link(e).capacity().as_bps();
+                let tolerance = self.config.tolerance;
+                let link = self
+                    .router_links
+                    .entry(e)
+                    .or_insert_with(|| RouterLink::new(e, capacity, tolerance));
+                link.handle(packet)
+            }
+            (Target::Destination(s), Payload::Protocol(packet)) => {
+                match self.destinations.get(&s) {
+                    Some(destination) => destination.handle(packet),
+                    None => Vec::new(),
+                }
+            }
+            // API calls are only ever addressed to sources.
+            (_, Payload::Api(_)) => Vec::new(),
+        };
+        for action in actions {
+            self.perform(ctx, envelope.target, action);
+        }
+    }
+
+    /// Turns a task action into a packet transmission (or a rate notification
+    /// record), routing it to the next hop of the session's path.
+    fn perform(&mut self, ctx: &mut Context<'_, Envelope>, origin: Target, action: Action) {
+        match action {
+            Action::NotifyRate { session, rate } => {
+                self.notified_rates.insert(session, rate);
+                if self.config.record_rate_history {
+                    self.rate_history
+                        .push((ctx.now(), RateNotification { session, rate }));
+                }
+            }
+            Action::SendDownstream(packet) => {
+                let session = packet.session();
+                let Some(path) = self.paths.get(&session) else {
+                    return;
+                };
+                let links = path.links();
+                let (channel_link, next) = match origin {
+                    Target::Source(_) => {
+                        let next = if links.len() > 1 {
+                            Target::Link(links[1])
+                        } else {
+                            Target::Destination(session)
+                        };
+                        (links[0], next)
+                    }
+                    Target::Link(e) => {
+                        let Some(i) = path.position(e) else {
+                            return;
+                        };
+                        let next = if i + 1 < links.len() {
+                            Target::Link(links[i + 1])
+                        } else {
+                            Target::Destination(session)
+                        };
+                        (e, next)
+                    }
+                    Target::Destination(_) => return,
+                };
+                self.transmit(ctx, channel_link, next, packet);
+            }
+            Action::SendUpstream(packet) => {
+                let session = packet.session();
+                let Some(path) = self.paths.get(&session) else {
+                    return;
+                };
+                let links = path.links();
+                let (forward_link, next) = match origin {
+                    Target::Destination(_) => {
+                        let last = links.len() - 1;
+                        let next = if last >= 1 {
+                            Target::Link(links[last])
+                        } else {
+                            Target::Source(session)
+                        };
+                        (links[last], next)
+                    }
+                    Target::Link(e) => {
+                        let Some(i) = path.position(e) else {
+                            return;
+                        };
+                        debug_assert!(i >= 1, "the first link is owned by the source task");
+                        let next = if i - 1 >= 1 {
+                            Target::Link(links[i - 1])
+                        } else {
+                            Target::Source(session)
+                        };
+                        (links[i - 1], next)
+                    }
+                    Target::Source(_) => return,
+                };
+                // Upstream packets travel over the reverse link of the hop.
+                let Some(reverse) = self.network.reverse_link(forward_link) else {
+                    return;
+                };
+                self.transmit(ctx, reverse, next, packet);
+            }
+        }
+    }
+
+    fn transmit(
+        &mut self,
+        ctx: &mut Context<'_, Envelope>,
+        over: LinkId,
+        target: Target,
+        packet: Packet,
+    ) {
+        self.stats.record(packet.kind());
+        if self.config.record_packet_log {
+            self.packet_log.push((ctx.now(), packet.kind()));
+        }
+        ctx.send(
+            self.channels[over.index()],
+            Address(0),
+            Envelope {
+                target,
+                payload: Payload::Protocol(packet),
+            },
+        );
+    }
+}
+
+impl<'a> World for BneckWorld<'a> {
+    type Message = Envelope;
+
+    fn handle(&mut self, ctx: &mut Context<'_, Envelope>, _to: Address, msg: Envelope) {
+        self.dispatch(ctx, msg);
+    }
+}
+
+/// A complete B-Neck simulation over a network.
+///
+/// See the crate-level documentation for an end-to-end example.
+pub struct BneckSimulation<'a> {
+    engine: Engine<Envelope>,
+    world: BneckWorld<'a>,
+    router: Router<'a>,
+    limits: BTreeMap<SessionId, RateLimit>,
+    active: BTreeSet<SessionId>,
+    source_hosts: BTreeMap<NodeId, SessionId>,
+}
+
+impl<'a> fmt::Debug for BneckSimulation<'a> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BneckSimulation")
+            .field("now", &self.engine.now())
+            .field("active_sessions", &self.active.len())
+            .field("pending_events", &self.engine.pending_events())
+            .finish()
+    }
+}
+
+impl<'a> BneckSimulation<'a> {
+    /// Creates a simulation over `network` with the given configuration.
+    ///
+    /// Every directed link of the network is registered as a simulator channel
+    /// with the link's bandwidth and propagation delay.
+    pub fn new(network: &'a Network, config: BneckConfig) -> Self {
+        let mut engine = Engine::new();
+        let mut channels = Vec::with_capacity(network.link_count());
+        for link in network.links() {
+            let spec = ChannelSpec::new(
+                link.capacity().as_bps(),
+                link.delay(),
+                config.packet_bits,
+            );
+            channels.push(engine.add_channel(spec));
+        }
+        BneckSimulation {
+            engine,
+            world: BneckWorld {
+                network,
+                config,
+                channels,
+                router_links: HashMap::new(),
+                sources: HashMap::new(),
+                destinations: HashMap::new(),
+                paths: HashMap::new(),
+                stats: PacketStats::new(),
+                packet_log: Vec::new(),
+                rate_history: Vec::new(),
+                notified_rates: BTreeMap::new(),
+            },
+            router: Router::new(network),
+            limits: BTreeMap::new(),
+            active: BTreeSet::new(),
+            source_hosts: BTreeMap::new(),
+        }
+    }
+
+    /// `true` if `host` is currently the source of an active session (and thus
+    /// cannot start another one, per the paper's one-session-per-source-host
+    /// model).
+    pub fn is_source_host_busy(&self, host: NodeId) -> bool {
+        self.source_hosts.contains_key(&host)
+    }
+
+    /// The network the simulation runs over.
+    pub fn network(&self) -> &'a Network {
+        self.world.network
+    }
+
+    /// `API.Join(s, r)` at time `at`, routing the session along a shortest
+    /// path from `source` to `destination`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::NoPath`] if the hosts are not connected and
+    /// [`JoinError::DuplicateSession`] if the identifier is already in use.
+    pub fn join(
+        &mut self,
+        at: SimTime,
+        session: SessionId,
+        source: NodeId,
+        destination: NodeId,
+        limit: RateLimit,
+    ) -> Result<(), JoinError> {
+        let path = self
+            .router
+            .shortest_path(source, destination)
+            .ok_or(JoinError::NoPath {
+                source,
+                destination,
+            })?;
+        self.join_with_path(at, session, path, limit)
+    }
+
+    /// `API.Join(s, r)` at time `at` along an explicit path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::DuplicateSession`] if the identifier is already in
+    /// use by an active session, or [`JoinError::SourceHostBusy`] if another
+    /// active session already starts at the path's source host.
+    pub fn join_with_path(
+        &mut self,
+        at: SimTime,
+        session: SessionId,
+        path: Path,
+        limit: RateLimit,
+    ) -> Result<(), JoinError> {
+        if self.active.contains(&session) {
+            return Err(JoinError::DuplicateSession(session));
+        }
+        if let Some(existing) = self.source_hosts.get(&path.source()) {
+            return Err(JoinError::SourceHostBusy {
+                host: path.source(),
+                existing: *existing,
+            });
+        }
+        self.source_hosts.insert(path.source(), session);
+        let first_link = path.first_link();
+        let first_capacity = self.world.network.link(first_link).capacity().as_bps();
+        self.world.sources.insert(
+            session,
+            SourceNode::new(
+                session,
+                first_link,
+                first_capacity,
+                self.world.config.tolerance,
+            ),
+        );
+        self.world
+            .destinations
+            .insert(session, DestinationNode::new(session));
+        self.world.paths.insert(session, path);
+        self.limits.insert(session, limit);
+        self.active.insert(session);
+        self.engine.inject(
+            at,
+            Address(0),
+            Envelope {
+                target: Target::Source(session),
+                payload: Payload::Api(ApiCall::Join { limit }),
+            },
+        );
+        Ok(())
+    }
+
+    /// `API.Leave(s)` at time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::UnknownSession`] if the session is not active.
+    pub fn leave(&mut self, at: SimTime, session: SessionId) -> Result<(), JoinError> {
+        if !self.active.remove(&session) {
+            return Err(JoinError::UnknownSession(session));
+        }
+        self.limits.remove(&session);
+        self.world.notified_rates.remove(&session);
+        self.source_hosts.retain(|_, s| *s != session);
+        self.engine.inject(
+            at,
+            Address(0),
+            Envelope {
+                target: Target::Source(session),
+                payload: Payload::Api(ApiCall::Leave),
+            },
+        );
+        Ok(())
+    }
+
+    /// `API.Change(s, r)` at time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JoinError::UnknownSession`] if the session is not active.
+    pub fn change(
+        &mut self,
+        at: SimTime,
+        session: SessionId,
+        limit: RateLimit,
+    ) -> Result<(), JoinError> {
+        if !self.active.contains(&session) {
+            return Err(JoinError::UnknownSession(session));
+        }
+        self.limits.insert(session, limit);
+        self.engine.inject(
+            at,
+            Address(0),
+            Envelope {
+                target: Target::Source(session),
+                payload: Payload::Api(ApiCall::Change { limit }),
+            },
+        );
+        Ok(())
+    }
+
+    /// Runs the simulation until no protocol event remains (quiescence).
+    pub fn run_to_quiescence(&mut self) -> QuiescenceReport {
+        let report = self.engine.run(&mut self.world);
+        QuiescenceReport {
+            quiescent: report.quiescent,
+            quiescent_at: report.quiescent_at,
+            events_processed: report.events_processed,
+            packets_sent: report.messages_sent,
+        }
+    }
+
+    /// Runs the simulation until `horizon` (inclusive) or quiescence,
+    /// whichever comes first.
+    pub fn run_until(&mut self, horizon: SimTime) -> QuiescenceReport {
+        let report = self.engine.run_until(&mut self.world, horizon);
+        QuiescenceReport {
+            quiescent: report.quiescent,
+            quiescent_at: report.quiescent_at,
+            events_processed: report.events_processed,
+            packets_sent: report.messages_sent,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// `true` when no protocol packet is pending or in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.engine.is_quiescent()
+    }
+
+    /// The identifiers of the currently active sessions.
+    pub fn active_sessions(&self) -> impl Iterator<Item = SessionId> + '_ {
+        self.active.iter().copied()
+    }
+
+    /// The rates last notified through `API.Rate`, for active sessions.
+    ///
+    /// After [`BneckSimulation::run_to_quiescence`] in a steady state, this is
+    /// the max-min fair allocation (Theorem 1 of the paper).
+    pub fn allocation(&self) -> Allocation {
+        self.world
+            .notified_rates
+            .iter()
+            .filter(|(s, _)| self.active.contains(s))
+            .map(|(s, r)| (*s, *r))
+            .collect()
+    }
+
+    /// The rate currently assigned to a session at its source (B-Neck's
+    /// transient rate before convergence), or `None` for unknown sessions.
+    pub fn current_rate(&self, session: SessionId) -> Option<Rate> {
+        self.world.sources.get(&session).map(|s| s.current_rate())
+    }
+
+    /// The transient rates of all active sessions.
+    pub fn current_rates(&self) -> Allocation {
+        self.active
+            .iter()
+            .filter_map(|s| self.current_rate(*s).map(|r| (*s, r)))
+            .collect()
+    }
+
+    /// The active sessions as a [`SessionSet`] (paths plus requested limits),
+    /// suitable for feeding the centralized oracle.
+    pub fn session_set(&self) -> SessionSet {
+        self.active
+            .iter()
+            .filter_map(|s| {
+                let path = self.world.paths.get(s)?.clone();
+                let limit = self.limits.get(s).copied().unwrap_or_default();
+                Some(Session::new(*s, path, limit))
+            })
+            .collect()
+    }
+
+    /// Cumulative packet counts by kind.
+    pub fn packet_stats(&self) -> &PacketStats {
+        &self.world.stats
+    }
+
+    /// The timestamped log of transmitted packets (empty unless
+    /// [`BneckConfig::record_packet_log`] is enabled).
+    pub fn packet_log(&self) -> &[(SimTime, PacketKind)] {
+        &self.world.packet_log
+    }
+
+    /// The timestamped `API.Rate` history (empty unless
+    /// [`BneckConfig::record_rate_history`] is enabled).
+    pub fn rate_history(&self) -> &[(SimTime, RateNotification)] {
+        &self.world.rate_history
+    }
+
+    /// `true` when every router-link task satisfies the per-link stability
+    /// conditions of Definition 2. Together with [`Self::is_quiescent`], this
+    /// is the paper's notion of a stable network.
+    pub fn links_stable(&self) -> bool {
+        self.world.router_links.values().all(|rl| rl.is_stable())
+    }
+
+    /// The `RouterLink` task of a link, if any session ever crossed it.
+    ///
+    /// Mainly useful for tests and debugging tools that want to inspect the
+    /// per-link protocol state (`R_e`, `F_e`, `μ`, `λ`, `B_e`).
+    pub fn link_task(&self, link: LinkId) -> Option<&RouterLink> {
+        self.world.router_links.get(&link)
+    }
+
+    /// The `SourceNode` task of a session, if the session ever joined.
+    pub fn source_task(&self, session: SessionId) -> Option<&SourceNode> {
+        self.world.sources.get(&session)
+    }
+
+    /// The path a session was routed along, if the session ever joined.
+    pub fn session_path(&self, session: SessionId) -> Option<&Path> {
+        self.world.paths.get(&session)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bneck_maxmin::prelude::*;
+    use bneck_net::prelude::*;
+
+    fn mbps(x: f64) -> Capacity {
+        Capacity::from_mbps(x)
+    }
+    fn us(x: u64) -> Delay {
+        Delay::from_micros(x)
+    }
+
+    fn oracle(sim: &BneckSimulation<'_>) -> Allocation {
+        let sessions = sim.session_set();
+        CentralizedBneck::new(sim.network(), &sessions).solve()
+    }
+
+    fn assert_matches_oracle(sim: &BneckSimulation<'_>) {
+        let sessions = sim.session_set();
+        let expected = CentralizedBneck::new(sim.network(), &sessions).solve();
+        let got = sim.allocation();
+        let tol = Tolerance::new(1e-6, 1.0);
+        if let Err(violations) = compare_allocations(&sessions, &got, &expected, tol) {
+            panic!(
+                "distributed allocation disagrees with the centralized oracle: {:?}\n got: {:?}\n expected: {:?}",
+                violations, got, expected
+            );
+        }
+    }
+
+    #[test]
+    fn single_session_gets_the_path_minimum() {
+        let net = synthetic::line(3, mbps(100.0), mbps(40.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        sim.join(
+            SimTime::ZERO,
+            SessionId(0),
+            hosts[0],
+            hosts[2],
+            RateLimit::unlimited(),
+        )
+        .unwrap();
+        let report = sim.run_to_quiescence();
+        assert!(report.quiescent);
+        assert!(report.packets_sent > 0);
+        let rate = sim.allocation().rate(SessionId(0)).unwrap();
+        assert!((rate - 40e6).abs() < 1.0);
+        assert_matches_oracle(&sim);
+        assert!(sim.links_stable());
+    }
+
+    #[test]
+    fn two_sessions_share_a_bottleneck() {
+        let net = synthetic::dumbbell(2, mbps(100.0), mbps(60.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        for i in 0..2u64 {
+            sim.join(
+                SimTime::ZERO,
+                SessionId(i),
+                hosts[2 * i as usize],
+                hosts[2 * i as usize + 1],
+                RateLimit::unlimited(),
+            )
+            .unwrap();
+        }
+        sim.run_to_quiescence();
+        assert_matches_oracle(&sim);
+        let alloc = sim.allocation();
+        assert!((alloc.rate(SessionId(0)).unwrap() - 30e6).abs() < 1.0);
+        assert!((alloc.rate(SessionId(1)).unwrap() - 30e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn rate_limited_session_releases_bandwidth() {
+        let net = synthetic::dumbbell(3, mbps(100.0), mbps(90.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        sim.join(
+            SimTime::ZERO,
+            SessionId(0),
+            hosts[0],
+            hosts[1],
+            RateLimit::finite(10e6),
+        )
+        .unwrap();
+        for i in 1..3u64 {
+            sim.join(
+                SimTime::ZERO,
+                SessionId(i),
+                hosts[2 * i as usize],
+                hosts[2 * i as usize + 1],
+                RateLimit::unlimited(),
+            )
+            .unwrap();
+        }
+        sim.run_to_quiescence();
+        assert_matches_oracle(&sim);
+        let alloc = sim.allocation();
+        assert!((alloc.rate(SessionId(0)).unwrap() - 10e6).abs() < 1.0);
+        assert!((alloc.rate(SessionId(1)).unwrap() - 40e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn staggered_joins_reconverge() {
+        let net = synthetic::dumbbell(4, mbps(100.0), mbps(80.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        for i in 0..4u64 {
+            sim.join(
+                SimTime::from_millis(i),
+                SessionId(i),
+                hosts[2 * i as usize],
+                hosts[2 * i as usize + 1],
+                RateLimit::unlimited(),
+            )
+            .unwrap();
+        }
+        sim.run_to_quiescence();
+        assert_matches_oracle(&sim);
+        let alloc = sim.allocation();
+        for i in 0..4u64 {
+            assert!((alloc.rate(SessionId(i)).unwrap() - 20e6).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn leave_reactivates_and_grows_the_survivors() {
+        let net = synthetic::dumbbell(3, mbps(100.0), mbps(60.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        for i in 0..3u64 {
+            sim.join(
+                SimTime::ZERO,
+                SessionId(i),
+                hosts[2 * i as usize],
+                hosts[2 * i as usize + 1],
+                RateLimit::unlimited(),
+            )
+            .unwrap();
+        }
+        sim.run_to_quiescence();
+        assert!((sim.allocation().rate(SessionId(0)).unwrap() - 20e6).abs() < 1.0);
+        // One session leaves; the other two should re-converge to 30 Mbps.
+        let t = sim.now() + bneck_net::Delay::from_millis(1);
+        sim.leave(t, SessionId(0)).unwrap();
+        let report = sim.run_to_quiescence();
+        assert!(report.quiescent);
+        assert_matches_oracle(&sim);
+        let alloc = sim.allocation();
+        assert!(alloc.rate(SessionId(0)).is_none());
+        assert!((alloc.rate(SessionId(1)).unwrap() - 30e6).abs() < 1.0);
+        assert!((alloc.rate(SessionId(2)).unwrap() - 30e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn change_reduces_and_then_restores_a_rate() {
+        let net = synthetic::dumbbell(2, mbps(100.0), mbps(80.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        for i in 0..2u64 {
+            sim.join(
+                SimTime::ZERO,
+                SessionId(i),
+                hosts[2 * i as usize],
+                hosts[2 * i as usize + 1],
+                RateLimit::unlimited(),
+            )
+            .unwrap();
+        }
+        sim.run_to_quiescence();
+        // Session 0 caps itself at 10 Mbps: session 1 should grow to 70 Mbps.
+        let t1 = sim.now() + bneck_net::Delay::from_millis(1);
+        sim.change(t1, SessionId(0), RateLimit::finite(10e6)).unwrap();
+        sim.run_to_quiescence();
+        assert_matches_oracle(&sim);
+        let alloc = sim.allocation();
+        assert!((alloc.rate(SessionId(0)).unwrap() - 10e6).abs() < 1.0);
+        assert!((alloc.rate(SessionId(1)).unwrap() - 70e6).abs() < 1.0);
+        // Session 0 lifts its cap again: back to a 40/40 split.
+        let t2 = sim.now() + bneck_net::Delay::from_millis(1);
+        sim.change(t2, SessionId(0), RateLimit::unlimited()).unwrap();
+        sim.run_to_quiescence();
+        assert_matches_oracle(&sim);
+        let alloc = sim.allocation();
+        assert!((alloc.rate(SessionId(0)).unwrap() - 40e6).abs() < 1.0);
+        assert!((alloc.rate(SessionId(1)).unwrap() - 40e6).abs() < 1.0);
+        let _ = oracle(&sim);
+    }
+
+    #[test]
+    fn dependent_bottlenecks_parking_lot() {
+        // One long session across every segment plus shorter sessions of
+        // decreasing length, all from distinct source hosts (the paper's
+        // one-session-per-source-host model): the classic dependent-bottleneck
+        // chain.
+        let net = synthetic::parking_lot(3, mbps(100.0), mbps(60.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        for i in 0..3u64 {
+            sim.join(
+                SimTime::ZERO,
+                SessionId(i),
+                hosts[i as usize],
+                hosts[3],
+                RateLimit::unlimited(),
+            )
+            .unwrap();
+        }
+        sim.run_to_quiescence();
+        assert_matches_oracle(&sim);
+        // The last segment is shared by all three sessions.
+        let alloc = sim.allocation();
+        for i in 0..3u64 {
+            assert!((alloc.rate(SessionId(i)).unwrap() - 20e6).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn join_errors_are_reported() {
+        let net = synthetic::dumbbell(2, mbps(100.0), mbps(60.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        sim.join(
+            SimTime::ZERO,
+            SessionId(0),
+            hosts[0],
+            hosts[1],
+            RateLimit::unlimited(),
+        )
+        .unwrap();
+        assert_eq!(
+            sim.join(
+                SimTime::ZERO,
+                SessionId(0),
+                hosts[2],
+                hosts[3],
+                RateLimit::unlimited()
+            ),
+            Err(JoinError::DuplicateSession(SessionId(0)))
+        );
+        assert_eq!(
+            sim.join(
+                SimTime::ZERO,
+                SessionId(1),
+                hosts[0],
+                hosts[0],
+                RateLimit::unlimited()
+            ),
+            Err(JoinError::NoPath {
+                source: hosts[0],
+                destination: hosts[0]
+            })
+        );
+        assert_eq!(
+            sim.leave(SimTime::ZERO, SessionId(9)),
+            Err(JoinError::UnknownSession(SessionId(9)))
+        );
+        assert_eq!(
+            sim.change(SimTime::ZERO, SessionId(9), RateLimit::unlimited()),
+            Err(JoinError::UnknownSession(SessionId(9)))
+        );
+    }
+
+    #[test]
+    fn packet_log_and_rate_history_are_recorded_when_enabled() {
+        let net = synthetic::dumbbell(2, mbps(100.0), mbps(60.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let config = BneckConfig::default().with_packet_log().with_rate_history();
+        let mut sim = BneckSimulation::new(&net, config);
+        for i in 0..2u64 {
+            sim.join(
+                SimTime::ZERO,
+                SessionId(i),
+                hosts[2 * i as usize],
+                hosts[2 * i as usize + 1],
+                RateLimit::unlimited(),
+            )
+            .unwrap();
+        }
+        sim.run_to_quiescence();
+        assert_eq!(sim.packet_log().len() as u64, sim.packet_stats().total());
+        assert!(!sim.rate_history().is_empty());
+        assert!(sim
+            .rate_history()
+            .iter()
+            .any(|(_, n)| n.session == SessionId(1)));
+        // Every packet kind count in the log matches the aggregate stats.
+        let mut recount = PacketStats::new();
+        for (_, kind) in sim.packet_log() {
+            recount.record(*kind);
+        }
+        assert_eq!(&recount, sim.packet_stats());
+    }
+
+    #[test]
+    fn quiescence_means_no_further_traffic() {
+        let net = synthetic::dumbbell(3, mbps(100.0), mbps(60.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        for i in 0..3u64 {
+            sim.join(
+                SimTime::ZERO,
+                SessionId(i),
+                hosts[2 * i as usize],
+                hosts[2 * i as usize + 1],
+                RateLimit::unlimited(),
+            )
+            .unwrap();
+        }
+        sim.run_to_quiescence();
+        let packets_after_convergence = sim.packet_stats().total();
+        // Running further without changes generates no traffic at all.
+        let report = sim.run_to_quiescence();
+        assert_eq!(report.events_processed, 0);
+        assert_eq!(sim.packet_stats().total(), packets_after_convergence);
+        assert!(sim.is_quiescent());
+    }
+}

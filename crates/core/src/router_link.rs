@@ -1,0 +1,777 @@
+//! The `RouterLink(e)` task (Figure 2 of the paper).
+//!
+//! One `RouterLink` instance manages one directed link `e`. It keeps, for the
+//! sessions crossing the link, the set `R_e` of sessions (so far) restricted
+//! at `e`, the set `F_e` of sessions restricted elsewhere, and for each
+//! session its probe state `μ_e^s` and its assigned rate `λ_e^s`. The link's
+//! *bottleneck rate* is `B_e = (C_e − Σ_{s∈F_e} λ_e^s) / |R_e|`.
+
+use crate::packet::{Packet, ResponseKind};
+use crate::task::{Action, ProbeState};
+use bneck_maxmin::{Rate, SessionId, Tolerance};
+use bneck_net::LinkId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-session state kept by a [`RouterLink`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct SessionState {
+    mu: ProbeState,
+    lambda: Option<Rate>,
+}
+
+/// The per-link task of the B-Neck protocol.
+///
+/// Handlers mirror the `when` blocks of Figure 2 and return the list of
+/// [`Action`]s (packets to regenerate upstream or downstream) the link
+/// produces in response.
+#[derive(Debug, Clone)]
+pub struct RouterLink {
+    link: LinkId,
+    capacity: Rate,
+    tol: Tolerance,
+    restricted: BTreeSet<SessionId>,
+    unrestricted: BTreeSet<SessionId>,
+    sessions: BTreeMap<SessionId, SessionState>,
+}
+
+impl RouterLink {
+    /// Creates the task for link `e` with the given capacity (in bits per
+    /// second) and rate-comparison tolerance.
+    pub fn new(link: LinkId, capacity: Rate, tol: Tolerance) -> Self {
+        RouterLink {
+            link,
+            capacity,
+            tol,
+            restricted: BTreeSet::new(),
+            unrestricted: BTreeSet::new(),
+            sessions: BTreeMap::new(),
+        }
+    }
+
+    /// The link this task manages.
+    pub fn link(&self) -> LinkId {
+        self.link
+    }
+
+    /// The link's capacity in bits per second (`C_e`).
+    pub fn capacity(&self) -> Rate {
+        self.capacity
+    }
+
+    /// The sessions currently restricted at this link (`R_e`).
+    pub fn restricted(&self) -> impl Iterator<Item = SessionId> + '_ {
+        self.restricted.iter().copied()
+    }
+
+    /// The sessions crossing this link but restricted elsewhere (`F_e`).
+    pub fn unrestricted(&self) -> impl Iterator<Item = SessionId> + '_ {
+        self.unrestricted.iter().copied()
+    }
+
+    /// Number of sessions this link currently knows about.
+    pub fn session_count(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The probe state `μ_e^s` of a session, if the session is known.
+    pub fn probe_state(&self, session: SessionId) -> Option<ProbeState> {
+        self.sessions.get(&session).map(|s| s.mu)
+    }
+
+    /// The assigned rate `λ_e^s` of a session, if one has been recorded.
+    pub fn assigned_rate(&self, session: SessionId) -> Option<Rate> {
+        self.sessions.get(&session).and_then(|s| s.lambda)
+    }
+
+    /// The link's current bottleneck rate estimate `B_e`.
+    ///
+    /// Returns `f64::INFINITY` when no session is restricted at this link (the
+    /// link then imposes no restriction).
+    pub fn bottleneck_rate(&self) -> Rate {
+        if self.restricted.is_empty() {
+            return f64::INFINITY;
+        }
+        let assigned: Rate = self
+            .unrestricted
+            .iter()
+            .filter_map(|s| self.sessions.get(s).and_then(|st| st.lambda))
+            .sum();
+        (self.capacity - assigned).max(0.0) / self.restricted.len() as f64
+    }
+
+    /// `true` when the link satisfies the stability conditions of
+    /// Definition 2 of the paper: every known session is `IDLE`, every session
+    /// in `R_e` sits exactly at `B_e`, and (when `R_e` is non-empty) every
+    /// session in `F_e` sits strictly below `B_e`.
+    pub fn is_stable(&self) -> bool {
+        let be = self.bottleneck_rate();
+        for (id, st) in &self.sessions {
+            if !st.mu.is_idle() {
+                return false;
+            }
+            let Some(lambda) = st.lambda else {
+                return false;
+            };
+            if self.restricted.contains(id) {
+                if self.tol.ne(lambda, be) {
+                    return false;
+                }
+            } else if !self.restricted.is_empty() && !self.tol.lt(lambda, be) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Handles a received packet, returning the actions the link performs.
+    ///
+    /// Packets for sessions this link does not know about (which can only
+    /// happen transiently around a `Leave`) are dropped, except `Join` and
+    /// `Leave` which are always meaningful.
+    pub fn handle(&mut self, packet: Packet) -> Vec<Action> {
+        match packet {
+            Packet::Join {
+                session,
+                rate,
+                restricting,
+            } => self.on_join(session, rate, restricting),
+            Packet::Probe {
+                session,
+                rate,
+                restricting,
+            } => self.on_probe(session, rate, restricting),
+            Packet::Response {
+                session,
+                kind,
+                rate,
+                restricting,
+            } => self.on_response(session, kind, rate, restricting),
+            Packet::Update { session } => self.on_update(session),
+            Packet::Bottleneck { session } => self.on_bottleneck(session),
+            Packet::SetBottleneck { session, found } => self.on_set_bottleneck(session, found),
+            Packet::Leave { session } => self.on_leave(session),
+        }
+    }
+
+    /// `ProcessNewRestricted()` (Figure 2, lines 4–10): pull back into `R_e`
+    /// the sessions of `F_e` whose rate reaches the bottleneck rate, then ask
+    /// the idle sessions of `R_e` whose rate exceeds `B_e` to re-probe.
+    fn process_new_restricted(&mut self, actions: &mut Vec<Action>) {
+        loop {
+            let be = self.bottleneck_rate();
+            let has_candidate = self.unrestricted.iter().any(|s| {
+                self.sessions
+                    .get(s)
+                    .and_then(|st| st.lambda)
+                    .map(|l| self.tol.ge(l, be))
+                    .unwrap_or(false)
+            });
+            if !has_candidate {
+                break;
+            }
+            let lambda_max = self
+                .unrestricted
+                .iter()
+                .filter_map(|s| self.sessions.get(s).and_then(|st| st.lambda))
+                .fold(f64::NEG_INFINITY, f64::max);
+            let movers: Vec<SessionId> = self
+                .unrestricted
+                .iter()
+                .filter(|s| {
+                    self.sessions
+                        .get(s)
+                        .and_then(|st| st.lambda)
+                        .map(|l| self.tol.eq(l, lambda_max))
+                        .unwrap_or(false)
+                })
+                .copied()
+                .collect();
+            for s in movers {
+                self.unrestricted.remove(&s);
+                self.restricted.insert(s);
+            }
+        }
+        let be = self.bottleneck_rate();
+        let to_update: Vec<SessionId> = self
+            .restricted
+            .iter()
+            .filter(|s| {
+                let st = &self.sessions[s];
+                st.mu.is_idle()
+                    && st
+                        .lambda
+                        .map(|l| self.tol.gt(l, be))
+                        .unwrap_or(false)
+            })
+            .copied()
+            .collect();
+        for s in to_update {
+            self.sessions.get_mut(&s).expect("session exists").mu = ProbeState::WaitingProbe;
+            actions.push(Action::SendUpstream(Packet::Update { session: s }));
+        }
+    }
+
+    /// Figure 2, lines 12–16.
+    fn on_join(&mut self, session: SessionId, rate: Rate, restricting: LinkId) -> Vec<Action> {
+        let mut actions = Vec::new();
+        self.unrestricted.remove(&session);
+        self.restricted.insert(session);
+        let entry = self.sessions.entry(session).or_default();
+        entry.mu = ProbeState::WaitingResponse;
+        self.process_new_restricted(&mut actions);
+        let be = self.bottleneck_rate();
+        let (rate, restricting) = if self.tol.gt(rate, be) {
+            (be, self.link)
+        } else {
+            (rate, restricting)
+        };
+        actions.push(Action::SendDownstream(Packet::Join {
+            session,
+            rate,
+            restricting,
+        }));
+        actions
+    }
+
+    /// Figure 2, lines 30–36.
+    fn on_probe(&mut self, session: SessionId, rate: Rate, restricting: LinkId) -> Vec<Action> {
+        let mut actions = Vec::new();
+        // A Probe for a session the link has never seen behaves like a Join
+        // (this can only happen if state was lost, e.g. around a Leave race).
+        self.sessions.entry(session).or_default();
+        if self.unrestricted.remove(&session) {
+            self.restricted.insert(session);
+        } else {
+            self.restricted.insert(session);
+        }
+        self.sessions.get_mut(&session).expect("just inserted").mu = ProbeState::WaitingResponse;
+        self.process_new_restricted(&mut actions);
+        let be = self.bottleneck_rate();
+        let (rate, restricting) = if self.tol.gt(rate, be) {
+            (be, self.link)
+        } else {
+            (rate, restricting)
+        };
+        actions.push(Action::SendDownstream(Packet::Probe {
+            session,
+            rate,
+            restricting,
+        }));
+        actions
+    }
+
+    /// Figure 2, lines 18–28.
+    fn on_response(
+        &mut self,
+        session: SessionId,
+        mut kind: ResponseKind,
+        rate: Rate,
+        mut restricting: LinkId,
+    ) -> Vec<Action> {
+        if !self.sessions.contains_key(&session) {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        if kind == ResponseKind::Update {
+            self.sessions.get_mut(&session).expect("checked").mu = ProbeState::WaitingProbe;
+        } else {
+            let be = self.bottleneck_rate();
+            let accepted = (restricting == self.link && self.tol.eq(rate, be))
+                || (restricting != self.link && self.tol.le(rate, be));
+            {
+                let st = self.sessions.get_mut(&session).expect("checked");
+                if accepted {
+                    st.mu = ProbeState::Idle;
+                    st.lambda = Some(rate);
+                } else {
+                    // Either this link was reported as the restriction but its
+                    // bottleneck rate has moved, or the rate now exceeds B_e.
+                    kind = ResponseKind::Update;
+                    st.mu = ProbeState::WaitingProbe;
+                }
+            }
+            // Bottleneck detection: every restricted session is idle at B_e.
+            let be = self.bottleneck_rate();
+            let all_settled = !self.restricted.is_empty()
+                && self.restricted.iter().all(|r| {
+                    let st = &self.sessions[r];
+                    st.mu.is_idle()
+                        && st.lambda.map(|l| self.tol.eq(l, be)).unwrap_or(false)
+                });
+            if all_settled {
+                kind = ResponseKind::Bottleneck;
+                restricting = self.link;
+                for r in self.restricted.iter().copied().collect::<Vec<_>>() {
+                    if r != session {
+                        actions.push(Action::SendUpstream(Packet::Bottleneck { session: r }));
+                    }
+                }
+            }
+        }
+        actions.push(Action::SendUpstream(Packet::Response {
+            session,
+            kind,
+            rate,
+            restricting,
+        }));
+        actions
+    }
+
+    /// Figure 2, lines 38–40.
+    fn on_update(&mut self, session: SessionId) -> Vec<Action> {
+        let Some(st) = self.sessions.get_mut(&session) else {
+            return Vec::new();
+        };
+        if st.mu.is_idle() {
+            st.mu = ProbeState::WaitingProbe;
+            vec![Action::SendUpstream(Packet::Update { session })]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Figure 2, lines 42–43.
+    fn on_bottleneck(&mut self, session: SessionId) -> Vec<Action> {
+        let Some(st) = self.sessions.get(&session) else {
+            return Vec::new();
+        };
+        if st.mu.is_idle() && self.restricted.contains(&session) {
+            vec![Action::SendUpstream(Packet::Bottleneck { session })]
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Figure 2, lines 45–55.
+    fn on_set_bottleneck(&mut self, session: SessionId, found: bool) -> Vec<Action> {
+        if !self.sessions.contains_key(&session) {
+            return Vec::new();
+        }
+        let mut actions = Vec::new();
+        let be = self.bottleneck_rate();
+        let all_settled = self.restricted.iter().all(|r| {
+            let st = &self.sessions[r];
+            st.mu.is_idle() && st.lambda.map(|l| self.tol.eq(l, be)).unwrap_or(false)
+        });
+        let st = self.sessions[&session];
+        if all_settled {
+            // This link is (or imposes no objection to being) a bottleneck for
+            // its restricted sessions: confirm the bottleneck downstream.
+            actions.push(Action::SendDownstream(Packet::SetBottleneck {
+                session,
+                found: true,
+            }));
+        } else if st.mu.is_idle()
+            && st.lambda.map(|l| self.tol.lt(l, be)).unwrap_or(false)
+        {
+            // The session is restricted elsewhere: move it to F_e and wake the
+            // sessions that may now increase their rate.
+            let to_update: Vec<SessionId> = self
+                .restricted
+                .iter()
+                .filter(|r| **r != session)
+                .filter(|r| {
+                    let st = &self.sessions[r];
+                    st.mu.is_idle() && st.lambda.map(|l| self.tol.eq(l, be)).unwrap_or(false)
+                })
+                .copied()
+                .collect();
+            for r in to_update {
+                self.sessions.get_mut(&r).expect("session exists").mu = ProbeState::WaitingProbe;
+                actions.push(Action::SendUpstream(Packet::Update { session: r }));
+            }
+            self.restricted.remove(&session);
+            self.unrestricted.insert(session);
+            actions.push(Action::SendDownstream(Packet::SetBottleneck { session, found }));
+        } else if st.mu.is_idle() && st.lambda.map(|l| self.tol.eq(l, be)).unwrap_or(false) {
+            actions.push(Action::SendDownstream(Packet::SetBottleneck { session, found }));
+        }
+        // Otherwise the packet is absorbed: a Probe cycle for this session is
+        // in flight and will settle the rate again.
+        actions
+    }
+
+    /// Figure 2, lines 57–62.
+    fn on_leave(&mut self, session: SessionId) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let be = self.bottleneck_rate();
+        let to_update: Vec<SessionId> = self
+            .restricted
+            .iter()
+            .filter(|r| **r != session)
+            .filter(|r| {
+                let st = &self.sessions[r];
+                st.mu.is_idle() && st.lambda.map(|l| self.tol.eq(l, be)).unwrap_or(false)
+            })
+            .copied()
+            .collect();
+        self.restricted.remove(&session);
+        self.unrestricted.remove(&session);
+        self.sessions.remove(&session);
+        for r in to_update {
+            self.sessions.get_mut(&r).expect("session exists").mu = ProbeState::WaitingProbe;
+            actions.push(Action::SendUpstream(Packet::Update { session: r }));
+        }
+        actions.push(Action::SendDownstream(Packet::Leave { session }));
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CAP: Rate = 100e6;
+
+    fn link() -> RouterLink {
+        RouterLink::new(LinkId(7), CAP, Tolerance::default())
+    }
+
+    fn join(s: u64, rate: Rate) -> Packet {
+        Packet::Join {
+            session: SessionId(s),
+            rate,
+            restricting: LinkId(0),
+        }
+    }
+
+    fn response(s: u64, kind: ResponseKind, rate: Rate, restricting: LinkId) -> Packet {
+        Packet::Response {
+            session: SessionId(s),
+            kind,
+            rate,
+            restricting,
+        }
+    }
+
+    #[test]
+    fn join_lowers_the_advertised_rate_to_be() {
+        let mut rl = link();
+        let actions = rl.handle(join(1, 500e6));
+        assert_eq!(actions.len(), 1);
+        match actions[0] {
+            Action::SendDownstream(Packet::Join {
+                session,
+                rate,
+                restricting,
+            }) => {
+                assert_eq!(session, SessionId(1));
+                assert_eq!(rate, CAP); // one session: B_e = C_e
+                assert_eq!(restricting, LinkId(7));
+            }
+            ref other => panic!("unexpected action {other:?}"),
+        }
+        assert_eq!(rl.probe_state(SessionId(1)), Some(ProbeState::WaitingResponse));
+        assert_eq!(rl.restricted().count(), 1);
+    }
+
+    #[test]
+    fn join_keeps_a_smaller_upstream_restriction() {
+        let mut rl = link();
+        let actions = rl.handle(join(1, 10e6));
+        match actions[0] {
+            Action::SendDownstream(Packet::Join {
+                rate, restricting, ..
+            }) => {
+                assert_eq!(rate, 10e6);
+                assert_eq!(restricting, LinkId(0));
+            }
+            ref other => panic!("unexpected action {other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_join_splits_the_bottleneck_rate() {
+        let mut rl = link();
+        rl.handle(join(1, 500e6));
+        let actions = rl.handle(join(2, 500e6));
+        match actions.last().unwrap() {
+            Action::SendDownstream(Packet::Join { rate, .. }) => {
+                assert!((rate - 50e6).abs() < 1e-3);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert!((rl.bottleneck_rate() - 50e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn response_matching_be_becomes_idle_and_detects_bottleneck() {
+        let mut rl = link();
+        rl.handle(join(1, 500e6));
+        let actions = rl.handle(response(1, ResponseKind::Response, CAP, LinkId(7)));
+        // Single session at B_e: the link declares itself a bottleneck.
+        assert_eq!(actions.len(), 1);
+        match actions[0] {
+            Action::SendUpstream(Packet::Response { kind, restricting, .. }) => {
+                assert_eq!(kind, ResponseKind::Bottleneck);
+                assert_eq!(restricting, LinkId(7));
+            }
+            ref other => panic!("unexpected action {other:?}"),
+        }
+        assert_eq!(rl.probe_state(SessionId(1)), Some(ProbeState::Idle));
+        assert_eq!(rl.assigned_rate(SessionId(1)), Some(CAP));
+        assert!(rl.is_stable());
+    }
+
+    #[test]
+    fn response_with_stale_restriction_requests_update() {
+        let mut rl = link();
+        rl.handle(join(1, 500e6));
+        rl.handle(join(2, 500e6));
+        // Session 1's response claims this link restricted it at 100 Mbps, but
+        // with two sessions B_e is now 50 Mbps: the link asks for a new probe.
+        let actions = rl.handle(response(1, ResponseKind::Response, CAP, LinkId(7)));
+        match actions.last().unwrap() {
+            Action::SendUpstream(Packet::Response { kind, .. }) => {
+                assert_eq!(*kind, ResponseKind::Update);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert_eq!(rl.probe_state(SessionId(1)), Some(ProbeState::WaitingProbe));
+    }
+
+    #[test]
+    fn response_restricted_elsewhere_below_be_is_accepted() {
+        let mut rl = link();
+        rl.handle(join(1, 500e6));
+        rl.handle(join(2, 500e6));
+        let actions = rl.handle(response(1, ResponseKind::Response, 20e6, LinkId(3)));
+        match actions.last().unwrap() {
+            Action::SendUpstream(Packet::Response { kind, rate, .. }) => {
+                assert_eq!(*kind, ResponseKind::Response);
+                assert_eq!(*rate, 20e6);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert_eq!(rl.assigned_rate(SessionId(1)), Some(20e6));
+        assert_eq!(rl.probe_state(SessionId(1)), Some(ProbeState::Idle));
+    }
+
+    #[test]
+    fn bottleneck_detection_notifies_other_restricted_sessions() {
+        let mut rl = link();
+        rl.handle(join(1, 500e6));
+        rl.handle(join(2, 500e6));
+        // Both sessions settle at the 50 Mbps bottleneck rate.
+        rl.handle(response(1, ResponseKind::Response, 50e6, LinkId(7)));
+        let actions = rl.handle(response(2, ResponseKind::Response, 50e6, LinkId(7)));
+        let bottleneck_notifications: Vec<_> = actions
+            .iter()
+            .filter(|a| matches!(a, Action::SendUpstream(Packet::Bottleneck { .. })))
+            .collect();
+        assert_eq!(bottleneck_notifications.len(), 1);
+        match actions.last().unwrap() {
+            Action::SendUpstream(Packet::Response { kind, .. }) => {
+                assert_eq!(*kind, ResponseKind::Bottleneck);
+            }
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert!(rl.is_stable());
+    }
+
+    #[test]
+    fn update_only_propagates_for_idle_sessions() {
+        let mut rl = link();
+        rl.handle(join(1, 500e6));
+        // Session still waiting for its response: update is absorbed.
+        assert!(rl
+            .handle(Packet::Update {
+                session: SessionId(1)
+            })
+            .is_empty());
+        rl.handle(response(1, ResponseKind::Response, CAP, LinkId(7)));
+        let actions = rl.handle(Packet::Update {
+            session: SessionId(1),
+        });
+        assert_eq!(
+            actions,
+            vec![Action::SendUpstream(Packet::Update {
+                session: SessionId(1)
+            })]
+        );
+        assert_eq!(rl.probe_state(SessionId(1)), Some(ProbeState::WaitingProbe));
+        // A second update while waiting for the probe is absorbed.
+        assert!(rl
+            .handle(Packet::Update {
+                session: SessionId(1)
+            })
+            .is_empty());
+    }
+
+    #[test]
+    fn probe_moves_session_back_from_unrestricted() {
+        let mut rl = link();
+        rl.handle(join(1, 500e6));
+        rl.handle(join(2, 500e6));
+        rl.handle(response(1, ResponseKind::Response, 20e6, LinkId(3)));
+        rl.handle(response(2, ResponseKind::Response, 50e6, LinkId(7)));
+        // Pretend session 1 was moved to F_e by a SetBottleneck.
+        rl.handle(Packet::SetBottleneck {
+            session: SessionId(1),
+            found: true,
+        });
+        assert_eq!(rl.unrestricted().collect::<Vec<_>>(), vec![SessionId(1)]);
+        // A new probe for session 1 pulls it back into R_e.
+        let actions = rl.handle(Packet::Probe {
+            session: SessionId(1),
+            rate: 500e6,
+            restricting: LinkId(0),
+        });
+        assert!(rl.restricted().any(|s| s == SessionId(1)));
+        assert!(matches!(
+            actions.last().unwrap(),
+            Action::SendDownstream(Packet::Probe { .. })
+        ));
+    }
+
+    #[test]
+    fn set_bottleneck_moves_unrestricted_session_and_wakes_the_rest() {
+        let mut rl = link();
+        rl.handle(join(1, 500e6));
+        rl.handle(join(2, 500e6));
+        // Session 1 is restricted elsewhere at 20 Mbps; session 2 settles at
+        // this link's rate.
+        rl.handle(response(1, ResponseKind::Response, 20e6, LinkId(3)));
+        rl.handle(response(2, ResponseKind::Response, 50e6, LinkId(7)));
+        let actions = rl.handle(Packet::SetBottleneck {
+            session: SessionId(1),
+            found: true,
+        });
+        // Session 1 moves to F_e; session 2 (idle at the old B_e) is asked to
+        // re-probe because its share can now grow to 80 Mbps.
+        assert_eq!(rl.unrestricted().collect::<Vec<_>>(), vec![SessionId(1)]);
+        assert!(actions.contains(&Action::SendUpstream(Packet::Update {
+            session: SessionId(2)
+        })));
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            Action::SendDownstream(Packet::SetBottleneck { .. })
+        )));
+        assert!((rl.bottleneck_rate() - 80e6).abs() < 1e-3);
+    }
+
+    #[test]
+    fn set_bottleneck_confirms_when_link_is_a_bottleneck() {
+        let mut rl = link();
+        rl.handle(join(1, 500e6));
+        rl.handle(response(1, ResponseKind::Response, CAP, LinkId(7)));
+        let actions = rl.handle(Packet::SetBottleneck {
+            session: SessionId(1),
+            found: false,
+        });
+        assert_eq!(
+            actions,
+            vec![Action::SendDownstream(Packet::SetBottleneck {
+                session: SessionId(1),
+                found: true
+            })]
+        );
+    }
+
+    #[test]
+    fn leave_releases_bandwidth_and_wakes_survivors() {
+        let mut rl = link();
+        rl.handle(join(1, 500e6));
+        rl.handle(join(2, 500e6));
+        rl.handle(response(1, ResponseKind::Response, 50e6, LinkId(7)));
+        rl.handle(response(2, ResponseKind::Response, 50e6, LinkId(7)));
+        let actions = rl.handle(Packet::Leave {
+            session: SessionId(1),
+        });
+        assert!(actions.contains(&Action::SendUpstream(Packet::Update {
+            session: SessionId(2)
+        })));
+        assert!(actions.contains(&Action::SendDownstream(Packet::Leave {
+            session: SessionId(1)
+        })));
+        assert_eq!(rl.session_count(), 1);
+        assert!((rl.bottleneck_rate() - CAP).abs() < 1e-3);
+    }
+
+    #[test]
+    fn packets_for_unknown_sessions_are_dropped() {
+        let mut rl = link();
+        assert!(rl
+            .handle(Packet::Update {
+                session: SessionId(9)
+            })
+            .is_empty());
+        assert!(rl
+            .handle(Packet::Bottleneck {
+                session: SessionId(9)
+            })
+            .is_empty());
+        assert!(rl
+            .handle(Packet::SetBottleneck {
+                session: SessionId(9),
+                found: true
+            })
+            .is_empty());
+        assert!(rl
+            .handle(response(9, ResponseKind::Response, 1.0, LinkId(0)))
+            .is_empty());
+        // Leave still forwards so downstream links can clean up.
+        let actions = rl.handle(Packet::Leave {
+            session: SessionId(9),
+        });
+        assert_eq!(actions.len(), 1);
+    }
+
+    #[test]
+    fn process_new_restricted_reclaims_sessions_that_reach_be() {
+        let mut rl = link();
+        // Three sessions: session 1 is restricted elsewhere at 25 Mbps,
+        // sessions 2 and 3 settle at this link's bottleneck rate.
+        rl.handle(join(1, 500e6));
+        rl.handle(join(2, 500e6));
+        rl.handle(join(3, 500e6));
+        rl.handle(response(1, ResponseKind::Response, 25e6, LinkId(3)));
+        rl.handle(response(2, ResponseKind::Response, CAP / 3.0, LinkId(7)));
+        rl.handle(response(3, ResponseKind::Response, CAP / 3.0, LinkId(7)));
+        // Session 1's SetBottleneck parks it in F_e and wakes 2 and 3, whose
+        // share grows to 37.5 Mbps; let their probe cycles complete.
+        rl.handle(Packet::SetBottleneck {
+            session: SessionId(1),
+            found: true,
+        });
+        assert!(rl.unrestricted().any(|s| s == SessionId(1)));
+        for s in [2u64, 3u64] {
+            rl.handle(Packet::Probe {
+                session: SessionId(s),
+                rate: 500e6,
+                restricting: LinkId(0),
+            });
+            rl.handle(response(s, ResponseKind::Response, 37.5e6, LinkId(7)));
+        }
+        assert!((rl.bottleneck_rate() - 37.5e6).abs() < 1e-3);
+        // A fourth join makes B_e drop to 25 Mbps, level with session 1's
+        // parked rate, so ProcessNewRestricted pulls it back into R_e and asks
+        // the sessions idle above the new B_e to re-probe.
+        let actions = rl.handle(join(4, 500e6));
+        assert!(rl.restricted().any(|s| s == SessionId(1)));
+        assert!((rl.bottleneck_rate() - 25e6).abs() < 1e-3);
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::SendUpstream(Packet::Update { .. }))));
+    }
+
+    #[test]
+    fn bottleneck_packet_forwarded_only_for_idle_restricted_sessions() {
+        let mut rl = link();
+        rl.handle(join(1, 500e6));
+        rl.handle(response(1, ResponseKind::Response, CAP, LinkId(7)));
+        let forwarded = rl.handle(Packet::Bottleneck {
+            session: SessionId(1),
+        });
+        assert_eq!(forwarded.len(), 1);
+        // While a probe is pending the packet is absorbed.
+        rl.handle(Packet::Update {
+            session: SessionId(1),
+        });
+        assert!(rl
+            .handle(Packet::Bottleneck {
+                session: SessionId(1)
+            })
+            .is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Common vocabulary shared by the three protocol tasks.
+//!
+//! Every task handler is a pure function from an input (an API primitive or a
+//! received packet) to a list of [`Action`]s. The simulation harness turns
+//! actions into packets transmitted over the network's links.
+
+use crate::packet::Packet;
+use bneck_maxmin::{Rate, SessionId};
+use serde::{Deserialize, Serialize};
+
+/// Per-session probe state at a link (`μ_e^s` in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ProbeState {
+    /// No probe activity pending for this session at this link.
+    #[default]
+    Idle,
+    /// The link asked the session (through an `Update`) to start a new Probe
+    /// cycle and is waiting for the corresponding `Probe` to come through.
+    WaitingProbe,
+    /// A `Join`/`Probe` went downstream through this link and the link is
+    /// waiting for the matching `Response`.
+    WaitingResponse,
+}
+
+impl ProbeState {
+    /// `true` when the state is [`ProbeState::Idle`].
+    pub fn is_idle(self) -> bool {
+        matches!(self, ProbeState::Idle)
+    }
+}
+
+/// An effect produced by a task handler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Send a packet downstream (towards the session's destination).
+    SendDownstream(Packet),
+    /// Send a packet upstream (towards the session's source).
+    SendUpstream(Packet),
+    /// Invoke `API.Rate(session, rate)`: notify the application of its rate.
+    NotifyRate {
+        /// The session being notified.
+        session: SessionId,
+        /// The rate assigned to the session.
+        rate: Rate,
+    },
+}
+
+impl Action {
+    /// The packet carried by this action, if it is a send.
+    pub fn packet(&self) -> Option<&Packet> {
+        match self {
+            Action::SendDownstream(p) | Action::SendUpstream(p) => Some(p),
+            Action::NotifyRate { .. } => None,
+        }
+    }
+}
+
+/// A recorded `API.Rate` notification (used by the harness to keep the rate
+/// history of every session).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RateNotification {
+    /// The notified session.
+    pub session: SessionId,
+    /// The rate communicated to the session.
+    pub rate: Rate,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bneck_net::LinkId;
+
+    #[test]
+    fn probe_state_default_is_idle() {
+        assert_eq!(ProbeState::default(), ProbeState::Idle);
+        assert!(ProbeState::Idle.is_idle());
+        assert!(!ProbeState::WaitingProbe.is_idle());
+        assert!(!ProbeState::WaitingResponse.is_idle());
+    }
+
+    #[test]
+    fn action_packet_accessor() {
+        let packet = Packet::Update {
+            session: SessionId(3),
+        };
+        assert_eq!(Action::SendUpstream(packet).packet(), Some(&packet));
+        assert_eq!(Action::SendDownstream(packet).packet(), Some(&packet));
+        assert_eq!(
+            Action::NotifyRate {
+                session: SessionId(3),
+                rate: 1.0
+            }
+            .packet(),
+            None
+        );
+        let _ = LinkId(0); // silence unused import warnings in some cfgs
+    }
+}

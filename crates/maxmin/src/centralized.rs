@@ -1,0 +1,394 @@
+//! Centralized B-Neck (Figure 1 of the paper).
+//!
+//! The algorithm discovers bottleneck links iteratively, in increasing order
+//! of their bottleneck rates. For every link it maintains the set `R_e` of
+//! sessions restricted at the link and `F_e` of sessions restricted elsewhere,
+//! computes the estimate `B_e = (C_e − Σ_{s∈F_e} λ*_s) / |R_e|`, assigns the
+//! minimum estimate to all sessions of the corresponding links, and removes
+//! those links from consideration.
+//!
+//! Maximum rate requests are modelled, as in the paper, by an additional
+//! per-session constraint with capacity `r_s` (equivalently, the effective
+//! bandwidth `D_s = min(C_e, r_s)` of the first link).
+
+use crate::rate::{Rate, Tolerance};
+use crate::session::{Allocation, SessionId, SessionSet};
+use bneck_net::{LinkId, Network};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The bottleneck structure of one link in the max-min fair allocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkBottleneck {
+    /// The link this entry describes.
+    pub link: LinkId,
+    /// The sessions restricted at this link (`R*_e`).
+    pub restricted: Vec<SessionId>,
+    /// The sessions crossing this link but restricted elsewhere (`F*_e`).
+    pub unrestricted: Vec<SessionId>,
+    /// The bottleneck rate `B*_e`; `None` when no session is restricted at
+    /// this link (in which case its bandwidth is not fully assigned).
+    pub bottleneck_rate: Option<Rate>,
+}
+
+impl LinkBottleneck {
+    /// `true` if this link is a bottleneck of the system (some session is
+    /// restricted at it).
+    pub fn is_bottleneck(&self) -> bool {
+        self.bottleneck_rate.is_some()
+    }
+}
+
+/// Result of a centralized B-Neck computation: the allocation plus the
+/// per-link bottleneck structure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CentralizedSolution {
+    /// The max-min fair rate of every session.
+    pub allocation: Allocation,
+    /// Per-link bottleneck sets, for every link crossed by at least one
+    /// session.
+    pub links: Vec<LinkBottleneck>,
+}
+
+impl CentralizedSolution {
+    /// The bottleneck entry of `link`, if the link carries any session.
+    pub fn link(&self, link: LinkId) -> Option<&LinkBottleneck> {
+        self.links.iter().find(|l| l.link == link)
+    }
+
+    /// Iterates over the links that are bottlenecks of the system.
+    pub fn bottleneck_links(&self) -> impl Iterator<Item = &LinkBottleneck> {
+        self.links.iter().filter(|l| l.is_bottleneck())
+    }
+}
+
+/// Internal constraint: a capacity shared by a set of sessions. Real links map
+/// one-to-one to constraints; finite rate limits add a per-session constraint.
+#[derive(Debug, Clone)]
+struct Constraint {
+    link: Option<LinkId>,
+    capacity: Rate,
+    restricted: BTreeSet<SessionId>,
+    unrestricted: BTreeSet<SessionId>,
+}
+
+/// The Centralized B-Neck solver (Figure 1).
+///
+/// # Example
+///
+/// ```
+/// use bneck_net::prelude::*;
+/// use bneck_maxmin::prelude::*;
+///
+/// let net = synthetic::dumbbell(2, Capacity::from_mbps(100.0),
+///                               Capacity::from_mbps(50.0), Delay::from_micros(1));
+/// let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+/// let mut router = Router::new(&net);
+/// let mut sessions = SessionSet::new();
+/// for i in 0..2 {
+///     let path = router.shortest_path(hosts[2 * i], hosts[2 * i + 1]).unwrap();
+///     sessions.insert(Session::new(SessionId(i as u64), path, RateLimit::unlimited()));
+/// }
+/// let solution = CentralizedBneck::new(&net, &sessions).solve_with_bottlenecks();
+/// assert_eq!(solution.bottleneck_links().count(), 1);
+/// assert!((solution.allocation.rate(SessionId(0)).unwrap() - 25e6).abs() < 1.0);
+/// ```
+#[derive(Debug)]
+pub struct CentralizedBneck<'a> {
+    network: &'a Network,
+    sessions: &'a SessionSet,
+    tolerance: Tolerance,
+}
+
+impl<'a> CentralizedBneck<'a> {
+    /// Creates a solver for the given network and session set.
+    pub fn new(network: &'a Network, sessions: &'a SessionSet) -> Self {
+        CentralizedBneck {
+            network,
+            sessions,
+            tolerance: Tolerance::default(),
+        }
+    }
+
+    /// Overrides the comparison tolerance.
+    pub fn with_tolerance(mut self, tolerance: Tolerance) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Computes the max-min fair allocation.
+    pub fn solve(&self) -> Allocation {
+        self.solve_with_bottlenecks().allocation
+    }
+
+    /// Computes the allocation together with each link's bottleneck sets.
+    pub fn solve_with_bottlenecks(&self) -> CentralizedSolution {
+        let tol = self.tolerance;
+        let mut rates: BTreeMap<SessionId, Rate> = BTreeMap::new();
+
+        // Build the constraints: one per used link, one per finite limit.
+        let mut constraints: Vec<Constraint> = Vec::new();
+        let mut link_constraint: HashMap<LinkId, usize> = HashMap::new();
+        for link in self.sessions.used_links() {
+            let crossing: BTreeSet<SessionId> =
+                self.sessions.sessions_on_link(link).iter().copied().collect();
+            link_constraint.insert(link, constraints.len());
+            constraints.push(Constraint {
+                link: Some(link),
+                capacity: self.network.link(link).capacity().as_bps(),
+                restricted: crossing,
+                unrestricted: BTreeSet::new(),
+            });
+        }
+        for session in self.sessions.iter() {
+            if !session.limit().is_unlimited() {
+                constraints.push(Constraint {
+                    link: None,
+                    capacity: session.limit().as_bps(),
+                    restricted: [session.id()].into_iter().collect(),
+                    unrestricted: BTreeSet::new(),
+                });
+            }
+        }
+
+        // L ← {e ∈ E : R_e ≠ ∅}
+        let mut live: BTreeSet<usize> = (0..constraints.len())
+            .filter(|i| !constraints[*i].restricted.is_empty())
+            .collect();
+
+        while !live.is_empty() {
+            // B_e ← (C_e − Σ_{s∈F_e} λ*_s) / |R_e| for each live constraint.
+            let mut estimates: BTreeMap<usize, Rate> = BTreeMap::new();
+            for &i in &live {
+                let c = &constraints[i];
+                let assigned: Rate = c
+                    .unrestricted
+                    .iter()
+                    .map(|s| rates.get(s).copied().unwrap_or(0.0))
+                    .sum();
+                let estimate = (c.capacity - assigned).max(0.0) / c.restricted.len() as f64;
+                estimates.insert(i, estimate);
+            }
+            // B ← min; L' ← argmin; X ← union of R_e over L'.
+            let min_estimate = estimates
+                .values()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            let argmin: BTreeSet<usize> = estimates
+                .iter()
+                .filter(|(_, b)| tol.eq(**b, min_estimate))
+                .map(|(i, _)| *i)
+                .collect();
+            let newly_assigned: BTreeSet<SessionId> = argmin
+                .iter()
+                .flat_map(|i| constraints[*i].restricted.iter().copied())
+                .collect();
+            for s in &newly_assigned {
+                rates.insert(*s, min_estimate);
+            }
+            // Move the newly assigned sessions to F_e on every other live
+            // constraint, and drop constraints that became empty or were just
+            // identified as bottlenecks.
+            let remaining: BTreeSet<usize> = live.difference(&argmin).copied().collect();
+            for &i in &remaining {
+                let c = &mut constraints[i];
+                let moved: Vec<SessionId> = c
+                    .restricted
+                    .intersection(&newly_assigned)
+                    .copied()
+                    .collect();
+                for s in moved {
+                    c.restricted.remove(&s);
+                    c.unrestricted.insert(s);
+                }
+            }
+            live = remaining
+                .into_iter()
+                .filter(|i| !constraints[*i].restricted.is_empty())
+                .collect();
+        }
+
+        let mut allocation = Allocation::new();
+        for (s, r) in &rates {
+            allocation.set(*s, *r);
+        }
+
+        // Report the per-link bottleneck structure (only for real links).
+        let links = constraints
+            .iter()
+            .filter_map(|c| {
+                let link = c.link?;
+                let bottleneck_rate = if c.restricted.is_empty() {
+                    None
+                } else {
+                    let assigned: Rate = c
+                        .unrestricted
+                        .iter()
+                        .map(|s| rates.get(s).copied().unwrap_or(0.0))
+                        .sum();
+                    Some((c.capacity - assigned).max(0.0) / c.restricted.len() as f64)
+                };
+                Some(LinkBottleneck {
+                    link,
+                    restricted: c.restricted.iter().copied().collect(),
+                    unrestricted: c.unrestricted.iter().copied().collect(),
+                    bottleneck_rate,
+                })
+            })
+            .collect();
+
+        CentralizedSolution { allocation, links }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::RateLimit;
+    use crate::session::Session;
+    use crate::waterfill::WaterFilling;
+    use bneck_net::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn mbps(x: f64) -> Capacity {
+        Capacity::from_mbps(x)
+    }
+    fn us(x: u64) -> Delay {
+        Delay::from_micros(x)
+    }
+
+    fn dumbbell_sessions(pairs: usize, bottleneck_mbps: f64) -> (Network, SessionSet) {
+        let net = synthetic::dumbbell(pairs, mbps(100.0), mbps(bottleneck_mbps), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut router = Router::new(&net);
+        let mut set = SessionSet::new();
+        for i in 0..pairs {
+            let path = router.shortest_path(hosts[2 * i], hosts[2 * i + 1]).unwrap();
+            set.insert(Session::new(SessionId(i as u64), path, RateLimit::unlimited()));
+        }
+        (net, set)
+    }
+
+    #[test]
+    fn splits_a_shared_bottleneck_evenly() {
+        let (net, sessions) = dumbbell_sessions(5, 100.0);
+        let alloc = CentralizedBneck::new(&net, &sessions).solve();
+        for i in 0..5 {
+            assert!((alloc.rate(SessionId(i)).unwrap() - 20e6).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn respects_rate_limits() {
+        let (net, mut sessions) = dumbbell_sessions(3, 90.0);
+        sessions.change_limit(SessionId(0), RateLimit::finite(10e6));
+        let alloc = CentralizedBneck::new(&net, &sessions).solve();
+        assert!((alloc.rate(SessionId(0)).unwrap() - 10e6).abs() < 1.0);
+        assert!((alloc.rate(SessionId(1)).unwrap() - 40e6).abs() < 1.0);
+        assert!((alloc.rate(SessionId(2)).unwrap() - 40e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn reports_bottleneck_structure() {
+        let (net, sessions) = dumbbell_sessions(2, 50.0);
+        let solution = CentralizedBneck::new(&net, &sessions).solve_with_bottlenecks();
+        // Exactly one system bottleneck: the shared 50 Mbps link.
+        let bottlenecks: Vec<_> = solution.bottleneck_links().collect();
+        assert_eq!(bottlenecks.len(), 1);
+        let b = bottlenecks[0];
+        assert_eq!(b.restricted.len(), 2);
+        assert!(b.unrestricted.is_empty());
+        assert!((b.bottleneck_rate.unwrap() - 25e6).abs() < 1.0);
+        // Access links carry one session each, restricted elsewhere.
+        let access = solution
+            .links
+            .iter()
+            .filter(|l| !l.is_bottleneck())
+            .count();
+        assert!(access > 0);
+        assert!(solution.link(b.link).is_some());
+    }
+
+    #[test]
+    fn empty_sessions_empty_solution() {
+        let (net, _) = dumbbell_sessions(1, 50.0);
+        let empty = SessionSet::new();
+        let solution = CentralizedBneck::new(&net, &empty).solve_with_bottlenecks();
+        assert!(solution.allocation.is_empty());
+        assert!(solution.links.is_empty());
+    }
+
+    #[test]
+    fn agrees_with_water_filling_on_dependent_bottlenecks() {
+        // Chain of routers with crossing sessions of different lengths.
+        let net = synthetic::parking_lot(4, mbps(100.0), mbps(50.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut router = Router::new(&net);
+        let mut sessions = SessionSet::new();
+        // Long session end to end plus short ones on each segment.
+        sessions.insert(Session::new(
+            SessionId(0),
+            router.shortest_path(hosts[0], hosts[4]).unwrap(),
+            RateLimit::unlimited(),
+        ));
+        for i in 0..4 {
+            sessions.insert(Session::new(
+                SessionId(1 + i as u64),
+                router.shortest_path(hosts[i], hosts[i + 1]).unwrap(),
+                RateLimit::unlimited(),
+            ));
+        }
+        let a = CentralizedBneck::new(&net, &sessions).solve();
+        let b = WaterFilling::new(&net, &sessions).solve();
+        for s in sessions.iter() {
+            let ra = a.rate(s.id()).unwrap();
+            let rb = b.rate(s.id()).unwrap();
+            assert!(
+                (ra - rb).abs() <= 1.0,
+                "session {}: centralized {} vs waterfill {}",
+                s.id(),
+                ra,
+                rb
+            );
+        }
+    }
+
+    #[test]
+    fn random_transit_stub_agrees_with_water_filling() {
+        let net = bneck_net::topology::transit_stub::paper_network(
+            NetworkSize::Small,
+            60,
+            DelayModel::Lan,
+            17,
+        );
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut router = Router::new(&net);
+        let mut sessions = SessionSet::new();
+        let mut id = 0u64;
+        for chunk in hosts.chunks(2) {
+            if chunk.len() < 2 {
+                break;
+            }
+            if let Some(path) = router.shortest_path(chunk[0], chunk[1]) {
+                let limit = if rng.gen_bool(0.3) {
+                    RateLimit::finite(rng.gen_range(1e6..50e6))
+                } else {
+                    RateLimit::unlimited()
+                };
+                sessions.insert(Session::new(SessionId(id), path, limit));
+                id += 1;
+            }
+        }
+        assert!(sessions.len() >= 20);
+        let a = CentralizedBneck::new(&net, &sessions).solve();
+        let b = WaterFilling::new(&net, &sessions).solve();
+        for s in sessions.iter() {
+            let ra = a.rate(s.id()).unwrap();
+            let rb = b.rate(s.id()).unwrap();
+            let rel = (ra - rb).abs() / ra.max(rb).max(1.0);
+            assert!(rel < 1e-6, "session {} mismatch: {} vs {}", s.id(), ra, rb);
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Sessions and session sets.
+
+use crate::rate::{Rate, RateLimit};
+use bneck_net::{LinkId, Path};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Identifier of a session.
+///
+/// Session identifiers are chosen by the creator of the session (the workload
+/// generator uses consecutive integers); they only need to be unique among
+/// concurrently active sessions.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A session: a static path from a source host to a destination host plus the
+/// maximum rate the session requests.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Session {
+    id: SessionId,
+    path: Path,
+    limit: RateLimit,
+}
+
+impl Session {
+    /// Creates a session with the given identifier, path `π(s)` and maximum
+    /// requested rate `r_s`.
+    pub fn new(id: SessionId, path: Path, limit: RateLimit) -> Self {
+        Session { id, path, limit }
+    }
+
+    /// The session's identifier.
+    pub fn id(&self) -> SessionId {
+        self.id
+    }
+
+    /// The session's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The maximum rate the session requests.
+    pub fn limit(&self) -> RateLimit {
+        self.limit
+    }
+
+    /// Replaces the maximum requested rate (models `API.Change`).
+    pub fn set_limit(&mut self, limit: RateLimit) {
+        self.limit = limit;
+    }
+}
+
+/// An indexed collection of active sessions.
+///
+/// Besides storing sessions by identifier, a `SessionSet` maintains the
+/// reverse index from links to the sessions that cross them (`S_e` in the
+/// paper), which every max-min algorithm needs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SessionSet {
+    sessions: BTreeMap<SessionId, Session>,
+    by_link: HashMap<LinkId, Vec<SessionId>>,
+}
+
+impl SessionSet {
+    /// Creates an empty session set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of active sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when no session is active.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Adds (or replaces) a session. Returns the previous session with the
+    /// same identifier, if any.
+    pub fn insert(&mut self, session: Session) -> Option<Session> {
+        let prev = self.remove(session.id());
+        for &link in session.path().links() {
+            self.by_link.entry(link).or_default().push(session.id());
+        }
+        self.sessions.insert(session.id(), session);
+        prev
+    }
+
+    /// Removes a session, returning it if it was present.
+    pub fn remove(&mut self, id: SessionId) -> Option<Session> {
+        let session = self.sessions.remove(&id)?;
+        for &link in session.path().links() {
+            if let Some(v) = self.by_link.get_mut(&link) {
+                v.retain(|s| *s != id);
+                if v.is_empty() {
+                    self.by_link.remove(&link);
+                }
+            }
+        }
+        Some(session)
+    }
+
+    /// Looks up a session by identifier.
+    pub fn get(&self, id: SessionId) -> Option<&Session> {
+        self.sessions.get(&id)
+    }
+
+    /// Changes the maximum requested rate of a session (models `API.Change`).
+    ///
+    /// Returns `false` if the session is not present.
+    pub fn change_limit(&mut self, id: SessionId, limit: RateLimit) -> bool {
+        match self.sessions.get_mut(&id) {
+            Some(s) => {
+                s.set_limit(limit);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Iterates over sessions in identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = &Session> {
+        self.sessions.values()
+    }
+
+    /// The sessions crossing `link` (`S_e`), in insertion order.
+    pub fn sessions_on_link(&self, link: LinkId) -> &[SessionId] {
+        self.by_link.get(&link).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Iterates over the links crossed by at least one session.
+    pub fn used_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.by_link.keys().copied()
+    }
+}
+
+impl FromIterator<Session> for SessionSet {
+    fn from_iter<T: IntoIterator<Item = Session>>(iter: T) -> Self {
+        let mut set = SessionSet::new();
+        for s in iter {
+            set.insert(s);
+        }
+        set
+    }
+}
+
+impl Extend<Session> for SessionSet {
+    fn extend<T: IntoIterator<Item = Session>>(&mut self, iter: T) {
+        for s in iter {
+            self.insert(s);
+        }
+    }
+}
+
+/// A rate allocation: the rate assigned to each session.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Allocation {
+    rates: BTreeMap<SessionId, Rate>,
+}
+
+impl Allocation {
+    /// Creates an empty allocation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the rate of a session.
+    pub fn set(&mut self, id: SessionId, rate: Rate) {
+        self.rates.insert(id, rate);
+    }
+
+    /// The rate assigned to a session, if any.
+    pub fn rate(&self, id: SessionId) -> Option<Rate> {
+        self.rates.get(&id).copied()
+    }
+
+    /// Number of sessions with an assigned rate.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// `true` when no session has an assigned rate.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Iterates over `(session, rate)` pairs in session-identifier order.
+    pub fn iter(&self) -> impl Iterator<Item = (SessionId, Rate)> + '_ {
+        self.rates.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// The sum of the assigned rates of the given sessions (missing sessions
+    /// contribute zero).
+    pub fn sum_over<'a>(&self, sessions: impl IntoIterator<Item = &'a SessionId>) -> Rate {
+        sessions
+            .into_iter()
+            .filter_map(|s| self.rate(*s))
+            .sum()
+    }
+}
+
+impl FromIterator<(SessionId, Rate)> for Allocation {
+    fn from_iter<T: IntoIterator<Item = (SessionId, Rate)>>(iter: T) -> Self {
+        Allocation {
+            rates: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bneck_net::prelude::*;
+
+    fn star_sessions(hosts: usize) -> (Network, SessionSet) {
+        let net = synthetic::star(hosts, Capacity::from_mbps(100.0), Delay::from_micros(1));
+        let ids: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut router = Router::new(&net);
+        let mut set = SessionSet::new();
+        for i in 0..hosts - 1 {
+            let path = router.shortest_path(ids[i], ids[i + 1]).unwrap();
+            set.insert(Session::new(SessionId(i as u64), path, RateLimit::unlimited()));
+        }
+        (net, set)
+    }
+
+    #[test]
+    fn insert_remove_and_lookup() {
+        let (_net, mut set) = star_sessions(4);
+        assert_eq!(set.len(), 3);
+        assert!(set.get(SessionId(1)).is_some());
+        let removed = set.remove(SessionId(1)).unwrap();
+        assert_eq!(removed.id(), SessionId(1));
+        assert_eq!(set.len(), 2);
+        assert!(set.get(SessionId(1)).is_none());
+        assert!(set.remove(SessionId(1)).is_none());
+    }
+
+    #[test]
+    fn link_index_tracks_membership() {
+        let (net, mut set) = star_sessions(3);
+        // Sessions 0: h0->h1, 1: h1->h2. The link h1->hub carries session 1,
+        // and the link hub->h1 carries session 0.
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let hub = net.routers().next().unwrap().id();
+        let up = net.link_between(hosts[1], hub).unwrap();
+        let down = net.link_between(hub, hosts[1]).unwrap();
+        assert_eq!(set.sessions_on_link(up), &[SessionId(1)]);
+        assert_eq!(set.sessions_on_link(down), &[SessionId(0)]);
+        set.remove(SessionId(1));
+        assert!(set.sessions_on_link(up).is_empty());
+        assert_eq!(set.used_links().count(), 2);
+    }
+
+    #[test]
+    fn reinserting_replaces_previous_session() {
+        let (_net, mut set) = star_sessions(3);
+        let existing = set.get(SessionId(0)).unwrap().clone();
+        let mut replacement = existing.clone();
+        replacement.set_limit(RateLimit::finite(1e6));
+        let prev = set.insert(replacement).unwrap();
+        assert_eq!(prev, existing);
+        assert_eq!(set.len(), 2);
+        assert_eq!(
+            set.get(SessionId(0)).unwrap().limit(),
+            RateLimit::finite(1e6)
+        );
+    }
+
+    #[test]
+    fn change_limit() {
+        let (_net, mut set) = star_sessions(3);
+        assert!(set.change_limit(SessionId(0), RateLimit::finite(5e6)));
+        assert_eq!(
+            set.get(SessionId(0)).unwrap().limit(),
+            RateLimit::finite(5e6)
+        );
+        assert!(!set.change_limit(SessionId(99), RateLimit::unlimited()));
+    }
+
+    #[test]
+    fn allocation_sums() {
+        let mut alloc = Allocation::new();
+        alloc.set(SessionId(0), 10.0);
+        alloc.set(SessionId(1), 20.0);
+        assert_eq!(alloc.rate(SessionId(0)), Some(10.0));
+        assert_eq!(alloc.rate(SessionId(7)), None);
+        assert_eq!(alloc.len(), 2);
+        let ids = [SessionId(0), SessionId(1), SessionId(7)];
+        assert_eq!(alloc.sum_over(ids.iter()), 30.0);
+        let from_iter: Allocation = vec![(SessionId(3), 1.0)].into_iter().collect();
+        assert_eq!(from_iter.rate(SessionId(3)), Some(1.0));
+    }
+
+    #[test]
+    fn session_set_collects_from_iterator() {
+        let (_net, set) = star_sessions(5);
+        let rebuilt: SessionSet = set.iter().cloned().collect();
+        assert_eq!(rebuilt.len(), set.len());
+    }
+}

@@ -1,0 +1,280 @@
+//! The classic progressive-filling (Water-Filling) algorithm.
+//!
+//! Water-Filling raises the rate of every session simultaneously until a link
+//! saturates or a session reaches its requested maximum; saturated sessions
+//! are frozen and the process repeats with the remaining ones. It computes the
+//! same allocation as [`crate::centralized::CentralizedBneck`] and is kept as
+//! an independent implementation so the two can cross-validate each other in
+//! property tests (mirroring how the paper validates B-Neck against "a
+//! centralized algorithm similar to the Water-Filling algorithm").
+
+use crate::rate::{Rate, Tolerance};
+use crate::session::{Allocation, SessionId, SessionSet};
+use bneck_net::{LinkId, Network};
+use std::collections::HashMap;
+
+/// Progressive-filling max-min solver.
+///
+/// # Example
+///
+/// ```
+/// use bneck_net::prelude::*;
+/// use bneck_maxmin::prelude::*;
+///
+/// let net = synthetic::dumbbell(2, Capacity::from_mbps(100.0),
+///                               Capacity::from_mbps(60.0), Delay::from_micros(1));
+/// let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+/// let mut router = Router::new(&net);
+/// let mut sessions = SessionSet::new();
+/// for i in 0..2 {
+///     let path = router.shortest_path(hosts[2 * i], hosts[2 * i + 1]).unwrap();
+///     sessions.insert(Session::new(SessionId(i as u64), path, RateLimit::unlimited()));
+/// }
+/// let allocation = WaterFilling::new(&net, &sessions).solve();
+/// // The 60 Mbps bottleneck is split evenly.
+/// assert!((allocation.rate(SessionId(0)).unwrap() - 30e6).abs() < 1.0);
+/// ```
+#[derive(Debug)]
+pub struct WaterFilling<'a> {
+    network: &'a Network,
+    sessions: &'a SessionSet,
+    tolerance: Tolerance,
+}
+
+impl<'a> WaterFilling<'a> {
+    /// Creates a solver for the given network and session set.
+    pub fn new(network: &'a Network, sessions: &'a SessionSet) -> Self {
+        WaterFilling {
+            network,
+            sessions,
+            tolerance: Tolerance::default(),
+        }
+    }
+
+    /// Overrides the comparison tolerance.
+    pub fn with_tolerance(mut self, tolerance: Tolerance) -> Self {
+        self.tolerance = tolerance;
+        self
+    }
+
+    /// Computes the max-min fair allocation.
+    pub fn solve(&self) -> Allocation {
+        let tol = self.tolerance;
+        let mut allocation = Allocation::new();
+        if self.sessions.is_empty() {
+            return allocation;
+        }
+
+        // Active sessions all share the same current "water level".
+        let mut active: Vec<SessionId> = self.sessions.iter().map(|s| s.id()).collect();
+        let mut frozen_rate: HashMap<SessionId, Rate> = HashMap::new();
+        // Per used link: capacity and the number of active sessions on it.
+        let used_links: Vec<LinkId> = self.sessions.used_links().collect();
+        let mut level: Rate = 0.0;
+
+        while !active.is_empty() {
+            // The highest level each link allows for its active sessions.
+            let mut next_level: Rate = f64::INFINITY;
+            for &link in &used_links {
+                let on_link = self.sessions.sessions_on_link(link);
+                let active_count = on_link
+                    .iter()
+                    .filter(|s| !frozen_rate.contains_key(s))
+                    .count();
+                if active_count == 0 {
+                    continue;
+                }
+                let frozen_sum: Rate = on_link
+                    .iter()
+                    .filter_map(|s| frozen_rate.get(s))
+                    .sum();
+                let cap = self.network.link(link).capacity().as_bps();
+                let allowed = (cap - frozen_sum).max(0.0) / active_count as f64;
+                next_level = next_level.min(allowed);
+            }
+            // Sessions may also freeze because they reach their own limit.
+            for id in &active {
+                let limit = self.sessions.get(*id).expect("active session exists").limit();
+                next_level = next_level.min(limit.as_bps());
+            }
+
+            level = next_level.max(level);
+
+            // Freeze sessions that hit their limit or sit on a saturated link.
+            let mut saturated_links: Vec<LinkId> = Vec::new();
+            for &link in &used_links {
+                let on_link = self.sessions.sessions_on_link(link);
+                let active_count = on_link
+                    .iter()
+                    .filter(|s| !frozen_rate.contains_key(s))
+                    .count();
+                if active_count == 0 {
+                    continue;
+                }
+                let frozen_sum: Rate = on_link
+                    .iter()
+                    .filter_map(|s| frozen_rate.get(s))
+                    .sum();
+                let cap = self.network.link(link).capacity().as_bps();
+                let total = frozen_sum + active_count as f64 * level;
+                if tol.ge(total, cap) {
+                    saturated_links.push(link);
+                }
+            }
+            let mut newly_frozen: Vec<SessionId> = Vec::new();
+            for id in &active {
+                let session = self.sessions.get(*id).expect("active session exists");
+                let at_limit = tol.ge(level, session.limit().as_bps());
+                let on_saturated = session
+                    .path()
+                    .links()
+                    .iter()
+                    .any(|l| saturated_links.contains(l));
+                if at_limit || on_saturated {
+                    newly_frozen.push(*id);
+                }
+            }
+            assert!(
+                !newly_frozen.is_empty(),
+                "progressive filling must freeze at least one session per round"
+            );
+            for id in newly_frozen {
+                frozen_rate.insert(id, level);
+                active.retain(|s| *s != id);
+            }
+        }
+
+        for (id, rate) in frozen_rate {
+            allocation.set(id, rate);
+        }
+        allocation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rate::RateLimit;
+    use crate::session::Session;
+    use bneck_net::prelude::*;
+
+    fn mbps(x: f64) -> Capacity {
+        Capacity::from_mbps(x)
+    }
+    fn us(x: u64) -> Delay {
+        Delay::from_micros(x)
+    }
+
+    /// Builds sessions pairing host 2i -> 2i+1 on a dumbbell.
+    fn dumbbell_sessions(pairs: usize, bottleneck_mbps: f64) -> (Network, SessionSet) {
+        let net = synthetic::dumbbell(pairs, mbps(100.0), mbps(bottleneck_mbps), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut router = Router::new(&net);
+        let mut set = SessionSet::new();
+        for i in 0..pairs {
+            let path = router.shortest_path(hosts[2 * i], hosts[2 * i + 1]).unwrap();
+            set.insert(Session::new(SessionId(i as u64), path, RateLimit::unlimited()));
+        }
+        (net, set)
+    }
+
+    #[test]
+    fn empty_session_set_yields_empty_allocation() {
+        let (net, _) = dumbbell_sessions(1, 50.0);
+        let empty = SessionSet::new();
+        let alloc = WaterFilling::new(&net, &empty).solve();
+        assert!(alloc.is_empty());
+    }
+
+    #[test]
+    fn equal_split_on_shared_bottleneck() {
+        let (net, sessions) = dumbbell_sessions(4, 80.0);
+        let alloc = WaterFilling::new(&net, &sessions).solve();
+        for i in 0..4 {
+            assert!((alloc.rate(SessionId(i)).unwrap() - 20e6).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn access_links_bound_when_bottleneck_is_wide() {
+        // Bottleneck of 1 Gbps: each of the 3 sessions is limited by its
+        // 100 Mbps access link instead.
+        let (net, sessions) = dumbbell_sessions(3, 1000.0);
+        let alloc = WaterFilling::new(&net, &sessions).solve();
+        for i in 0..3 {
+            assert!((alloc.rate(SessionId(i)).unwrap() - 100e6).abs() < 1.0);
+        }
+    }
+
+    #[test]
+    fn rate_limits_release_bandwidth_to_others() {
+        let (net, mut sessions) = dumbbell_sessions(3, 90.0);
+        sessions.change_limit(SessionId(0), RateLimit::finite(10e6));
+        let alloc = WaterFilling::new(&net, &sessions).solve();
+        assert!((alloc.rate(SessionId(0)).unwrap() - 10e6).abs() < 1.0);
+        assert!((alloc.rate(SessionId(1)).unwrap() - 40e6).abs() < 1.0);
+        assert!((alloc.rate(SessionId(2)).unwrap() - 40e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn parking_lot_long_session_gets_the_min_share() {
+        // Parking lot with 2 segments: hosts h0..h2 on routers r0..r2.
+        // Long session: h0 -> h2 (both segments); short sessions h0->h1 is not
+        // possible (one source per host), so use h1 -> h2 and h2 -> h1 style
+        // crossings instead: s0: h0->h2 (long), s1: h1->h2 (segment 1).
+        let net = synthetic::parking_lot(2, mbps(100.0), mbps(60.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut router = Router::new(&net);
+        let mut sessions = SessionSet::new();
+        let long = router.shortest_path(hosts[0], hosts[2]).unwrap();
+        let short = router.shortest_path(hosts[1], hosts[2]).unwrap();
+        sessions.insert(Session::new(SessionId(0), long, RateLimit::unlimited()));
+        sessions.insert(Session::new(SessionId(1), short, RateLimit::unlimited()));
+        let alloc = WaterFilling::new(&net, &sessions).solve();
+        // Both cross the r1->r2 segment (60 Mbps): 30/30.
+        assert!((alloc.rate(SessionId(0)).unwrap() - 30e6).abs() < 1.0);
+        assert!((alloc.rate(SessionId(1)).unwrap() - 30e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn unused_capacity_goes_to_unrestricted_sessions() {
+        // Classic 3-session example: s0 and s1 share link A (cap 100),
+        // s1 and s2 share link B (cap 40). Max-min: s1 = 20, s2 = 20, s0 = 80.
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("r0");
+        let r1 = b.add_router("r1");
+        let r2 = b.add_router("r2");
+        b.connect(r0, r1, mbps(100.0), us(1)); // link A
+        b.connect(r1, r2, mbps(40.0), us(1)); // link B
+        let h0 = b.add_host("h0", r0, mbps(1000.0), us(1));
+        let h1 = b.add_host("h1", r0, mbps(1000.0), us(1));
+        let h2 = b.add_host("h2", r1, mbps(1000.0), us(1));
+        let d1 = b.add_host("d1", r1, mbps(1000.0), us(1));
+        let d2 = b.add_host("d2", r2, mbps(1000.0), us(1));
+        let net = b.build();
+        let mut router = Router::new(&net);
+        let mut sessions = SessionSet::new();
+        // s0: h0 -> d1 over link A only.
+        sessions.insert(Session::new(
+            SessionId(0),
+            router.shortest_path(h0, d1).unwrap(),
+            RateLimit::unlimited(),
+        ));
+        // s1: h1 -> d2 over links A and B.
+        sessions.insert(Session::new(
+            SessionId(1),
+            router.shortest_path(h1, d2).unwrap(),
+            RateLimit::unlimited(),
+        ));
+        // s2: h2 -> d2 over link B only.
+        sessions.insert(Session::new(
+            SessionId(2),
+            router.shortest_path(h2, d2).unwrap(),
+            RateLimit::unlimited(),
+        ));
+        let alloc = WaterFilling::new(&net, &sessions).solve();
+        assert!((alloc.rate(SessionId(1)).unwrap() - 20e6).abs() < 1.0);
+        assert!((alloc.rate(SessionId(2)).unwrap() - 20e6).abs() < 1.0);
+        assert!((alloc.rate(SessionId(0)).unwrap() - 80e6).abs() < 1.0);
+    }
+}

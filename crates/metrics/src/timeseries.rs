@@ -1,0 +1,160 @@
+//! Interval-binned packet counts (Figures 6 and 8 of the paper).
+
+use bneck_core::{PacketKind, PacketStats};
+use bneck_net::Delay;
+use bneck_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Packet counts aggregated in fixed-size time intervals, broken down by
+/// packet kind — the data behind Figure 6 ("packets of each type transmitted,
+/// aggregated in time intervals of 5 milliseconds") and Figure 8.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PacketTimeSeries {
+    interval: Delay,
+    bins: Vec<PacketStats>,
+}
+
+impl PacketTimeSeries {
+    /// Builds the series from a timestamped packet log (as recorded by
+    /// `BneckSimulation` when the packet log is enabled) using the given bin
+    /// width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn from_log(log: &[(SimTime, PacketKind)], interval: Delay) -> Self {
+        assert!(interval > Delay::ZERO, "the bin width must be positive");
+        let mut bins: Vec<PacketStats> = Vec::new();
+        for (at, kind) in log {
+            let index = (at.as_nanos() / interval.as_nanos()) as usize;
+            if index >= bins.len() {
+                bins.resize(index + 1, PacketStats::new());
+            }
+            bins[index].record(*kind);
+        }
+        PacketTimeSeries {
+            interval,
+            bins,
+        }
+    }
+
+    /// Builds a series directly from per-interval snapshots (used by harnesses
+    /// that sample cumulative counters between bounded runs instead of logging
+    /// every packet).
+    pub fn from_bins(interval: Delay, bins: Vec<PacketStats>) -> Self {
+        assert!(interval > Delay::ZERO, "the bin width must be positive");
+        PacketTimeSeries { interval, bins }
+    }
+
+    /// The bin width.
+    pub fn interval(&self) -> Delay {
+        self.interval
+    }
+
+    /// Number of bins (the series covers `len() * interval` of simulated
+    /// time).
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// `true` when the series has no bins.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// The packet counts of bin `index` (empty counts past the end).
+    pub fn bin(&self, index: usize) -> PacketStats {
+        self.bins.get(index).copied().unwrap_or_default()
+    }
+
+    /// Total packets in bin `index`.
+    pub fn total_in_bin(&self, index: usize) -> u64 {
+        self.bin(index).total()
+    }
+
+    /// Total packets across all bins.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().map(|b| b.total()).sum()
+    }
+
+    /// Iterates over `(bin_start_time, counts)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, PacketStats)> + '_ {
+        self.bins.iter().enumerate().map(move |(i, stats)| {
+            (
+                SimTime::from_nanos(i as u64 * self.interval.as_nanos()),
+                *stats,
+            )
+        })
+    }
+
+    /// The index of the last bin containing any packet, or `None` when the
+    /// series is all-zero. After this bin the protocol was quiescent.
+    pub fn last_active_bin(&self) -> Option<usize> {
+        self.bins
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, b)| b.total() > 0)
+            .map(|(i, _)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log() -> Vec<(SimTime, PacketKind)> {
+        vec![
+            (SimTime::from_millis(0), PacketKind::Join),
+            (SimTime::from_millis(1), PacketKind::Join),
+            (SimTime::from_millis(4), PacketKind::Response),
+            (SimTime::from_millis(7), PacketKind::Update),
+            (SimTime::from_millis(12), PacketKind::Leave),
+        ]
+    }
+
+    #[test]
+    fn bins_packets_by_interval() {
+        let series = PacketTimeSeries::from_log(&log(), Delay::from_millis(5));
+        assert_eq!(series.len(), 3);
+        assert_eq!(series.total_in_bin(0), 3);
+        assert_eq!(series.total_in_bin(1), 1);
+        assert_eq!(series.total_in_bin(2), 1);
+        assert_eq!(series.total_in_bin(99), 0);
+        assert_eq!(series.total(), 5);
+        assert_eq!(series.bin(0).count(PacketKind::Join), 2);
+        assert_eq!(series.last_active_bin(), Some(2));
+        assert_eq!(series.interval(), Delay::from_millis(5));
+    }
+
+    #[test]
+    fn iter_reports_bin_start_times() {
+        let series = PacketTimeSeries::from_log(&log(), Delay::from_millis(5));
+        let starts: Vec<u64> = series.iter().map(|(t, _)| t.as_millis()).collect();
+        assert_eq!(starts, vec![0, 5, 10]);
+    }
+
+    #[test]
+    fn empty_log_gives_empty_series() {
+        let series = PacketTimeSeries::from_log(&[], Delay::from_millis(5));
+        assert!(series.is_empty());
+        assert_eq!(series.last_active_bin(), None);
+        assert_eq!(series.total(), 0);
+    }
+
+    #[test]
+    fn from_bins_round_trips() {
+        let mut a = PacketStats::new();
+        a.record(PacketKind::Probe);
+        let series = PacketTimeSeries::from_bins(Delay::from_millis(3), vec![a, PacketStats::new()]);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series.total(), 1);
+        assert_eq!(series.last_active_bin(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let _ = PacketTimeSeries::from_log(&[], Delay::ZERO);
+    }
+}

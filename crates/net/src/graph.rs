@@ -1,0 +1,490 @@
+//! The directed network graph: nodes (routers and hosts) and capacitated
+//! links with propagation delays.
+
+use crate::capacity::Capacity;
+use crate::delay::Delay;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node (router or host) in a [`Network`].
+///
+/// Node identifiers are dense indices assigned by the [`NetworkBuilder`] in
+/// insertion order, so they can be used to index per-node vectors.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the identifier as an index usable with per-node vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a directed link in a [`Network`].
+///
+/// Link identifiers are dense indices assigned in insertion order, so they can
+/// be used to index per-link vectors (the B-Neck `RouterLink` tasks are stored
+/// that way).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct LinkId(pub u32);
+
+impl LinkId {
+    /// Returns the identifier as an index usable with per-link vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// Hierarchy level of a router in a transit–stub topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RouterLevel {
+    /// Backbone (transit domain) router.
+    Transit,
+    /// Edge (stub domain) router; hosts attach to stub routers.
+    Stub,
+}
+
+/// The role of a node in the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An interior router; sessions only traverse routers.
+    Router(RouterLevel),
+    /// A host; sessions start and end at hosts, and each host connects to
+    /// exactly one router through a dedicated link.
+    Host,
+}
+
+impl NodeKind {
+    /// Returns `true` if the node is a host.
+    pub fn is_host(self) -> bool {
+        matches!(self, NodeKind::Host)
+    }
+
+    /// Returns `true` if the node is a router.
+    pub fn is_router(self) -> bool {
+        matches!(self, NodeKind::Router(_))
+    }
+}
+
+/// A node of the network graph.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Node {
+    id: NodeId,
+    kind: NodeKind,
+    name: String,
+}
+
+impl Node {
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The node's role.
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// The node's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// A directed, capacitated link of the network graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Link {
+    id: LinkId,
+    src: NodeId,
+    dst: NodeId,
+    capacity: Capacity,
+    delay: Delay,
+}
+
+impl Link {
+    /// The link's identifier.
+    pub fn id(&self) -> LinkId {
+        self.id
+    }
+
+    /// The node the link leaves from.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// The node the link arrives at.
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// The link's bandwidth available for data traffic (`Ce` in the paper).
+    pub fn capacity(&self) -> Capacity {
+        self.capacity
+    }
+
+    /// The link's propagation delay.
+    pub fn delay(&self) -> Delay {
+        self.delay
+    }
+}
+
+/// An immutable network graph of routers, hosts and directed links.
+///
+/// Built with a [`NetworkBuilder`]; once built, the topology does not change
+/// (the paper keeps the physical network fixed and only varies the session
+/// population).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Network {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    /// Outgoing links of each node, indexed by `NodeId::index()`.
+    out_links: Vec<Vec<LinkId>>,
+    /// Lookup from `(src, dst)` to the connecting link, if any.
+    by_endpoints: HashMap<(NodeId, NodeId), LinkId>,
+}
+
+impl Network {
+    /// Number of nodes (routers plus hosts).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of router nodes.
+    pub fn router_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind().is_router()).count()
+    }
+
+    /// Number of host nodes.
+    pub fn host_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.kind().is_host()).count()
+    }
+
+    /// Returns the node with the given identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this network.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// Returns the link with the given identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier does not belong to this network.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.index()]
+    }
+
+    /// Iterates over all nodes in identifier order.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// Iterates over all links in identifier order.
+    pub fn links(&self) -> impl Iterator<Item = &Link> {
+        self.links.iter()
+    }
+
+    /// Iterates over all host nodes.
+    pub fn hosts(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.kind().is_host())
+    }
+
+    /// Iterates over all router nodes.
+    pub fn routers(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter().filter(|n| n.kind().is_router())
+    }
+
+    /// Outgoing links of a node.
+    pub fn out_links(&self, node: NodeId) -> &[LinkId] {
+        &self.out_links[node.index()]
+    }
+
+    /// Returns the link from `src` to `dst`, if one exists.
+    pub fn link_between(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        self.by_endpoints.get(&(src, dst)).copied()
+    }
+
+    /// Returns the reverse link of `link` (the link connecting the same nodes
+    /// in the opposite direction), if one exists.
+    ///
+    /// The paper assumes connected nodes have links in both directions, so for
+    /// networks built by the provided generators this never returns `None`.
+    pub fn reverse_link(&self, link: LinkId) -> Option<LinkId> {
+        let l = self.link(link);
+        self.link_between(l.dst(), l.src())
+    }
+
+    /// Computes the shortest path (in hops) from `src` to `dst`.
+    ///
+    /// Convenience wrapper over [`crate::routing::Router::shortest_path`] for
+    /// one-off queries; repeated queries should use a [`crate::routing::Router`]
+    /// which reuses its internal scratch buffers.
+    pub fn shortest_path(&self, src: NodeId, dst: NodeId) -> Option<crate::path::Path> {
+        crate::routing::Router::new(self).shortest_path(src, dst)
+    }
+}
+
+/// Incremental builder for a [`Network`].
+///
+/// # Example
+///
+/// ```
+/// use bneck_net::prelude::*;
+///
+/// let mut b = NetworkBuilder::new();
+/// let r0 = b.add_router("r0");
+/// let r1 = b.add_router("r1");
+/// b.connect(r0, r1, Capacity::from_mbps(200.0), Delay::from_micros(1));
+/// let h0 = b.add_host("h0", r0, Capacity::from_mbps(100.0), Delay::from_micros(1));
+/// let h1 = b.add_host("h1", r1, Capacity::from_mbps(100.0), Delay::from_micros(1));
+/// let net = b.build();
+/// assert_eq!(net.router_count(), 2);
+/// assert_eq!(net.host_count(), 2);
+/// assert_eq!(net.shortest_path(h0, h1).unwrap().hop_count(), 3);
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct NetworkBuilder {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    by_endpoints: HashMap<(NodeId, NodeId), LinkId>,
+}
+
+impl NetworkBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a stub-level router with the given name and returns its identifier.
+    pub fn add_router(&mut self, name: impl Into<String>) -> NodeId {
+        self.add_router_at(name, RouterLevel::Stub)
+    }
+
+    /// Adds a router at a specific hierarchy level.
+    pub fn add_router_at(&mut self, name: impl Into<String>, level: RouterLevel) -> NodeId {
+        self.push_node(NodeKind::Router(level), name.into())
+    }
+
+    /// Adds a host attached to `router` with a dedicated bidirectional link of
+    /// the given capacity and delay, returning the host's identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `router` is not a router node.
+    pub fn add_host(
+        &mut self,
+        name: impl Into<String>,
+        router: NodeId,
+        capacity: Capacity,
+        delay: Delay,
+    ) -> NodeId {
+        assert!(
+            self.nodes[router.index()].kind().is_router(),
+            "hosts must attach to routers"
+        );
+        let host = self.push_node(NodeKind::Host, name.into());
+        self.connect(host, router, capacity, delay);
+        host
+    }
+
+    /// Adds a pair of directed links (one in each direction) between `a` and
+    /// `b`, both with the given capacity and delay.
+    ///
+    /// Returns the identifiers of the `a → b` and `b → a` links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a link between the two nodes already exists, or `a == b`.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        capacity: Capacity,
+        delay: Delay,
+    ) -> (LinkId, LinkId) {
+        let ab = self.add_directed_link(a, b, capacity, delay);
+        let ba = self.add_directed_link(b, a, capacity, delay);
+        (ab, ba)
+    }
+
+    /// Adds a single directed link from `src` to `dst`.
+    ///
+    /// Most callers want [`NetworkBuilder::connect`]; this is exposed for
+    /// asymmetric test topologies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the link already exists or `src == dst`.
+    pub fn add_directed_link(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        capacity: Capacity,
+        delay: Delay,
+    ) -> LinkId {
+        assert_ne!(src, dst, "self-loops are not allowed");
+        assert!(
+            !self.by_endpoints.contains_key(&(src, dst)),
+            "link {src} -> {dst} already exists"
+        );
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            id,
+            src,
+            dst,
+            capacity,
+            delay,
+        });
+        self.by_endpoints.insert((src, dst), id);
+        id
+    }
+
+    /// Returns `true` if a link from `src` to `dst` has been added.
+    pub fn has_link(&self, src: NodeId, dst: NodeId) -> bool {
+        self.by_endpoints.contains_key(&(src, dst))
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Finalizes the builder into an immutable [`Network`].
+    pub fn build(self) -> Network {
+        let mut out_links = vec![Vec::new(); self.nodes.len()];
+        for link in &self.links {
+            out_links[link.src().index()].push(link.id());
+        }
+        Network {
+            nodes: self.nodes,
+            links: self.links,
+            out_links,
+            by_endpoints: self.by_endpoints,
+        }
+    }
+
+    fn push_node(&mut self, kind: NodeKind, name: String) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node { id, kind, name });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn caps() -> (Capacity, Delay) {
+        (Capacity::from_mbps(100.0), Delay::from_micros(1))
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let (c, d) = caps();
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("r0");
+        let r1 = b.add_router("r1");
+        b.connect(r0, r1, c, d);
+        let h = b.add_host("h", r0, c, d);
+        assert_eq!(r0, NodeId(0));
+        assert_eq!(r1, NodeId(1));
+        assert_eq!(h, NodeId(2));
+        let net = b.build();
+        assert_eq!(net.node_count(), 3);
+        // two links between routers, two between host and router
+        assert_eq!(net.link_count(), 4);
+        assert_eq!(net.router_count(), 2);
+        assert_eq!(net.host_count(), 1);
+    }
+
+    #[test]
+    fn link_lookup_and_reverse() {
+        let (c, d) = caps();
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("r0");
+        let r1 = b.add_router("r1");
+        let (ab, ba) = b.connect(r0, r1, c, d);
+        let net = b.build();
+        assert_eq!(net.link_between(r0, r1), Some(ab));
+        assert_eq!(net.link_between(r1, r0), Some(ba));
+        assert_eq!(net.reverse_link(ab), Some(ba));
+        assert_eq!(net.reverse_link(ba), Some(ab));
+        assert_eq!(net.link(ab).src(), r0);
+        assert_eq!(net.link(ab).dst(), r1);
+    }
+
+    #[test]
+    fn out_links_are_indexed_per_node() {
+        let (c, d) = caps();
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("r0");
+        let r1 = b.add_router("r1");
+        let r2 = b.add_router("r2");
+        b.connect(r0, r1, c, d);
+        b.connect(r0, r2, c, d);
+        let net = b.build();
+        assert_eq!(net.out_links(r0).len(), 2);
+        assert_eq!(net.out_links(r1).len(), 1);
+        assert_eq!(net.out_links(r2).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_links_rejected() {
+        let (c, d) = caps();
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("r0");
+        let r1 = b.add_router("r1");
+        b.connect(r0, r1, c, d);
+        b.connect(r0, r1, c, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "hosts must attach to routers")]
+    fn host_must_attach_to_router() {
+        let (c, d) = caps();
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("r0");
+        let h0 = b.add_host("h0", r0, c, d);
+        b.add_host("h1", h0, c, d);
+    }
+
+    #[test]
+    fn node_kind_predicates() {
+        assert!(NodeKind::Host.is_host());
+        assert!(!NodeKind::Host.is_router());
+        assert!(NodeKind::Router(RouterLevel::Transit).is_router());
+        assert!(!NodeKind::Router(RouterLevel::Stub).is_host());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+        assert_eq!(LinkId(7).to_string(), "e7");
+    }
+}

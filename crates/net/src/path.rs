@@ -1,0 +1,201 @@
+//! Session paths: ordered lists of directed links from a source host to a
+//! destination host.
+
+use crate::graph::{LinkId, Network, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// The static path `π(s)` of a session: the ordered list of directed links
+/// from the source host to the destination host.
+///
+/// Packets sent along the path are *downstream* packets; packets sent along
+/// the reverse sequence of nodes are *upstream* packets (Section II of the
+/// paper).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Path {
+    links: Vec<LinkId>,
+    nodes: Vec<NodeId>,
+}
+
+impl Path {
+    /// Builds a path from the ordered list of links it traverses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links` is empty or the links do not form a connected chain
+    /// in `network`.
+    pub fn from_links(network: &Network, links: Vec<LinkId>) -> Self {
+        assert!(!links.is_empty(), "a path must contain at least one link");
+        let mut nodes = Vec::with_capacity(links.len() + 1);
+        nodes.push(network.link(links[0]).src());
+        for pair in links.windows(2) {
+            assert_eq!(
+                network.link(pair[0]).dst(),
+                network.link(pair[1]).src(),
+                "links do not form a chain"
+            );
+        }
+        for l in &links {
+            nodes.push(network.link(*l).dst());
+        }
+        Path { links, nodes }
+    }
+
+    /// The links of the path, in downstream order.
+    pub fn links(&self) -> &[LinkId] {
+        &self.links
+    }
+
+    /// The nodes of the path, from source host to destination host.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The source host of the path.
+    pub fn source(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// The destination host of the path.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("paths are never empty")
+    }
+
+    /// The first link of the path (the link owned by the `SourceNode` task).
+    pub fn first_link(&self) -> LinkId {
+        self.links[0]
+    }
+
+    /// The last link of the path.
+    pub fn last_link(&self) -> LinkId {
+        *self.links.last().expect("paths are never empty")
+    }
+
+    /// Number of links in the path.
+    pub fn hop_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Returns the link that follows `link` on the path (downstream
+    /// direction), or `None` if `link` is the last one.
+    pub fn next_downstream(&self, link: LinkId) -> Option<LinkId> {
+        let idx = self.position(link)?;
+        self.links.get(idx + 1).copied()
+    }
+
+    /// Returns the link that precedes `link` on the path (i.e. the next hop in
+    /// the upstream direction), or `None` if `link` is the first one.
+    pub fn next_upstream(&self, link: LinkId) -> Option<LinkId> {
+        let idx = self.position(link)?;
+        if idx == 0 {
+            None
+        } else {
+            Some(self.links[idx - 1])
+        }
+    }
+
+    /// Returns the index of `link` within the path, if present.
+    pub fn position(&self, link: LinkId) -> Option<usize> {
+        self.links.iter().position(|l| *l == link)
+    }
+
+    /// Returns `true` if the path traverses `link`.
+    pub fn contains(&self, link: LinkId) -> bool {
+        self.position(link).is_some()
+    }
+
+    /// Total propagation delay accumulated along the path.
+    pub fn total_delay(&self, network: &Network) -> crate::delay::Delay {
+        self.links
+            .iter()
+            .fold(crate::delay::Delay::ZERO, |acc, l| {
+                acc + network.link(*l).delay()
+            })
+    }
+
+    /// The smallest link capacity along the path (an upper bound on any rate
+    /// assignable to a session following the path).
+    pub fn min_capacity(&self, network: &Network) -> crate::capacity::Capacity {
+        self.links
+            .iter()
+            .map(|l| network.link(*l).capacity())
+            .fold(crate::capacity::Capacity::INFINITE, |acc, c| acc.min(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::Capacity;
+    use crate::delay::Delay;
+    use crate::graph::NetworkBuilder;
+
+    fn line3() -> (Network, Vec<NodeId>) {
+        // h0 - r0 - r1 - h1
+        let c = Capacity::from_mbps(100.0);
+        let d = Delay::from_micros(1);
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("r0");
+        let r1 = b.add_router("r1");
+        b.connect(r0, r1, Capacity::from_mbps(200.0), Delay::from_micros(2));
+        let h0 = b.add_host("h0", r0, c, d);
+        let h1 = b.add_host("h1", r1, c, d);
+        (b.build(), vec![h0, r0, r1, h1])
+    }
+
+    fn path_between(net: &Network, nodes: &[NodeId]) -> Path {
+        let links: Vec<LinkId> = nodes
+            .windows(2)
+            .map(|w| net.link_between(w[0], w[1]).unwrap())
+            .collect();
+        Path::from_links(net, links)
+    }
+
+    #[test]
+    fn path_endpoints_and_hops() {
+        let (net, nodes) = line3();
+        let p = path_between(&net, &nodes);
+        assert_eq!(p.source(), nodes[0]);
+        assert_eq!(p.destination(), nodes[3]);
+        assert_eq!(p.hop_count(), 3);
+        assert_eq!(p.nodes(), &nodes[..]);
+    }
+
+    #[test]
+    fn downstream_and_upstream_navigation() {
+        let (net, nodes) = line3();
+        let p = path_between(&net, &nodes);
+        let links = p.links().to_vec();
+        assert_eq!(p.next_downstream(links[0]), Some(links[1]));
+        assert_eq!(p.next_downstream(links[2]), None);
+        assert_eq!(p.next_upstream(links[0]), None);
+        assert_eq!(p.next_upstream(links[2]), Some(links[1]));
+        assert!(p.contains(links[1]));
+        assert_eq!(p.first_link(), links[0]);
+        assert_eq!(p.last_link(), links[2]);
+    }
+
+    #[test]
+    fn delay_and_capacity_aggregation() {
+        let (net, nodes) = line3();
+        let p = path_between(&net, &nodes);
+        assert_eq!(p.total_delay(&net), Delay::from_micros(4));
+        assert_eq!(p.min_capacity(&net), Capacity::from_mbps(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "links do not form a chain")]
+    fn disconnected_links_rejected() {
+        let (net, nodes) = line3();
+        // h0->r0 followed by h1->r1 is not a chain.
+        let l0 = net.link_between(nodes[0], nodes[1]).unwrap();
+        let l1 = net.link_between(nodes[3], nodes[2]).unwrap();
+        let _ = Path::from_links(&net, vec![l0, l1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one link")]
+    fn empty_path_rejected() {
+        let (net, _) = line3();
+        let _ = Path::from_links(&net, vec![]);
+    }
+}

@@ -1,0 +1,224 @@
+//! Shortest-path routing for sessions.
+//!
+//! The paper routes every session along a shortest path (in hops) from its
+//! source host to its destination host. The [`Router`] here implements
+//! breadth-first search with reusable scratch buffers so that generating
+//! hundreds of thousands of session paths stays cheap.
+
+use crate::graph::{LinkId, Network, NodeId};
+use crate::path::Path;
+use std::collections::VecDeque;
+
+/// Shortest-path (minimum hop) router over a [`Network`].
+///
+/// # Example
+///
+/// ```
+/// use bneck_net::prelude::*;
+///
+/// let net = synthetic::line(3, Capacity::from_mbps(100.0), Capacity::from_mbps(200.0),
+///                           Delay::from_micros(1));
+/// let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+/// let mut router = Router::new(&net);
+/// let path = router.shortest_path(hosts[0], hosts[1]).unwrap();
+/// assert!(path.hop_count() >= 2);
+/// ```
+#[derive(Debug)]
+pub struct Router<'a> {
+    network: &'a Network,
+    /// `visited_mark[n] == generation` means node `n` was reached in the
+    /// current BFS; avoids clearing the whole vector between queries.
+    visited_mark: Vec<u64>,
+    parent_link: Vec<LinkId>,
+    generation: u64,
+}
+
+impl<'a> Router<'a> {
+    /// Creates a router for the given network.
+    pub fn new(network: &'a Network) -> Self {
+        Router {
+            network,
+            visited_mark: vec![0; network.node_count()],
+            parent_link: vec![LinkId(0); network.node_count()],
+            generation: 0,
+        }
+    }
+
+    /// The network this router operates on.
+    pub fn network(&self) -> &Network {
+        self.network
+    }
+
+    /// Computes a minimum-hop path from `src` to `dst`, or `None` when `dst`
+    /// is unreachable from `src` (or `src == dst`).
+    ///
+    /// Hosts are only usable as path endpoints: a path never traverses a host
+    /// as an intermediate node, matching the paper's model where hosts hang
+    /// off a single router.
+    pub fn shortest_path(&mut self, src: NodeId, dst: NodeId) -> Option<Path> {
+        if src == dst {
+            return None;
+        }
+        self.generation += 1;
+        let generation = self.generation;
+        let mut queue = VecDeque::new();
+        self.visited_mark[src.index()] = generation;
+        queue.push_back(src);
+        'bfs: while let Some(node) = queue.pop_front() {
+            for &link_id in self.network.out_links(node) {
+                let link = self.network.link(link_id);
+                let next = link.dst();
+                if self.visited_mark[next.index()] == generation {
+                    continue;
+                }
+                // Intermediate hosts never forward traffic.
+                if next != dst && self.network.node(next).kind().is_host() {
+                    continue;
+                }
+                self.visited_mark[next.index()] = generation;
+                self.parent_link[next.index()] = link_id;
+                if next == dst {
+                    break 'bfs;
+                }
+                queue.push_back(next);
+            }
+        }
+        if self.visited_mark[dst.index()] != generation {
+            return None;
+        }
+        // Walk parents back from dst to src.
+        let mut links = Vec::new();
+        let mut node = dst;
+        while node != src {
+            let link_id = self.parent_link[node.index()];
+            links.push(link_id);
+            node = self.network.link(link_id).src();
+        }
+        links.reverse();
+        Some(Path::from_links(self.network, links))
+    }
+
+    /// Computes minimum hop distances (in links) from `src` to every node.
+    ///
+    /// Unreachable nodes get `usize::MAX`. Useful for topology diagnostics and
+    /// tests.
+    pub fn hop_distances(&mut self, src: NodeId) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.network.node_count()];
+        dist[src.index()] = 0;
+        let mut queue = VecDeque::new();
+        queue.push_back(src);
+        while let Some(node) = queue.pop_front() {
+            for &link_id in self.network.out_links(node) {
+                let next = self.network.link(link_id).dst();
+                if dist[next.index()] != usize::MAX {
+                    continue;
+                }
+                // Hosts do not forward.
+                if self.network.node(node).kind().is_host() && node != src {
+                    continue;
+                }
+                dist[next.index()] = dist[node.index()] + 1;
+                queue.push_back(next);
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::Capacity;
+    use crate::delay::Delay;
+    use crate::graph::NetworkBuilder;
+
+    fn caps() -> (Capacity, Delay) {
+        (Capacity::from_mbps(100.0), Delay::from_micros(1))
+    }
+
+    /// h0 - r0 - r1 - r2 - h2, with a shortcut r0 - r2.
+    fn diamond() -> (Network, NodeId, NodeId) {
+        let (c, d) = caps();
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("r0");
+        let r1 = b.add_router("r1");
+        let r2 = b.add_router("r2");
+        b.connect(r0, r1, c, d);
+        b.connect(r1, r2, c, d);
+        b.connect(r0, r2, c, d);
+        let h0 = b.add_host("h0", r0, c, d);
+        let h2 = b.add_host("h2", r2, c, d);
+        (b.build(), h0, h2)
+    }
+
+    #[test]
+    fn takes_the_shortcut() {
+        let (net, h0, h2) = diamond();
+        let mut router = Router::new(&net);
+        let p = router.shortest_path(h0, h2).unwrap();
+        // h0 -> r0 -> r2 -> h2 (3 links), not via r1 (4 links).
+        assert_eq!(p.hop_count(), 3);
+        assert_eq!(p.source(), h0);
+        assert_eq!(p.destination(), h2);
+    }
+
+    #[test]
+    fn no_path_to_self() {
+        let (net, h0, _) = diamond();
+        let mut router = Router::new(&net);
+        assert!(router.shortest_path(h0, h0).is_none());
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let (c, d) = caps();
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("r0");
+        let r1 = b.add_router("r1"); // never connected to r0
+        let h0 = b.add_host("h0", r0, c, d);
+        let h1 = b.add_host("h1", r1, c, d);
+        let net = b.build();
+        let mut router = Router::new(&net);
+        assert!(router.shortest_path(h0, h1).is_none());
+    }
+
+    #[test]
+    fn hosts_do_not_forward() {
+        // h0 and h1 both attach to r0; h2 attaches to r1. A path from h0 to h2
+        // must never route "through" h1.
+        let (c, d) = caps();
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("r0");
+        let r1 = b.add_router("r1");
+        b.connect(r0, r1, c, d);
+        let h0 = b.add_host("h0", r0, c, d);
+        let _h1 = b.add_host("h1", r0, c, d);
+        let h2 = b.add_host("h2", r1, c, d);
+        let net = b.build();
+        let mut router = Router::new(&net);
+        let p = router.shortest_path(h0, h2).unwrap();
+        for n in &p.nodes()[1..p.nodes().len() - 1] {
+            assert!(net.node(*n).kind().is_router());
+        }
+    }
+
+    #[test]
+    fn hop_distances_match_paths() {
+        let (net, h0, h2) = diamond();
+        let mut router = Router::new(&net);
+        let dist = router.hop_distances(h0);
+        let p = router.shortest_path(h0, h2).unwrap();
+        assert_eq!(dist[h2.index()], p.hop_count());
+    }
+
+    #[test]
+    fn router_is_reusable_across_queries() {
+        let (net, h0, h2) = diamond();
+        let mut router = Router::new(&net);
+        let a = router.shortest_path(h0, h2).unwrap();
+        let b = router.shortest_path(h2, h0).unwrap();
+        let c = router.shortest_path(h0, h2).unwrap();
+        assert_eq!(a, c);
+        assert_eq!(a.hop_count(), b.hop_count());
+    }
+}

@@ -1,0 +1,377 @@
+//! The discrete-event engine: event loop, scheduling context and run reports.
+
+use crate::channel::{Channel, ChannelId, ChannelSpec};
+use crate::event::EventQueue;
+use crate::time::SimTime;
+use bneck_net::Delay;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An opaque endpoint that can receive messages.
+///
+/// The protocol harness decides what addresses mean (in the B-Neck harness,
+/// every directed link task and every source/destination task gets one).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Address(pub u32);
+
+impl Address {
+    /// Returns the address as an index usable with per-address vectors.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// The protocol under simulation.
+///
+/// The engine calls [`World::handle`] once per delivered message; the handler
+/// runs atomically (mirroring the paper's atomic `when` blocks) and may send
+/// further messages through the [`Context`].
+pub trait World {
+    /// The message type exchanged by the protocol.
+    type Message;
+
+    /// Handles the delivery of `msg` to `to` at the context's current time.
+    fn handle(&mut self, ctx: &mut Context<'_, Self::Message>, to: Address, msg: Self::Message);
+}
+
+/// Scheduling facilities available to a [`World`] while it handles an event.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    now: SimTime,
+    queue: &'a mut EventQueue<M>,
+    channels: &'a mut Vec<Channel>,
+    messages_sent: &'a mut u64,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends `msg` to `to` through `channel`, modeling the channel's FIFO
+    /// transmission and propagation delays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` was not registered with the engine.
+    pub fn send(&mut self, channel: ChannelId, to: Address, msg: M) {
+        let arrival = self.channels[channel.index()].accept(self.now);
+        *self.messages_sent += 1;
+        self.queue.push(arrival, to, msg);
+    }
+
+    /// Schedules `msg` for delivery to `to` after `delay`, without involving
+    /// any channel (used for timers and locally generated events).
+    pub fn schedule_after(&mut self, delay: Delay, to: Address, msg: M) {
+        self.queue.push(self.now + delay, to, msg);
+    }
+
+    /// Delivers `msg` to `to` at the current time, after all events already
+    /// scheduled for this instant.
+    pub fn deliver_now(&mut self, to: Address, msg: M) {
+        self.queue.push(self.now, to, msg);
+    }
+}
+
+/// Summary of an [`Engine::run`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct RunReport {
+    /// Number of events delivered to the world during this run.
+    pub events_processed: u64,
+    /// Number of messages sent through channels during this run.
+    pub messages_sent: u64,
+    /// Time of the last processed event; if no event was processed this is
+    /// the time the run started at.
+    pub quiescent_at: SimTime,
+    /// `true` if the run ended because the event queue drained (quiescence),
+    /// `false` if it stopped at a time horizon with work still pending.
+    pub quiescent: bool,
+}
+
+/// The discrete-event simulation engine.
+///
+/// See the crate-level documentation for an end-to-end example.
+#[derive(Debug)]
+pub struct Engine<M> {
+    now: SimTime,
+    queue: EventQueue<M>,
+    channels: Vec<Channel>,
+    messages_sent: u64,
+    events_processed: u64,
+}
+
+impl<M> Default for Engine<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> Engine<M> {
+    /// Creates an engine at time zero with no channels and no pending events.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: EventQueue::default(),
+            channels: Vec::new(),
+            messages_sent: 0,
+            events_processed: 0,
+        }
+    }
+
+    /// Registers a channel and returns its identifier.
+    pub fn add_channel(&mut self, spec: ChannelSpec) -> ChannelId {
+        let id = ChannelId(self.channels.len() as u32);
+        self.channels.push(Channel::new(spec));
+        id
+    }
+
+    /// Number of registered channels.
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Total messages sent through a specific channel so far.
+    pub fn channel_sent(&self, channel: ChannelId) -> u64 {
+        self.channels[channel.index()].sent
+    }
+
+    /// The current simulated time (time of the last processed event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events waiting in the queue.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` when no event is pending: the simulated network is quiescent.
+    pub fn is_quiescent(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Total messages sent through channels since the engine was created.
+    pub fn total_messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+
+    /// Total events processed since the engine was created.
+    pub fn total_events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Injects an external event (for example an `API.Join` call from the
+    /// workload) for delivery to `to` at absolute time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the simulated past.
+    pub fn inject(&mut self, at: SimTime, to: Address, msg: M) {
+        assert!(at >= self.now, "cannot inject an event in the past");
+        self.queue.push(at, to, msg);
+    }
+
+    /// Runs until the event queue is empty, returning a report whose
+    /// `quiescent_at` is the timestamp of the last processed event.
+    pub fn run<W: World<Message = M>>(&mut self, world: &mut W) -> RunReport {
+        self.run_until(world, SimTime::MAX)
+    }
+
+    /// Runs until the event queue is empty or the next event is strictly after
+    /// `horizon`. Events at exactly `horizon` are processed. When the run
+    /// stops at the horizon, the engine's clock is advanced to `horizon` so a
+    /// subsequent run continues from there.
+    pub fn run_until<W: World<Message = M>>(&mut self, world: &mut W, horizon: SimTime) -> RunReport {
+        let start_events = self.events_processed;
+        let start_messages = self.messages_sent;
+        let mut last_event_time = self.now;
+        while let Some(next) = self.queue.peek_time() {
+            if next > horizon {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked event must exist");
+            debug_assert!(event.at >= self.now, "time must not go backwards");
+            self.now = event.at;
+            last_event_time = event.at;
+            self.events_processed += 1;
+            let mut ctx = Context {
+                now: self.now,
+                queue: &mut self.queue,
+                channels: &mut self.channels,
+                messages_sent: &mut self.messages_sent,
+            };
+            world.handle(&mut ctx, event.to, event.msg);
+        }
+        let quiescent = self.queue.is_empty();
+        if !quiescent && horizon != SimTime::MAX && horizon > self.now {
+            self.now = horizon;
+        }
+        RunReport {
+            events_processed: self.events_processed - start_events,
+            messages_sent: self.messages_sent - start_messages,
+            quiescent_at: last_event_time,
+            quiescent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pongs a counter between two addresses over two channels until it
+    /// reaches a limit.
+    struct PingPong {
+        limit: u32,
+        log: Vec<(u64, Address, u32)>,
+        forward: ChannelId,
+        backward: ChannelId,
+    }
+
+    impl World for PingPong {
+        type Message = u32;
+        fn handle(&mut self, ctx: &mut Context<'_, u32>, to: Address, msg: u32) {
+            self.log.push((ctx.now().as_nanos(), to, msg));
+            if msg >= self.limit {
+                return;
+            }
+            let (ch, next) = if to == Address(0) {
+                (self.forward, Address(1))
+            } else {
+                (self.backward, Address(0))
+            };
+            ctx.send(ch, next, msg + 1);
+        }
+    }
+
+    fn engine_with_two_channels() -> (Engine<u32>, ChannelId, ChannelId) {
+        let mut engine = Engine::new();
+        let spec = ChannelSpec::new(1e9, Delay::from_micros(10), 1000);
+        let f = engine.add_channel(spec);
+        let b = engine.add_channel(spec);
+        (engine, f, b)
+    }
+
+    #[test]
+    fn runs_to_quiescence_and_reports_time() {
+        let (mut engine, f, b) = engine_with_two_channels();
+        let mut world = PingPong {
+            limit: 4,
+            log: Vec::new(),
+            forward: f,
+            backward: b,
+        };
+        engine.inject(SimTime::ZERO, Address(0), 0);
+        let report = engine.run(&mut world);
+        assert!(report.quiescent);
+        assert_eq!(report.events_processed, 5); // msgs 0..=4 delivered
+        assert_eq!(report.messages_sent, 4);
+        // Each hop takes 1 us transmission + 10 us propagation.
+        assert_eq!(report.quiescent_at, SimTime::from_micros(44));
+        assert!(engine.is_quiescent());
+        assert_eq!(engine.channel_sent(f), 2);
+        assert_eq!(engine.channel_sent(b), 2);
+    }
+
+    #[test]
+    fn horizon_stops_and_resumes() {
+        let (mut engine, f, b) = engine_with_two_channels();
+        let mut world = PingPong {
+            limit: 4,
+            log: Vec::new(),
+            forward: f,
+            backward: b,
+        };
+        engine.inject(SimTime::ZERO, Address(0), 0);
+        let first = engine.run_until(&mut world, SimTime::from_micros(20));
+        assert!(!first.quiescent);
+        assert!(engine.pending_events() > 0);
+        assert_eq!(engine.now(), SimTime::from_micros(20));
+        let second = engine.run(&mut world);
+        assert!(second.quiescent);
+        assert_eq!(
+            first.events_processed + second.events_processed,
+            5,
+            "split runs must process the same events as a single run"
+        );
+    }
+
+    #[test]
+    fn timers_do_not_use_channels() {
+        struct Timers {
+            fired: Vec<u64>,
+        }
+        impl World for Timers {
+            type Message = &'static str;
+            fn handle(&mut self, ctx: &mut Context<'_, &'static str>, _to: Address, msg: &'static str) {
+                self.fired.push(ctx.now().as_micros());
+                if msg == "start" {
+                    ctx.schedule_after(Delay::from_micros(7), Address(0), "later");
+                    ctx.deliver_now(Address(0), "now");
+                }
+            }
+        }
+        let mut engine: Engine<&'static str> = Engine::new();
+        let mut world = Timers { fired: Vec::new() };
+        engine.inject(SimTime::from_micros(1), Address(0), "start");
+        let report = engine.run(&mut world);
+        assert_eq!(world.fired, vec![1, 1, 8]);
+        assert_eq!(report.messages_sent, 0);
+        assert_eq!(report.events_processed, 3);
+    }
+
+    #[test]
+    fn empty_run_is_quiescent_immediately() {
+        let mut engine: Engine<()> = Engine::new();
+        struct Nop;
+        impl World for Nop {
+            type Message = ();
+            fn handle(&mut self, _ctx: &mut Context<'_, ()>, _to: Address, _msg: ()) {}
+        }
+        let report = engine.run(&mut Nop);
+        assert!(report.quiescent);
+        assert_eq!(report.events_processed, 0);
+        assert_eq!(report.quiescent_at, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn injecting_in_the_past_panics() {
+        let (mut engine, f, b) = engine_with_two_channels();
+        let mut world = PingPong {
+            limit: 1,
+            log: Vec::new(),
+            forward: f,
+            backward: b,
+        };
+        engine.inject(SimTime::from_micros(100), Address(0), 0);
+        engine.run(&mut world);
+        engine.inject(SimTime::from_micros(1), Address(0), 0);
+    }
+
+    #[test]
+    fn deterministic_across_identical_runs() {
+        let run = || {
+            let (mut engine, f, b) = engine_with_two_channels();
+            let mut world = PingPong {
+                limit: 10,
+                log: Vec::new(),
+                forward: f,
+                backward: b,
+            };
+            engine.inject(SimTime::ZERO, Address(0), 0);
+            engine.run(&mut world);
+            world.log
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,123 @@
+//! The time-ordered event queue.
+
+use crate::engine::Address;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled delivery.
+#[derive(Debug, Clone)]
+pub(crate) struct Event<M> {
+    pub(crate) at: SimTime,
+    /// Tie-break so that events scheduled earlier (in wall-clock order of
+    /// scheduling) are processed first among equal timestamps, giving the
+    /// simulator deterministic FIFO semantics.
+    pub(crate) seq: u64,
+    pub(crate) to: Address,
+    pub(crate) msg: M,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest event on
+        // top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-priority queue of events.
+#[derive(Debug)]
+pub(crate) struct EventQueue<M> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<M> EventQueue<M> {
+    pub(crate) fn push(&mut self, at: SimTime, to: Address, msg: M) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, to, msg });
+    }
+
+    pub(crate) fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    pub(crate) fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::default();
+        q.push(SimTime::from_micros(5), Address(0), "b");
+        q.push(SimTime::from_micros(1), Address(0), "a");
+        q.push(SimTime::from_micros(9), Address(0), "c");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().msg, "a");
+        assert_eq!(q.pop().unwrap().msg, "b");
+        assert_eq!(q.pop().unwrap().msg, "c");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_timestamps_are_fifo() {
+        let mut q = EventQueue::default();
+        let t = SimTime::from_micros(3);
+        for i in 0..10 {
+            q.push(t, Address(i), i);
+        }
+        for i in 0..10 {
+            let e = q.pop().unwrap();
+            assert_eq!(e.msg, i);
+            assert_eq!(e.to, Address(i));
+        }
+    }
+
+    #[test]
+    fn peek_time_reports_earliest() {
+        let mut q = EventQueue::default();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_micros(8), Address(0), ());
+        q.push(SimTime::from_micros(2), Address(0), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(2)));
+    }
+}

@@ -1,0 +1,41 @@
+//! # bneck-workload
+//!
+//! Workload and scenario generation for the B-Neck experiments:
+//!
+//! * [`scenario`] — the evaluation networks (Small/Medium/Big transit–stub
+//!   topologies in LAN or WAN flavour, as in Section IV of the paper);
+//! * [`sessions`] — random session planning (source/destination hosts chosen
+//!   uniformly at random, one session per source host, optional maximum-rate
+//!   requests);
+//! * [`schedule`] — timed `Join`/`Leave`/`Change` event schedules and their
+//!   application to a protocol harness;
+//! * [`dynamics`] — phase-structured churn (the join/leave/change phases of
+//!   Experiment 2);
+//! * [`experiments`] — ready-made configurations for the paper's three
+//!   experiments, with both paper-scale and CI-scale parameter sets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dynamics;
+pub mod experiments;
+pub mod scenario;
+pub mod schedule;
+pub mod sessions;
+
+pub use dynamics::DynamicsPlanner;
+pub use experiments::{Experiment1Config, Experiment2Config, Experiment3Config, PhaseSpec};
+pub use scenario::NetworkScenario;
+pub use schedule::{ApplyStats, Schedule, ScheduleTarget, TimedEvent, WorkloadEvent};
+pub use sessions::{LimitPolicy, SessionPlanner, SessionRequest};
+
+/// Commonly used items, suitable for glob import.
+pub mod prelude {
+    pub use crate::dynamics::DynamicsPlanner;
+    pub use crate::experiments::{
+        Experiment1Config, Experiment2Config, Experiment3Config, PhaseSpec,
+    };
+    pub use crate::scenario::NetworkScenario;
+    pub use crate::schedule::{ApplyStats, Schedule, ScheduleTarget, TimedEvent, WorkloadEvent};
+    pub use crate::sessions::{LimitPolicy, SessionPlanner, SessionRequest};
+}

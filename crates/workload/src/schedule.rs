@@ -1,0 +1,338 @@
+//! Timed workload event schedules.
+
+use crate::sessions::SessionRequest;
+use bneck_core::BneckSimulation;
+use bneck_maxmin::{RateLimit, SessionId};
+use bneck_net::NodeId;
+use bneck_sim::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One workload action (an invocation of an API primitive).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadEvent {
+    /// `API.Join(s, r)` for a session between two hosts.
+    Join {
+        /// The joining session.
+        session: SessionId,
+        /// Source host.
+        source: NodeId,
+        /// Destination host.
+        destination: NodeId,
+        /// Maximum requested rate.
+        limit: RateLimit,
+    },
+    /// `API.Leave(s)`.
+    Leave {
+        /// The departing session.
+        session: SessionId,
+    },
+    /// `API.Change(s, r)`.
+    Change {
+        /// The session changing its request.
+        session: SessionId,
+        /// The new maximum requested rate.
+        limit: RateLimit,
+    },
+}
+
+/// A workload event with the time at which it is injected.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimedEvent {
+    /// Injection time.
+    pub at: SimTime,
+    /// The event.
+    pub event: WorkloadEvent,
+}
+
+/// Counters of how a schedule was applied to a harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ApplyStats {
+    /// Join events accepted.
+    pub joins: usize,
+    /// Leave events accepted.
+    pub leaves: usize,
+    /// Change events accepted.
+    pub changes: usize,
+    /// Events rejected by the harness (for example a join from a busy source
+    /// host or a leave for an unknown session).
+    pub rejected: usize,
+}
+
+impl ApplyStats {
+    /// Total accepted events.
+    pub fn accepted(&self) -> usize {
+        self.joins + self.leaves + self.changes
+    }
+}
+
+/// Anything that can accept workload events: the B-Neck harness, the baseline
+/// harnesses, or test doubles.
+pub trait ScheduleTarget {
+    /// Applies a join; returns `false` if the target rejected it.
+    fn apply_join(
+        &mut self,
+        at: SimTime,
+        session: SessionId,
+        source: NodeId,
+        destination: NodeId,
+        limit: RateLimit,
+    ) -> bool;
+
+    /// Applies a leave; returns `false` if the target rejected it.
+    fn apply_leave(&mut self, at: SimTime, session: SessionId) -> bool;
+
+    /// Applies a rate change; returns `false` if the target rejected it.
+    fn apply_change(&mut self, at: SimTime, session: SessionId, limit: RateLimit) -> bool;
+}
+
+impl ScheduleTarget for BneckSimulation<'_> {
+    fn apply_join(
+        &mut self,
+        at: SimTime,
+        session: SessionId,
+        source: NodeId,
+        destination: NodeId,
+        limit: RateLimit,
+    ) -> bool {
+        self.join(at, session, source, destination, limit).is_ok()
+    }
+
+    fn apply_leave(&mut self, at: SimTime, session: SessionId) -> bool {
+        self.leave(at, session).is_ok()
+    }
+
+    fn apply_change(&mut self, at: SimTime, session: SessionId, limit: RateLimit) -> bool {
+        self.change(at, session, limit).is_ok()
+    }
+}
+
+/// A time-ordered sequence of workload events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    events: Vec<TimedEvent>,
+}
+
+impl Schedule {
+    /// Creates an empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an event, keeping the schedule ordered by time.
+    pub fn push(&mut self, at: SimTime, event: WorkloadEvent) {
+        self.events.push(TimedEvent { at, event });
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// Adds a join event built from a [`SessionRequest`].
+    pub fn push_join(&mut self, at: SimTime, request: SessionRequest) {
+        self.push(
+            at,
+            WorkloadEvent::Join {
+                session: request.session,
+                source: request.source,
+                destination: request.destination,
+                limit: request.limit,
+            },
+        );
+    }
+
+    /// Merges another schedule into this one.
+    pub fn merge(&mut self, other: Schedule) {
+        self.events.extend(other.events);
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the events in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &TimedEvent> {
+        self.events.iter()
+    }
+
+    /// The time of the last event, if any.
+    pub fn last_time(&self) -> Option<SimTime> {
+        self.events.last().map(|e| e.at)
+    }
+
+    /// Number of events of each kind `(joins, leaves, changes)`.
+    pub fn breakdown(&self) -> (usize, usize, usize) {
+        let mut joins = 0;
+        let mut leaves = 0;
+        let mut changes = 0;
+        for e in &self.events {
+            match e.event {
+                WorkloadEvent::Join { .. } => joins += 1,
+                WorkloadEvent::Leave { .. } => leaves += 1,
+                WorkloadEvent::Change { .. } => changes += 1,
+            }
+        }
+        (joins, leaves, changes)
+    }
+
+    /// Applies every event to `target`, in time order.
+    pub fn apply<T: ScheduleTarget>(&self, target: &mut T) -> ApplyStats {
+        let mut stats = ApplyStats::default();
+        for TimedEvent { at, event } in &self.events {
+            let accepted = match *event {
+                WorkloadEvent::Join {
+                    session,
+                    source,
+                    destination,
+                    limit,
+                } => {
+                    let ok = target.apply_join(*at, session, source, destination, limit);
+                    if ok {
+                        stats.joins += 1;
+                    }
+                    ok
+                }
+                WorkloadEvent::Leave { session } => {
+                    let ok = target.apply_leave(*at, session);
+                    if ok {
+                        stats.leaves += 1;
+                    }
+                    ok
+                }
+                WorkloadEvent::Change { session, limit } => {
+                    let ok = target.apply_change(*at, session, limit);
+                    if ok {
+                        stats.changes += 1;
+                    }
+                    ok
+                }
+            };
+            if !accepted {
+                stats.rejected += 1;
+            }
+        }
+        stats
+    }
+}
+
+impl FromIterator<TimedEvent> for Schedule {
+    fn from_iter<T: IntoIterator<Item = TimedEvent>>(iter: T) -> Self {
+        let mut events: Vec<TimedEvent> = iter.into_iter().collect();
+        events.sort_by_key(|e| e.at);
+        Schedule { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Recorder {
+        log: Vec<(u64, &'static str)>,
+        reject_leaves: bool,
+    }
+
+    impl ScheduleTarget for Recorder {
+        fn apply_join(
+            &mut self,
+            at: SimTime,
+            _session: SessionId,
+            _source: NodeId,
+            _destination: NodeId,
+            _limit: RateLimit,
+        ) -> bool {
+            self.log.push((at.as_micros(), "join"));
+            true
+        }
+        fn apply_leave(&mut self, at: SimTime, _session: SessionId) -> bool {
+            self.log.push((at.as_micros(), "leave"));
+            !self.reject_leaves
+        }
+        fn apply_change(&mut self, at: SimTime, _session: SessionId, _limit: RateLimit) -> bool {
+            self.log.push((at.as_micros(), "change"));
+            true
+        }
+    }
+
+    fn sample_schedule() -> Schedule {
+        let mut s = Schedule::new();
+        s.push(
+            SimTime::from_micros(30),
+            WorkloadEvent::Leave {
+                session: SessionId(0),
+            },
+        );
+        s.push(
+            SimTime::from_micros(10),
+            WorkloadEvent::Join {
+                session: SessionId(0),
+                source: NodeId(1),
+                destination: NodeId(2),
+                limit: RateLimit::unlimited(),
+            },
+        );
+        s.push(
+            SimTime::from_micros(20),
+            WorkloadEvent::Change {
+                session: SessionId(0),
+                limit: RateLimit::finite(1e6),
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn events_are_kept_in_time_order() {
+        let s = sample_schedule();
+        let times: Vec<u64> = s.iter().map(|e| e.at.as_micros()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+        assert_eq!(s.last_time(), Some(SimTime::from_micros(30)));
+        assert_eq!(s.breakdown(), (1, 1, 1));
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn apply_preserves_order_and_counts() {
+        let s = sample_schedule();
+        let mut target = Recorder::default();
+        let stats = s.apply(&mut target);
+        assert_eq!(
+            target.log,
+            vec![(10, "join"), (20, "change"), (30, "leave")]
+        );
+        assert_eq!(stats.joins, 1);
+        assert_eq!(stats.leaves, 1);
+        assert_eq!(stats.changes, 1);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.accepted(), 3);
+    }
+
+    #[test]
+    fn rejections_are_counted() {
+        let s = sample_schedule();
+        let mut target = Recorder {
+            reject_leaves: true,
+            ..Default::default()
+        };
+        let stats = s.apply(&mut target);
+        assert_eq!(stats.leaves, 0);
+        assert_eq!(stats.rejected, 1);
+    }
+
+    #[test]
+    fn merge_and_collect() {
+        let mut a = sample_schedule();
+        let b = sample_schedule();
+        a.merge(b);
+        assert_eq!(a.len(), 6);
+        let collected: Schedule = a.iter().copied().collect();
+        assert_eq!(collected.len(), 6);
+        let times: Vec<u64> = collected.iter().map(|e| e.at.as_micros()).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

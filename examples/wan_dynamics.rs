@@ -1,0 +1,81 @@
+//! Session churn on a wide-area transit–stub network: sessions join, leave
+//! and change their rate requests in waves; after every wave B-Neck
+//! re-converges, notifies the affected sessions and goes quiescent again.
+//!
+//! This is a miniature version of the paper's Experiment 2, run on the WAN
+//! flavour of the Small topology (1–10 ms link delays).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run -p bneck --example wan_dynamics
+//! ```
+
+use bneck::prelude::*;
+
+fn main() {
+    let scenario = NetworkScenario::small_wan(200).with_seed(42);
+    let network = scenario.build();
+    println!(
+        "network: {} ({} routers, {} hosts)",
+        scenario.label(),
+        network.router_count(),
+        network.host_count()
+    );
+
+    let mut sim = BneckSimulation::new(&network, BneckConfig::default());
+    let mut planner = DynamicsPlanner::new(&network, 7);
+    let limits = LimitPolicy::RandomFinite {
+        probability: 0.3,
+        min_bps: 5e6,
+        max_bps: 80e6,
+    };
+
+    let waves = [
+        ("initial joins", 80usize, 0usize, 0usize),
+        ("departures", 0, 20, 0),
+        ("rate changes", 0, 0, 20),
+        ("more arrivals", 20, 0, 0),
+        ("mixed churn", 15, 15, 15),
+    ];
+
+    for (name, joins, leaves, changes) in waves {
+        let start = if sim.now() == SimTime::ZERO {
+            SimTime::ZERO
+        } else {
+            sim.now() + Delay::from_millis(1)
+        };
+        let schedule = planner.phase(start, Delay::from_millis(1), joins, leaves, changes, limits);
+        let packets_before = sim.packet_stats().total();
+        let applied = schedule.apply(&mut sim);
+        let report = sim.run_to_quiescence();
+
+        // Cross-check against the centralized oracle after every wave.
+        let sessions = sim.session_set();
+        let oracle = CentralizedBneck::new(&network, &sessions).solve();
+        let ok = compare_allocations(
+            &sessions,
+            &sim.allocation(),
+            &oracle,
+            Tolerance::new(1e-6, 10.0),
+        )
+        .is_ok();
+
+        println!(
+            "wave '{name}': {} joins / {} leaves / {} changes -> quiescent after {:.1} ms, \
+             {} packets, {} active sessions, oracle match: {ok}",
+            applied.joins,
+            applied.leaves,
+            applied.changes,
+            report.quiescent_at.saturating_since(start).as_nanos() as f64 / 1e6,
+            sim.packet_stats().total() - packets_before,
+            sessions.len(),
+        );
+    }
+
+    println!(
+        "\ntotal control traffic over the whole run: {} packets ({})",
+        sim.packet_stats().total(),
+        sim.packet_stats()
+    );
+}

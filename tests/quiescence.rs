@@ -1,0 +1,151 @@
+//! Quiescence properties (the paper's headline contribution): once the
+//! max-min fair rates are computed, B-Neck generates no further traffic; any
+//! change reactivates it and it becomes quiescent again.
+
+use bneck::prelude::*;
+
+fn build_simulation(hosts: usize, seed: u64) -> (bneck::net::Network, Vec<SessionRequest>) {
+    let scenario = NetworkScenario::small_lan(hosts).with_seed(seed);
+    let network = scenario.build();
+    let mut planner = SessionPlanner::new(&network, seed * 7 + 1);
+    let requests = planner.plan(hosts / 3, LimitPolicy::Unlimited);
+    (network, requests)
+}
+
+#[test]
+fn no_traffic_after_convergence() {
+    let (network, requests) = build_simulation(90, 1);
+    let mut sim = BneckSimulation::new(&network, BneckConfig::default());
+    for r in &requests {
+        sim.join(SimTime::ZERO, r.session, r.source, r.destination, r.limit)
+            .unwrap();
+    }
+    let report = sim.run_to_quiescence();
+    assert!(report.quiescent);
+    assert!(sim.is_quiescent());
+    assert!(sim.links_stable(), "every link satisfies Definition 2");
+
+    // Run for a long additional horizon: nothing happens at all.
+    let packets = sim.packet_stats().total();
+    let events = report.events_processed;
+    let later = sim.run_until(sim.now() + Delay::from_secs(10));
+    assert_eq!(later.events_processed, 0);
+    assert_eq!(sim.packet_stats().total(), packets);
+    assert!(events > 0);
+}
+
+#[test]
+fn every_change_reactivates_and_requiesces() {
+    let (network, requests) = build_simulation(90, 2);
+    let mut sim = BneckSimulation::new(&network, BneckConfig::default());
+    for r in &requests {
+        sim.join(SimTime::ZERO, r.session, r.source, r.destination, r.limit)
+            .unwrap();
+    }
+    sim.run_to_quiescence();
+
+    // A single rate change wakes the protocol up...
+    let victim = sim.active_sessions().next().unwrap();
+    let packets_before = sim.packet_stats().total();
+    sim.change(
+        sim.now() + Delay::from_millis(1),
+        victim,
+        RateLimit::finite(1e6),
+    )
+    .unwrap();
+    let report = sim.run_to_quiescence();
+    assert!(report.quiescent);
+    assert!(
+        sim.packet_stats().total() > packets_before,
+        "the change generated control traffic"
+    );
+    assert!(
+        (sim.allocation().rate(victim).unwrap() - 1e6).abs() < 1.0,
+        "the new cap is applied"
+    );
+
+    // ... and a single departure does too; afterwards silence again.
+    let packets_before = sim.packet_stats().total();
+    sim.leave(sim.now() + Delay::from_millis(1), victim).unwrap();
+    let report = sim.run_to_quiescence();
+    assert!(report.quiescent);
+    assert!(sim.packet_stats().total() > packets_before);
+    let packets_before = sim.packet_stats().total();
+    sim.run_until(sim.now() + Delay::from_secs(1));
+    assert_eq!(sim.packet_stats().total(), packets_before);
+}
+
+#[test]
+fn control_traffic_is_bounded_per_session() {
+    // The paper reports a few packets per session per link for static
+    // workloads; check the order of magnitude: total packets stays within a
+    // small multiple of (sessions × path length × probe cycles).
+    let (network, requests) = build_simulation(150, 3);
+    let mut sim = BneckSimulation::new(&network, BneckConfig::default());
+    let mut total_hops = 0usize;
+    for r in &requests {
+        sim.join(SimTime::ZERO, r.session, r.source, r.destination, r.limit)
+            .unwrap();
+        total_hops += sim.session_path(r.session).unwrap().hop_count();
+    }
+    sim.run_to_quiescence();
+    let packets = sim.packet_stats().total();
+    assert!(packets > 0);
+    // A generous bound: every session may need several probe cycles, each
+    // costing about twice its path length, plus bottleneck/update traffic.
+    let bound = (total_hops as u64) * 40;
+    assert!(
+        packets < bound,
+        "control traffic {packets} exceeds the expected bound {bound}"
+    );
+}
+
+#[test]
+fn quiescent_state_is_stable_and_correct_after_bursts_of_churn() {
+    let (network, requests) = build_simulation(120, 4);
+    let mut sim = BneckSimulation::new(&network, BneckConfig::default());
+    for r in &requests {
+        sim.join(SimTime::ZERO, r.session, r.source, r.destination, r.limit)
+            .unwrap();
+    }
+    sim.run_to_quiescence();
+
+    // Leave and immediately re-join with a different request, several times.
+    for round in 0..3u64 {
+        let victims: Vec<_> = sim.active_sessions().take(5).collect();
+        let base = sim.now() + Delay::from_millis(1);
+        for (i, v) in victims.iter().enumerate() {
+            sim.leave(base + Delay::from_micros(i as u64), *v).unwrap();
+        }
+        sim.run_to_quiescence();
+        let hosts: Vec<_> = network.hosts().map(|h| h.id()).collect();
+        let base = sim.now() + Delay::from_millis(1);
+        let mut next = 10_000 + round * 100;
+        for (i, pair) in hosts.chunks(2).take(5).enumerate() {
+            if pair.len() < 2 || sim.is_source_host_busy(pair[0]) {
+                continue;
+            }
+            let _ = sim.join(
+                base + Delay::from_micros(i as u64),
+                SessionId(next),
+                pair[0],
+                pair[1],
+                RateLimit::finite(5e6 * (i as f64 + 1.0)),
+            );
+            next += 1;
+        }
+        let report = sim.run_to_quiescence();
+        assert!(report.quiescent);
+        assert!(sim.is_quiescent());
+        // Correctness after every burst.
+        let sessions = sim.session_set();
+        let oracle = CentralizedBneck::new(&network, &sessions).solve();
+        assert!(compare_allocations(
+            &sessions,
+            &sim.allocation(),
+            &oracle,
+            Tolerance::new(1e-6, 10.0)
+        )
+        .is_ok());
+    }
+}
