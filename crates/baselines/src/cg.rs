@@ -90,14 +90,20 @@ impl CgController {
 }
 
 impl LinkController for CgController {
-    fn on_probe(&mut self, _session: SessionId, _demand: Rate, _current: Rate, now: SimTime) -> Rate {
+    fn on_probe(
+        &mut self,
+        _session: SessionId,
+        _demand: Rate,
+        _current: Rate,
+        now: SimTime,
+    ) -> Rate {
         if now.saturating_since(self.window_start) >= self.window {
             // With the default parameters every active session probes twice
             // per measurement window, so half the raw count estimates the
             // session count.
             let measured = self.probes_in_window as f64 * 0.5;
-            self.session_estimate = (1.0 - self.smoothing) * self.session_estimate
-                + self.smoothing * measured.max(1.0);
+            self.session_estimate =
+                (1.0 - self.smoothing) * self.session_estimate + self.smoothing * measured.max(1.0);
             self.probes_in_window = 0;
             self.window_start = now;
         }

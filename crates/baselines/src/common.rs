@@ -12,6 +12,7 @@ use bneck_maxmin::{Allocation, Rate, RateLimit, SessionId};
 use bneck_net::{LinkId, Network, NodeId, Path, Router};
 use bneck_sim::{Address, ChannelId, ChannelSpec, Context, Engine, SimTime, World};
 use bneck_workload::ScheduleTarget;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -22,8 +23,7 @@ pub trait LinkController {
     /// session's maximum requested rate and `current` the rate the source is
     /// currently using. Returns the rate this link is willing to grant the
     /// session.
-    fn on_probe(&mut self, session: SessionId, demand: Rate, current: Rate, now: SimTime)
-        -> Rate;
+    fn on_probe(&mut self, session: SessionId, demand: Rate, current: Rate, now: SimTime) -> Rate;
 
     /// Called when the session's departure notification crosses the link.
     fn on_leave(&mut self, session: SessionId);
@@ -47,7 +47,8 @@ pub trait BaselineProtocol {
 }
 
 /// Configuration of a [`BaselineSimulation`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct BaselineConfig {
     /// Size of a control packet in bits (transmission-time model).
     pub packet_bits: u64,
@@ -60,7 +61,8 @@ impl Default for BaselineConfig {
 }
 
 /// Packet counters of a baseline run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct BaselineStats {
     /// Probe packets transmitted (one count per link traversal).
     pub probes: u64,
@@ -407,7 +409,8 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
             },
         );
         self.world.active.insert(session);
-        self.engine.inject(at, Address(0), Message::Start { session });
+        self.engine
+            .inject(at, Address(0), Message::Start { session });
         true
     }
 
@@ -416,7 +419,8 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
         if !self.world.active.contains(&session) {
             return false;
         }
-        self.engine.inject(at, Address(0), Message::Stop { session });
+        self.engine
+            .inject(at, Address(0), Message::Stop { session });
         true
     }
 

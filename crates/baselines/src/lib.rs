@@ -32,7 +32,9 @@ pub mod rcp;
 
 pub use bfyz::Bfyz;
 pub use cg::CobbGouda;
-pub use common::{BaselineConfig, BaselineProtocol, BaselineSimulation, BaselineStats, LinkController};
+pub use common::{
+    BaselineConfig, BaselineProtocol, BaselineSimulation, BaselineStats, LinkController,
+};
 pub use rcp::Rcp;
 
 /// Commonly used items, suitable for glob import.

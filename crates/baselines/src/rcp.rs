@@ -96,8 +96,7 @@ impl LinkController for RcpController {
         if now.saturating_since(self.last_update) >= self.update_interval {
             let y = self.offered_in_window;
             let feedback = self.alpha * (self.capacity - y) / self.capacity;
-            self.rate = (self.rate * (1.0 + feedback))
-                .clamp(self.capacity * 1e-3, self.capacity);
+            self.rate = (self.rate * (1.0 + feedback)).clamp(self.capacity * 1e-3, self.capacity);
             self.offered_in_window = 0.0;
             self.last_update = now;
         }

@@ -11,8 +11,14 @@ fn bench_convergence(c: &mut Criterion) {
     group.sample_size(10);
     for &sessions in &[10usize, 50, 200] {
         for (label, scenario) in [
-            ("small_lan", NetworkScenario::small_lan(2 * sessions.max(10))),
-            ("small_wan", NetworkScenario::small_wan(2 * sessions.max(10))),
+            (
+                "small_lan",
+                NetworkScenario::small_lan(2 * sessions.max(10)),
+            ),
+            (
+                "small_wan",
+                NetworkScenario::small_wan(2 * sessions.max(10)),
+            ),
         ] {
             group.bench_with_input(
                 BenchmarkId::new(label, sessions),

@@ -63,18 +63,23 @@ fn main() {
     );
     let mut right = Table::new(
         "figure-5-right: packets transmitted (Experiment 1)",
-        &["scenario", "sessions", "total_packets", "packets_per_session"],
+        &[
+            "scenario",
+            "sessions",
+            "total_packets",
+            "packets_per_session",
+        ],
     );
 
     // The sweep points are independent simulations: run one scenario per
-    // thread (crossbeam scoped threads keep the borrow of `sweep` simple) and
+    // thread (std scoped threads keep the borrow of `sweep` simple) and
     // report the points in a deterministic order afterwards.
-    let points: Vec<_> = crossbeam::thread::scope(|scope| {
+    let points: Vec<_> = std::thread::scope(|scope| {
         let handles: Vec<_> = scenarios
             .iter()
             .map(|make_scenario| {
                 let sweep = &sweep;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     sweep
                         .iter()
                         .map(|&sessions| {
@@ -102,8 +107,7 @@ fn main() {
             .into_iter()
             .flat_map(|h| h.join().expect("sweep worker panicked"))
             .collect()
-    })
-    .expect("sweep threads panicked");
+    });
 
     for point in &points {
         left.add_row(&[

@@ -7,10 +7,12 @@ use bneck_metrics::prelude::*;
 use bneck_net::Delay;
 use bneck_sim::SimTime;
 use bneck_workload::prelude::*;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// One point of Figure 5: a session count on one scenario.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Experiment1Point {
     /// Scenario label (`small/lan`, `medium/wan`, …).
     pub scenario: String,
@@ -60,7 +62,8 @@ pub fn run_experiment1_point(config: &Experiment1Config) -> Experiment1Point {
 }
 
 /// One phase of Figure 6.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Experiment2PhaseResult {
     /// Phase name (`join`, `leave`, `change`, `join-2`, `mixed`).
     pub name: &'static str,
@@ -81,7 +84,9 @@ pub struct Experiment2PhaseResult {
 ///
 /// Returns the per-phase results plus the packet time series (5 ms bins, as in
 /// Figure 6) of the whole run.
-pub fn run_experiment2(config: &Experiment2Config) -> (Vec<Experiment2PhaseResult>, PacketTimeSeries) {
+pub fn run_experiment2(
+    config: &Experiment2Config,
+) -> (Vec<Experiment2PhaseResult>, PacketTimeSeries) {
     let network = config.scenario.build();
     let mut planner = config.planner(&network);
     let mut sim = BneckSimulation::new(&network, BneckConfig::default().with_packet_log());
@@ -115,10 +120,7 @@ pub fn run_experiment2(config: &Experiment2Config) -> (Vec<Experiment2PhaseResul
         results.push(Experiment2PhaseResult {
             name: phase.name,
             started_at_us: start.as_micros(),
-            time_to_quiescence_us: report
-                .quiescent_at
-                .saturating_since(start)
-                .as_micros(),
+            time_to_quiescence_us: report.quiescent_at.saturating_since(start).as_micros(),
             active_sessions: sessions.len(),
             packets: sim.packet_stats().since(&before),
             validated,
@@ -129,7 +131,8 @@ pub fn run_experiment2(config: &Experiment2Config) -> (Vec<Experiment2PhaseResul
 }
 
 /// One sampling instant of Experiment 3, for one protocol.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Experiment3Sample {
     /// Sampling time in microseconds.
     pub at_us: u64,
@@ -142,7 +145,8 @@ pub struct Experiment3Sample {
 }
 
 /// The outcome of Experiment 3 for one protocol.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Experiment3Result {
     /// Protocol name (`B-Neck`, `BFYZ`, `CG`, `RCP`).
     pub protocol: String,
@@ -271,7 +275,8 @@ fn run_baseline<P: BaselineProtocol>(
 }
 
 /// Result of validating one randomized scenario against the oracle.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ValidationReport {
     /// Scenario label.
     pub scenario: String,
@@ -288,7 +293,11 @@ pub struct ValidationReport {
 /// Runs a join-only workload on a scenario and checks the distributed rates
 /// against both the centralized oracle and the max-min fairness conditions
 /// (the validation methodology of Section IV of the paper).
-pub fn validate_scenario(scenario: &NetworkScenario, sessions: usize, seed: u64) -> ValidationReport {
+pub fn validate_scenario(
+    scenario: &NetworkScenario,
+    sessions: usize,
+    seed: u64,
+) -> ValidationReport {
     let config = Experiment1Config {
         scenario: *scenario,
         sessions,
@@ -332,8 +341,8 @@ pub fn validate_scenario(scenario: &NetworkScenario, sessions: usize, seed: u64)
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bneck_net::DelayModel;
     use bneck_net::topology::transit_stub::NetworkSize;
+    use bneck_net::DelayModel;
 
     #[test]
     fn experiment1_point_runs_and_validates() {

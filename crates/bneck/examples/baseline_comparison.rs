@@ -19,7 +19,11 @@ fn main() {
     // The same 60-session workload for both protocols.
     let mut planner = SessionPlanner::new(&network, 23);
     let requests = planner.plan(60, LimitPolicy::Unlimited);
-    println!("workload: {} sessions on {}", requests.len(), scenario.label());
+    println!(
+        "workload: {} sessions on {}",
+        requests.len(),
+        scenario.label()
+    );
 
     // Reference: the centralized max-min fair allocation.
     let mut router = Router::new(&network);
@@ -43,7 +47,9 @@ fn main() {
         bfyz.join(SimTime::ZERO, r.session, r.source, r.destination, r.limit);
     }
 
-    println!("\n   time |        B-Neck mean error |          BFYZ mean error | B-Neck pkts | BFYZ pkts");
+    println!(
+        "\n   time |        B-Neck mean error |          BFYZ mean error | B-Neck pkts | BFYZ pkts"
+    );
     let mut bneck_prev = 0u64;
     let mut bfyz_prev = 0u64;
     for ms in (3..=45u64).step_by(3) {

@@ -45,7 +45,10 @@ fn main() {
             RateLimit::unlimited()
         };
         let at = SimTime::from_micros(10 * i as u64);
-        if sim.join(at, SessionId(joined), source, destination, limit).is_ok() {
+        if sim
+            .join(at, SessionId(joined), source, destination, limit)
+            .is_ok()
+        {
             joined += 1;
         }
     }

@@ -32,12 +32,30 @@ fn main() {
     let mut sim = BneckSimulation::new(&network, BneckConfig::default());
 
     // Session 0 caps itself at 10 Mbps; the others are greedy.
-    sim.join(SimTime::ZERO, SessionId(0), hosts[0], hosts[1], RateLimit::finite(10e6))
-        .expect("hosts are connected");
-    sim.join(SimTime::ZERO, SessionId(1), hosts[2], hosts[3], RateLimit::unlimited())
-        .expect("hosts are connected");
-    sim.join(SimTime::ZERO, SessionId(2), hosts[4], hosts[5], RateLimit::unlimited())
-        .expect("hosts are connected");
+    sim.join(
+        SimTime::ZERO,
+        SessionId(0),
+        hosts[0],
+        hosts[1],
+        RateLimit::finite(10e6),
+    )
+    .expect("hosts are connected");
+    sim.join(
+        SimTime::ZERO,
+        SessionId(1),
+        hosts[2],
+        hosts[3],
+        RateLimit::unlimited(),
+    )
+    .expect("hosts are connected");
+    sim.join(
+        SimTime::ZERO,
+        SessionId(2),
+        hosts[4],
+        hosts[5],
+        RateLimit::unlimited(),
+    )
+    .expect("hosts are connected");
 
     let report = sim.run_to_quiescence();
     println!(
@@ -45,7 +63,10 @@ fn main() {
         report.quiescent_at.as_micros(),
         sim.packet_stats().total()
     );
-    print_rates("max-min fair rates (10 Mbps cap + even split of the rest):", &sim);
+    print_rates(
+        "max-min fair rates (10 Mbps cap + even split of the rest):",
+        &sim,
+    );
 
     // The allocation matches the centralized Water-Filling oracle.
     let oracle = CentralizedBneck::new(&network, &sim.session_set()).solve();
@@ -66,7 +87,10 @@ fn main() {
         "\nafter the rate change, quiescent again at {} us",
         report.quiescent_at.as_micros()
     );
-    print_rates("rates after session 0 lifted its cap (even three-way split):", &sim);
+    print_rates(
+        "rates after session 0 lifted its cap (even three-way split):",
+        &sim,
+    );
 
     // Session 1 leaves: the survivors re-converge to a larger share.
     let t = sim.now() + Delay::from_millis(1);

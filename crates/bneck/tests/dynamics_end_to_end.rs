@@ -63,7 +63,8 @@ fn five_phase_churn_converges_and_validates_each_phase() {
     let series = PacketTimeSeries::from_log(sim.packet_log(), Delay::from_millis(5));
     assert!(series.total() > 0);
     let last_active = series.last_active_bin().unwrap();
-    let quiescent_bin = (previous_quiescence.as_nanos() / Delay::from_millis(5).as_nanos()) as usize;
+    let quiescent_bin =
+        (previous_quiescence.as_nanos() / Delay::from_millis(5).as_nanos()) as usize;
     assert!(last_active <= quiescent_bin);
 }
 

@@ -4,9 +4,7 @@
 //! use).
 
 use bneck_bench::{run_experiment1_point, run_experiment2, run_experiment3, validate_scenario};
-use bneck_workload::{
-    Experiment1Config, Experiment2Config, Experiment3Config, NetworkScenario,
-};
+use bneck_workload::{Experiment1Config, Experiment2Config, Experiment3Config, NetworkScenario};
 
 #[test]
 fn figure5_runner_produces_monotone_traffic() {
@@ -87,12 +85,19 @@ fn figure7_and_8_runner_reproduces_the_headline_contrast() {
     let bneck = &results[0];
     let bfyz = &results[1];
 
-    // Figure 7: B-Neck's error reaches ~0 and never overshoots; BFYZ's final
-    // error is small too (it converges in practice) but its early error is
-    // wilder.
+    // Figure 7: B-Neck's error reaches ~0 and never overshoots. The reference
+    // allocation is the max-min of the *final* session set, so the assertion
+    // only applies once the join/leave churn window has closed — while
+    // sessions are still arriving, early joiners legitimately hold larger
+    // shares of a less-loaded network.
     let bneck_final = bneck.samples.last().unwrap().source_error;
     assert!(bneck_final.mean.abs() < 0.5);
-    assert!(bneck.samples.iter().all(|s| s.source_error.p90 <= 0.5));
+    let churn_end_us = config.change_window.as_micros();
+    assert!(bneck
+        .samples
+        .iter()
+        .filter(|s| s.at_us > churn_end_us)
+        .all(|s| s.source_error.p90 <= 0.5));
 
     // Figure 8: B-Neck's per-interval traffic drops to zero, BFYZ's does not.
     assert_eq!(bneck.samples.last().unwrap().packets_in_interval, 0);

@@ -66,7 +66,8 @@ fn every_change_reactivates_and_requiesces() {
 
     // ... and a single departure does too; afterwards silence again.
     let packets_before = sim.packet_stats().total();
-    sim.leave(sim.now() + Delay::from_millis(1), victim).unwrap();
+    sim.leave(sim.now() + Delay::from_millis(1), victim)
+        .unwrap();
     let report = sim.run_to_quiescence();
     assert!(report.quiescent);
     assert!(sim.packet_stats().total() > packets_before);

@@ -10,7 +10,12 @@ use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
-fn join_random_sessions(sim: &mut BneckSimulation<'_>, rng: &mut SmallRng, n: usize, with_limits: bool) {
+fn join_random_sessions(
+    sim: &mut BneckSimulation<'_>,
+    rng: &mut SmallRng,
+    n: usize,
+    with_limits: bool,
+) {
     let hosts: Vec<_> = sim.network().hosts().map(|h| h.id()).collect();
     let mut sources = hosts.clone();
     sources.shuffle(rng);
@@ -40,7 +45,9 @@ fn check(sim: &BneckSimulation<'_>, phase: &str) {
             println!("[{phase}] {} violations", violations.len());
             for v in violations.iter().take(3) {
                 println!("  {v}");
-                if let Violation::RateMismatch { session, .. } | Violation::MissingRate { session } = v {
+                if let Violation::RateMismatch { session, .. }
+                | Violation::MissingRate { session } = v
+                {
                     dump_session(sim, *session, &expected);
                     // Which link does the oracle consider the session's bottleneck?
                     if let Some(path) = sim.session_path(*session) {
@@ -71,7 +78,9 @@ fn check(sim: &BneckSimulation<'_>, phase: &str) {
 }
 
 fn dump_session(sim: &BneckSimulation<'_>, session: SessionId, expected: &Allocation) {
-    let Some(path) = sim.session_path(session) else { return };
+    let Some(path) = sim.session_path(session) else {
+        return;
+    };
     let src = sim.source_task(session).unwrap();
     println!(
         "  session {session}: demand={} current={} settled={} mu={:?} expected={:?}",
@@ -98,7 +107,12 @@ fn dump_session(sim: &BneckSimulation<'_>, session: SessionId, expected: &Alloca
 }
 
 fn main() {
-    let net = bneck_net::topology::transit_stub::paper_network(NetworkSize::Small, 80, DelayModel::Lan, 21);
+    let net = bneck_net::topology::transit_stub::paper_network(
+        NetworkSize::Small,
+        80,
+        DelayModel::Lan,
+        21,
+    );
     let mut rng = SmallRng::seed_from_u64(4242);
     let mut sim = BneckSimulation::new(&net, BneckConfig::default());
     join_random_sessions(&mut sim, &mut rng, 40, true);
@@ -143,5 +157,9 @@ fn main() {
     }
     sim.run_to_quiescence();
     check(&sim, "phase 4: late joins");
-    println!("links_stable={} quiescent={}", sim.links_stable(), sim.is_quiescent());
+    println!(
+        "links_stable={} quiescent={}",
+        sim.links_stable(),
+        sim.is_quiescent()
+    );
 }

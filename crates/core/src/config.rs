@@ -1,10 +1,12 @@
 //! Configuration of a B-Neck simulation.
 
 use bneck_maxmin::Tolerance;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Tunable parameters of a [`crate::harness::BneckSimulation`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct BneckConfig {
     /// Size of a control packet in bits, used to compute per-link transmission
     /// times (the paper models both transmission and propagation times).

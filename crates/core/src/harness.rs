@@ -21,6 +21,7 @@ use crate::task::{Action, RateNotification};
 use bneck_maxmin::{Allocation, Rate, RateLimit, Session, SessionId, SessionSet};
 use bneck_net::{LinkId, Network, NodeId, Path, Router};
 use bneck_sim::{Address, ChannelId, ChannelSpec, Context, Engine, SimTime, World};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
@@ -55,7 +56,8 @@ enum Payload {
 }
 
 /// Error returned when a session cannot be created or manipulated.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum JoinError {
     /// No path exists between the requested source and destination hosts.
     NoPath {
@@ -102,7 +104,8 @@ impl fmt::Display for JoinError {
 impl std::error::Error for JoinError {}
 
 /// Summary of a run to quiescence.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct QuiescenceReport {
     /// Whether the run actually reached quiescence (always `true` for
     /// [`BneckSimulation::run_to_quiescence`], may be `false` for horizon
@@ -145,12 +148,10 @@ impl<'a> BneckWorld<'a> {
                     ApiCall::Change { limit } => source.api_change(limit),
                 }
             }
-            (Target::Source(s), Payload::Protocol(packet)) => {
-                match self.sources.get_mut(&s) {
-                    Some(source) => source.handle(packet),
-                    None => Vec::new(),
-                }
-            }
+            (Target::Source(s), Payload::Protocol(packet)) => match self.sources.get_mut(&s) {
+                Some(source) => source.handle(packet),
+                None => Vec::new(),
+            },
             (Target::Link(e), Payload::Protocol(packet)) => {
                 let capacity = self.network.link(e).capacity().as_bps();
                 let tolerance = self.config.tolerance;
@@ -236,7 +237,7 @@ impl<'a> BneckWorld<'a> {
                             return;
                         };
                         debug_assert!(i >= 1, "the first link is owned by the source task");
-                        let next = if i - 1 >= 1 {
+                        let next = if i > 1 {
                             Target::Link(links[i - 1])
                         } else {
                             Target::Source(session)
@@ -315,11 +316,7 @@ impl<'a> BneckSimulation<'a> {
         let mut engine = Engine::new();
         let mut channels = Vec::with_capacity(network.link_count());
         for link in network.links() {
-            let spec = ChannelSpec::new(
-                link.capacity().as_bps(),
-                link.delay(),
-                config.packet_bits,
-            );
+            let spec = ChannelSpec::new(link.capacity().as_bps(), link.delay(), config.packet_bits);
             channels.push(engine.add_channel(spec));
         }
         BneckSimulation {
@@ -778,7 +775,8 @@ mod tests {
         sim.run_to_quiescence();
         // Session 0 caps itself at 10 Mbps: session 1 should grow to 70 Mbps.
         let t1 = sim.now() + bneck_net::Delay::from_millis(1);
-        sim.change(t1, SessionId(0), RateLimit::finite(10e6)).unwrap();
+        sim.change(t1, SessionId(0), RateLimit::finite(10e6))
+            .unwrap();
         sim.run_to_quiescence();
         assert_matches_oracle(&sim);
         let alloc = sim.allocation();
@@ -786,7 +784,8 @@ mod tests {
         assert!((alloc.rate(SessionId(1)).unwrap() - 70e6).abs() < 1.0);
         // Session 0 lifts its cap again: back to a 40/40 split.
         let t2 = sim.now() + bneck_net::Delay::from_millis(1);
-        sim.change(t2, SessionId(0), RateLimit::unlimited()).unwrap();
+        sim.change(t2, SessionId(0), RateLimit::unlimited())
+            .unwrap();
         sim.run_to_quiescence();
         assert_matches_oracle(&sim);
         let alloc = sim.allocation();

@@ -2,12 +2,14 @@
 
 use bneck_maxmin::{Rate, SessionId};
 use bneck_net::LinkId;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The `τ` field of a [`Packet::Response`]: the next action the source node
 /// must perform.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum ResponseKind {
     /// A plain answer to a Probe cycle carrying the granted rate.
     Response,
@@ -23,7 +25,8 @@ pub enum ResponseKind {
 /// `Join`, `Probe`, `SetBottleneck` and `Leave` travel *downstream* (along the
 /// session's path); `Response`, `Update` and `Bottleneck` travel *upstream*
 /// (along the reverse path).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum Packet {
     /// Announces a new session and acts as the first Probe of its Probe cycle.
     /// `rate` is the estimated bottleneck rate `λ` gathered so far and
@@ -158,7 +161,8 @@ impl fmt::Display for Packet {
 
 /// The seven packet kinds, used as keys for packet accounting (Figure 6 of the
 /// paper breaks down control traffic by these kinds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum PacketKind {
     /// A `Join` packet.
     Join,

@@ -197,11 +197,7 @@ impl RouterLink {
             .iter()
             .filter(|s| {
                 let st = &self.sessions[s];
-                st.mu.is_idle()
-                    && st
-                        .lambda
-                        .map(|l| self.tol.gt(l, be))
-                        .unwrap_or(false)
+                st.mu.is_idle() && st.lambda.map(|l| self.tol.gt(l, be)).unwrap_or(false)
             })
             .copied()
             .collect();
@@ -239,11 +235,8 @@ impl RouterLink {
         // A Probe for a session the link has never seen behaves like a Join
         // (this can only happen if state was lost, e.g. around a Leave race).
         self.sessions.entry(session).or_default();
-        if self.unrestricted.remove(&session) {
-            self.restricted.insert(session);
-        } else {
-            self.restricted.insert(session);
-        }
+        self.unrestricted.remove(&session);
+        self.restricted.insert(session);
         self.sessions.get_mut(&session).expect("just inserted").mu = ProbeState::WaitingResponse;
         self.process_new_restricted(&mut actions);
         let be = self.bottleneck_rate();
@@ -295,8 +288,7 @@ impl RouterLink {
             let all_settled = !self.restricted.is_empty()
                 && self.restricted.iter().all(|r| {
                     let st = &self.sessions[r];
-                    st.mu.is_idle()
-                        && st.lambda.map(|l| self.tol.eq(l, be)).unwrap_or(false)
+                    st.mu.is_idle() && st.lambda.map(|l| self.tol.eq(l, be)).unwrap_or(false)
                 });
             if all_settled {
                 kind = ResponseKind::Bottleneck;
@@ -361,9 +353,7 @@ impl RouterLink {
                 session,
                 found: true,
             }));
-        } else if st.mu.is_idle()
-            && st.lambda.map(|l| self.tol.lt(l, be)).unwrap_or(false)
-        {
+        } else if st.mu.is_idle() && st.lambda.map(|l| self.tol.lt(l, be)).unwrap_or(false) {
             // The session is restricted elsewhere: move it to F_e and wake the
             // sessions that may now increase their rate.
             let to_update: Vec<SessionId> = self
@@ -382,9 +372,15 @@ impl RouterLink {
             }
             self.restricted.remove(&session);
             self.unrestricted.insert(session);
-            actions.push(Action::SendDownstream(Packet::SetBottleneck { session, found }));
+            actions.push(Action::SendDownstream(Packet::SetBottleneck {
+                session,
+                found,
+            }));
         } else if st.mu.is_idle() && st.lambda.map(|l| self.tol.eq(l, be)).unwrap_or(false) {
-            actions.push(Action::SendDownstream(Packet::SetBottleneck { session, found }));
+            actions.push(Action::SendDownstream(Packet::SetBottleneck {
+                session,
+                found,
+            }));
         }
         // Otherwise the packet is absorbed: a Probe cycle for this session is
         // in flight and will settle the rate again.
@@ -461,7 +457,10 @@ mod tests {
             }
             ref other => panic!("unexpected action {other:?}"),
         }
-        assert_eq!(rl.probe_state(SessionId(1)), Some(ProbeState::WaitingResponse));
+        assert_eq!(
+            rl.probe_state(SessionId(1)),
+            Some(ProbeState::WaitingResponse)
+        );
         assert_eq!(rl.restricted().count(), 1);
     }
 
@@ -502,7 +501,9 @@ mod tests {
         // Single session at B_e: the link declares itself a bottleneck.
         assert_eq!(actions.len(), 1);
         match actions[0] {
-            Action::SendUpstream(Packet::Response { kind, restricting, .. }) => {
+            Action::SendUpstream(Packet::Response {
+                kind, restricting, ..
+            }) => {
                 assert_eq!(kind, ResponseKind::Bottleneck);
                 assert_eq!(restricting, LinkId(7));
             }
@@ -643,10 +644,9 @@ mod tests {
         assert!(actions.contains(&Action::SendUpstream(Packet::Update {
             session: SessionId(2)
         })));
-        assert!(actions.iter().any(|a| matches!(
-            a,
-            Action::SendDownstream(Packet::SetBottleneck { .. })
-        )));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::SendDownstream(Packet::SetBottleneck { .. }))));
         assert!((rl.bottleneck_rate() - 80e6).abs() < 1e-3);
     }
 

@@ -148,9 +148,7 @@ impl SourceNode {
         match packet {
             Packet::Update { .. } => self.on_update(),
             Packet::Bottleneck { .. } => self.on_bottleneck(),
-            Packet::Response {
-                kind, rate, ..
-            } => self.on_response(kind, rate),
+            Packet::Response { kind, rate, .. } => self.on_response(kind, rate),
             _ => Vec::new(),
         }
     }
@@ -287,7 +285,10 @@ mod tests {
         let mut s = source();
         s.api_join(RateLimit::unlimited());
         let actions = s.handle(response(ResponseKind::Response, 40e6));
-        assert!(actions.is_empty(), "no API.Rate before the bottleneck is confirmed");
+        assert!(
+            actions.is_empty(),
+            "no API.Rate before the bottleneck is confirmed"
+        );
         assert_eq!(s.current_rate(), 40e6);
         assert!(!s.is_settled());
         // The Bottleneck packet confirms the rate.
@@ -311,7 +312,9 @@ mod tests {
         s.api_join(RateLimit::finite(10e6));
         let actions = s.handle(response(ResponseKind::Response, 10e6));
         assert_eq!(actions.len(), 2);
-        assert!(matches!(actions[0], Action::NotifyRate { rate, .. } if (rate - 10e6).abs() < 1e-3));
+        assert!(
+            matches!(actions[0], Action::NotifyRate { rate, .. } if (rate - 10e6).abs() < 1e-3)
+        );
         assert!(matches!(
             actions[1],
             Action::SendDownstream(Packet::SetBottleneck { found: true, .. })
@@ -324,7 +327,9 @@ mod tests {
         let mut s = source();
         s.api_join(RateLimit::unlimited());
         let actions = s.handle(response(ResponseKind::Bottleneck, 25e6));
-        assert!(matches!(actions[0], Action::NotifyRate { rate, .. } if (rate - 25e6).abs() < 1e-3));
+        assert!(
+            matches!(actions[0], Action::NotifyRate { rate, .. } if (rate - 25e6).abs() < 1e-3)
+        );
         assert!(matches!(
             actions[1],
             Action::SendDownstream(Packet::SetBottleneck { found: false, .. })
@@ -424,9 +429,7 @@ mod tests {
                 session: SessionId(1)
             })]
         );
-        assert!(s
-            .handle(response(ResponseKind::Response, 40e6))
-            .is_empty());
+        assert!(s.handle(response(ResponseKind::Response, 40e6)).is_empty());
         assert_eq!(s.current_rate(), 0.0);
     }
 

@@ -6,10 +6,12 @@
 
 use crate::packet::Packet;
 use bneck_maxmin::{Rate, SessionId};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Per-session probe state at a link (`μ_e^s` in the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum ProbeState {
     /// No probe activity pending for this session at this link.
     #[default]
@@ -30,7 +32,8 @@ impl ProbeState {
 }
 
 /// An effect produced by a task handler.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum Action {
     /// Send a packet downstream (towards the session's destination).
     SendDownstream(Packet),
@@ -57,7 +60,8 @@ impl Action {
 
 /// A recorded `API.Rate` notification (used by the harness to keep the rate
 /// history of every session).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct RateNotification {
     /// The notified session.
     pub session: SessionId,

@@ -107,7 +107,7 @@ proptest! {
             if report.quiescent {
                 break;
             }
-            horizon = horizon + Delay::from_micros(200);
+            horizon += Delay::from_micros(200);
         }
         prop_assert!(sim.is_quiescent(), "the protocol must reach quiescence");
     }

@@ -228,7 +228,7 @@ fn transient_rates_never_exceed_the_max_min_rates() {
         if report.quiescent {
             break;
         }
-        horizon = horizon + Delay::from_millis(1);
+        horizon += Delay::from_millis(1);
     }
     assert_matches_oracle(&sim, "conservative transients");
 }

@@ -14,11 +14,13 @@
 use crate::rate::{Rate, Tolerance};
 use crate::session::{Allocation, SessionId, SessionSet};
 use bneck_net::{LinkId, Network};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The bottleneck structure of one link in the max-min fair allocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct LinkBottleneck {
     /// The link this entry describes.
     pub link: LinkId,
@@ -41,7 +43,8 @@ impl LinkBottleneck {
 
 /// Result of a centralized B-Neck computation: the allocation plus the
 /// per-link bottleneck structure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct CentralizedSolution {
     /// The max-min fair rate of every session.
     pub allocation: Allocation,
@@ -130,8 +133,12 @@ impl<'a> CentralizedBneck<'a> {
         let mut constraints: Vec<Constraint> = Vec::new();
         let mut link_constraint: HashMap<LinkId, usize> = HashMap::new();
         for link in self.sessions.used_links() {
-            let crossing: BTreeSet<SessionId> =
-                self.sessions.sessions_on_link(link).iter().copied().collect();
+            let crossing: BTreeSet<SessionId> = self
+                .sessions
+                .sessions_on_link(link)
+                .iter()
+                .copied()
+                .collect();
             link_constraint.insert(link, constraints.len());
             constraints.push(Constraint {
                 link: Some(link),
@@ -170,10 +177,7 @@ impl<'a> CentralizedBneck<'a> {
                 estimates.insert(i, estimate);
             }
             // B ← min; L' ← argmin; X ← union of R_e over L'.
-            let min_estimate = estimates
-                .values()
-                .copied()
-                .fold(f64::INFINITY, f64::min);
+            let min_estimate = estimates.values().copied().fold(f64::INFINITY, f64::min);
             let argmin: BTreeSet<usize> = estimates
                 .iter()
                 .filter(|(_, b)| tol.eq(**b, min_estimate))
@@ -264,8 +268,14 @@ mod tests {
         let mut router = Router::new(&net);
         let mut set = SessionSet::new();
         for i in 0..pairs {
-            let path = router.shortest_path(hosts[2 * i], hosts[2 * i + 1]).unwrap();
-            set.insert(Session::new(SessionId(i as u64), path, RateLimit::unlimited()));
+            let path = router
+                .shortest_path(hosts[2 * i], hosts[2 * i + 1])
+                .unwrap();
+            set.insert(Session::new(
+                SessionId(i as u64),
+                path,
+                RateLimit::unlimited(),
+            ));
         }
         (net, set)
     }
@@ -301,11 +311,7 @@ mod tests {
         assert!(b.unrestricted.is_empty());
         assert!((b.bottleneck_rate.unwrap() - 25e6).abs() < 1.0);
         // Access links carry one session each, restricted elsewhere.
-        let access = solution
-            .links
-            .iter()
-            .filter(|l| !l.is_bottleneck())
-            .count();
+        let access = solution.links.iter().filter(|l| !l.is_bottleneck()).count();
         assert!(access > 0);
         assert!(solution.link(b.link).is_some());
     }

@@ -7,6 +7,7 @@
 //! repository goes through a [`Tolerance`], a single policy point combining a
 //! relative and an absolute epsilon.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -17,7 +18,8 @@ pub type Rate = f64;
 
 /// The maximum rate requested by a session (`r_s` in the paper), which may be
 /// unlimited (the paper's "maximum rate ∞").
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct RateLimit(f64);
 
 impl RateLimit {
@@ -86,7 +88,8 @@ impl fmt::Display for RateLimit {
 /// assert!(tol.lt(1e8, 2e8));
 /// assert!(!tol.lt(1e8, 1e8 + 1e-3));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Tolerance {
     /// Relative epsilon.
     pub rel: f64,

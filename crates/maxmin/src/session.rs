@@ -2,6 +2,7 @@
 
 use crate::rate::{Rate, RateLimit};
 use bneck_net::{LinkId, Path};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
@@ -11,9 +12,8 @@ use std::fmt;
 /// Session identifiers are chosen by the creator of the session (the workload
 /// generator uses consecutive integers); they only need to be unique among
 /// concurrently active sessions.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SessionId(pub u64);
 
 impl fmt::Display for SessionId {
@@ -24,7 +24,8 @@ impl fmt::Display for SessionId {
 
 /// A session: a static path from a source host to a destination host plus the
 /// maximum rate the session requests.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Session {
     id: SessionId,
     path: Path,
@@ -64,7 +65,8 @@ impl Session {
 /// Besides storing sessions by identifier, a `SessionSet` maintains the
 /// reverse index from links to the sessions that cross them (`S_e` in the
 /// paper), which every max-min algorithm needs.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SessionSet {
     sessions: BTreeMap<SessionId, Session>,
     by_link: HashMap<LinkId, Vec<SessionId>>,
@@ -164,7 +166,8 @@ impl Extend<Session> for SessionSet {
 }
 
 /// A rate allocation: the rate assigned to each session.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Allocation {
     rates: BTreeMap<SessionId, Rate>,
 }
@@ -203,10 +206,7 @@ impl Allocation {
     /// The sum of the assigned rates of the given sessions (missing sessions
     /// contribute zero).
     pub fn sum_over<'a>(&self, sessions: impl IntoIterator<Item = &'a SessionId>) -> Rate {
-        sessions
-            .into_iter()
-            .filter_map(|s| self.rate(*s))
-            .sum()
+        sessions.into_iter().filter_map(|s| self.rate(*s)).sum()
     }
 }
 
@@ -230,7 +230,11 @@ mod tests {
         let mut set = SessionSet::new();
         for i in 0..hosts - 1 {
             let path = router.shortest_path(ids[i], ids[i + 1]).unwrap();
-            set.insert(Session::new(SessionId(i as u64), path, RateLimit::unlimited()));
+            set.insert(Session::new(
+                SessionId(i as u64),
+                path,
+                RateLimit::unlimited(),
+            ));
         }
         (net, set)
     }

@@ -14,12 +14,14 @@
 use crate::rate::{Rate, Tolerance};
 use crate::session::{Allocation, SessionId, SessionSet};
 use bneck_net::{LinkId, Network};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A violation of the max-min fairness conditions (or a disagreement between
 /// two allocations).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum Violation {
     /// A session has no assigned rate.
     MissingRate {
@@ -256,8 +258,14 @@ mod tests {
         let mut router = Router::new(&net);
         let mut sessions = SessionSet::new();
         for i in 0..2 {
-            let path = router.shortest_path(hosts[2 * i], hosts[2 * i + 1]).unwrap();
-            sessions.insert(Session::new(SessionId(i as u64), path, RateLimit::unlimited()));
+            let path = router
+                .shortest_path(hosts[2 * i], hosts[2 * i + 1])
+                .unwrap();
+            sessions.insert(Session::new(
+                SessionId(i as u64),
+                path,
+                RateLimit::unlimited(),
+            ));
         }
         (net, sessions)
     }
@@ -304,9 +312,9 @@ mod tests {
         alloc.set(SessionId(0), 40e6);
         alloc.set(SessionId(1), 20e6); // link is full but session 1 has no bottleneck
         let violations = verify_max_min(&net, &sessions, &alloc).unwrap_err();
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, Violation::NoBottleneck { session, .. } if *session == SessionId(1))));
+        assert!(violations.iter().any(
+            |v| matches!(v, Violation::NoBottleneck { session, .. } if *session == SessionId(1))
+        ));
     }
 
     #[test]
@@ -340,8 +348,7 @@ mod tests {
         let mut b = a.clone();
         assert!(compare_allocations(&sessions, &a, &b, Tolerance::default()).is_ok());
         b.set(SessionId(1), 1.0);
-        let violations =
-            compare_allocations(&sessions, &a, &b, Tolerance::default()).unwrap_err();
+        let violations = compare_allocations(&sessions, &a, &b, Tolerance::default()).unwrap_err();
         assert_eq!(violations.len(), 1);
         assert!(matches!(violations[0], Violation::RateMismatch { .. }));
         let empty = Allocation::new();

@@ -84,17 +84,18 @@ impl<'a> WaterFilling<'a> {
                 if active_count == 0 {
                     continue;
                 }
-                let frozen_sum: Rate = on_link
-                    .iter()
-                    .filter_map(|s| frozen_rate.get(s))
-                    .sum();
+                let frozen_sum: Rate = on_link.iter().filter_map(|s| frozen_rate.get(s)).sum();
                 let cap = self.network.link(link).capacity().as_bps();
                 let allowed = (cap - frozen_sum).max(0.0) / active_count as f64;
                 next_level = next_level.min(allowed);
             }
             // Sessions may also freeze because they reach their own limit.
             for id in &active {
-                let limit = self.sessions.get(*id).expect("active session exists").limit();
+                let limit = self
+                    .sessions
+                    .get(*id)
+                    .expect("active session exists")
+                    .limit();
                 next_level = next_level.min(limit.as_bps());
             }
 
@@ -111,10 +112,7 @@ impl<'a> WaterFilling<'a> {
                 if active_count == 0 {
                     continue;
                 }
-                let frozen_sum: Rate = on_link
-                    .iter()
-                    .filter_map(|s| frozen_rate.get(s))
-                    .sum();
+                let frozen_sum: Rate = on_link.iter().filter_map(|s| frozen_rate.get(s)).sum();
                 let cap = self.network.link(link).capacity().as_bps();
                 let total = frozen_sum + active_count as f64 * level;
                 if tol.ge(total, cap) {
@@ -172,8 +170,14 @@ mod tests {
         let mut router = Router::new(&net);
         let mut set = SessionSet::new();
         for i in 0..pairs {
-            let path = router.shortest_path(hosts[2 * i], hosts[2 * i + 1]).unwrap();
-            set.insert(Session::new(SessionId(i as u64), path, RateLimit::unlimited()));
+            let path = router
+                .shortest_path(hosts[2 * i], hosts[2 * i + 1])
+                .unwrap();
+            set.insert(Session::new(
+                SessionId(i as u64),
+                path,
+                RateLimit::unlimited(),
+            ));
         }
         (net, set)
     }

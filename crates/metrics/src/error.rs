@@ -4,11 +4,13 @@
 use crate::percentile::Summary;
 use bneck_maxmin::{Allocation, CentralizedSolution, SessionId};
 use bneck_sim::SimTime;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// One sampling instant of an error distribution: the summary statistics of
 /// the per-session (or per-link) relative errors at that time.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ErrorSample {
     /// When the sample was taken.
     pub at: SimTime,
@@ -83,8 +85,14 @@ mod tests {
         let mut router = Router::new(&net);
         let mut sessions = SessionSet::new();
         for i in 0..2 {
-            let path = router.shortest_path(hosts[2 * i], hosts[2 * i + 1]).unwrap();
-            sessions.insert(Session::new(SessionId(i as u64), path, RateLimit::unlimited()));
+            let path = router
+                .shortest_path(hosts[2 * i], hosts[2 * i + 1])
+                .unwrap();
+            sessions.insert(Session::new(
+                SessionId(i as u64),
+                path,
+                RateLimit::unlimited(),
+            ));
         }
         let solution = CentralizedBneck::new(&net, &sessions).solve_with_bottlenecks();
         let fair = solution.allocation.clone();
@@ -122,7 +130,9 @@ mod tests {
         for (s, r) in fair.iter() {
             over.set(s, r * 1.2);
         }
-        assert!(rate_errors(&over, &fair).iter().all(|e| (*e - 20.0).abs() < 1e-9));
+        assert!(rate_errors(&over, &fair)
+            .iter()
+            .all(|e| (*e - 20.0).abs() < 1e-9));
         assert!(link_stress_errors(&over, &solution)
             .iter()
             .all(|e| (*e - 20.0).abs() < 1e-9));

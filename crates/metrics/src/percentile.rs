@@ -1,5 +1,6 @@
 //! Order statistics used by the error-distribution figures.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Returns the `q`-quantile (0 ≤ q ≤ 1) of `values` using linear
@@ -28,7 +29,8 @@ pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
 
 /// The five summary statistics reported for each sample instant in Figure 7:
 /// 10th percentile, median, mean, 90th percentile, plus the sample count.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,

@@ -1,5 +1,6 @@
 //! Plain-text table rendering for the experiment binaries.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -18,7 +19,8 @@ use std::fmt;
 /// assert!(text.contains("sessions"));
 /// assert!(table.to_csv().starts_with("sessions,"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Table {
     title: String,
     headers: Vec<String>,

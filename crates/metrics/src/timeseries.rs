@@ -3,12 +3,14 @@
 use bneck_core::{PacketKind, PacketStats};
 use bneck_net::Delay;
 use bneck_sim::SimTime;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Packet counts aggregated in fixed-size time intervals, broken down by
 /// packet kind — the data behind Figure 6 ("packets of each type transmitted,
 /// aggregated in time intervals of 5 milliseconds") and Figure 8.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct PacketTimeSeries {
     interval: Delay,
     bins: Vec<PacketStats>,
@@ -32,10 +34,7 @@ impl PacketTimeSeries {
             }
             bins[index].record(*kind);
         }
-        PacketTimeSeries {
-            interval,
-            bins,
-        }
+        PacketTimeSeries { interval, bins }
     }
 
     /// Builds a series directly from per-interval snapshots (used by harnesses
@@ -146,7 +145,8 @@ mod tests {
     fn from_bins_round_trips() {
         let mut a = PacketStats::new();
         a.record(PacketKind::Probe);
-        let series = PacketTimeSeries::from_bins(Delay::from_millis(3), vec![a, PacketStats::new()]);
+        let series =
+            PacketTimeSeries::from_bins(Delay::from_millis(3), vec![a, PacketStats::new()]);
         assert_eq!(series.len(), 2);
         assert_eq!(series.total(), 1);
         assert_eq!(series.last_active_bin(), Some(0));

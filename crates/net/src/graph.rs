@@ -3,6 +3,7 @@
 
 use crate::capacity::Capacity;
 use crate::delay::Delay;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -11,9 +12,8 @@ use std::fmt;
 ///
 /// Node identifiers are dense indices assigned by the [`NetworkBuilder`] in
 /// insertion order, so they can be used to index per-node vectors.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct NodeId(pub u32);
 
 impl NodeId {
@@ -34,9 +34,8 @@ impl fmt::Display for NodeId {
 /// Link identifiers are dense indices assigned in insertion order, so they can
 /// be used to index per-link vectors (the B-Neck `RouterLink` tasks are stored
 /// that way).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct LinkId(pub u32);
 
 impl LinkId {
@@ -53,7 +52,8 @@ impl fmt::Display for LinkId {
 }
 
 /// Hierarchy level of a router in a transit–stub topology.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum RouterLevel {
     /// Backbone (transit domain) router.
     Transit,
@@ -62,7 +62,8 @@ pub enum RouterLevel {
 }
 
 /// The role of a node in the network.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum NodeKind {
     /// An interior router; sessions only traverse routers.
     Router(RouterLevel),
@@ -84,7 +85,8 @@ impl NodeKind {
 }
 
 /// A node of the network graph.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Node {
     id: NodeId,
     kind: NodeKind,
@@ -109,7 +111,8 @@ impl Node {
 }
 
 /// A directed, capacitated link of the network graph.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Link {
     id: LinkId,
     src: NodeId,
@@ -150,7 +153,8 @@ impl Link {
 /// Built with a [`NetworkBuilder`]; once built, the topology does not change
 /// (the paper keeps the physical network fixed and only varies the session
 /// population).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Network {
     nodes: Vec<Node>,
     links: Vec<Link>,

@@ -2,6 +2,7 @@
 //! destination host.
 
 use crate::graph::{LinkId, Network, NodeId};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// The static path `π(s)` of a session: the ordered list of directed links
@@ -10,7 +11,8 @@ use serde::{Deserialize, Serialize};
 /// Packets sent along the path are *downstream* packets; packets sent along
 /// the reverse sequence of nodes are *upstream* packets (Section II of the
 /// paper).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Path {
     links: Vec<LinkId>,
     nodes: Vec<NodeId>,
@@ -105,11 +107,9 @@ impl Path {
 
     /// Total propagation delay accumulated along the path.
     pub fn total_delay(&self, network: &Network) -> crate::delay::Delay {
-        self.links
-            .iter()
-            .fold(crate::delay::Delay::ZERO, |acc, l| {
-                acc + network.link(*l).delay()
-            })
+        self.links.iter().fold(crate::delay::Delay::ZERO, |acc, l| {
+            acc + network.link(*l).delay()
+        })
     }
 
     /// The smallest link capacity along the path (an upper bound on any rate

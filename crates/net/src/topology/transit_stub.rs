@@ -20,10 +20,12 @@ use crate::graph::{Network, NetworkBuilder, NodeId, RouterLevel};
 use crate::topology::{DelayModel, LinkPlan};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// The three network sizes evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum NetworkSize {
     /// 110 routers (10 transit + 100 stub).
     Small,
@@ -79,7 +81,8 @@ impl std::fmt::Display for NetworkSize {
 /// assert_eq!(net.router_count(), 110);
 /// assert_eq!(net.host_count(), 200);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct TransitStubConfig {
     /// Number of transit domains.
     pub transit_domains: usize,
@@ -147,8 +150,7 @@ impl TransitStubConfig {
     /// Total number of routers this configuration will generate.
     pub fn router_count(&self) -> usize {
         let transit = self.transit_domains * self.transit_routers_per_domain;
-        transit
-            + transit * self.stub_domains_per_transit_router * self.routers_per_stub_domain
+        transit + transit * self.stub_domains_per_transit_router * self.routers_per_stub_domain
     }
 }
 
@@ -262,11 +264,9 @@ impl TransitStubGenerator {
         }
         for i in 0..n {
             let j = (i + 1) % n;
-            if i < j || n > 2 {
-                if !b.has_link(routers[i], routers[j]) {
-                    let d = self.config.delay_model.router_delay(rng);
-                    b.connect(routers[i], routers[j], capacity, d);
-                }
+            if (i < j || n > 2) && !b.has_link(routers[i], routers[j]) {
+                let d = self.config.delay_model.router_delay(rng);
+                b.connect(routers[i], routers[j], capacity, d);
             }
         }
         for i in 0..n {
@@ -352,7 +352,9 @@ mod tests {
         let c = paper_network(NetworkSize::Small, 20, DelayModel::Wan, 34);
         assert!(
             c.link_count() != a.link_count()
-                || c.links().zip(a.links()).any(|(x, y)| x.delay() != y.delay()),
+                || c.links()
+                    .zip(a.links())
+                    .any(|(x, y)| x.delay() != y.delay()),
             "different seeds should give different networks"
         );
     }

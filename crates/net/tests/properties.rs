@@ -19,7 +19,10 @@ fn check_network_invariants(network: &Network) {
     for host in network.hosts() {
         assert_eq!(network.out_links(host.id()).len(), 1);
         let attachment = network.out_links(host.id())[0];
-        assert!(network.node(network.link(attachment).dst()).kind().is_router());
+        assert!(network
+            .node(network.link(attachment).dst())
+            .kind()
+            .is_router());
     }
 }
 

@@ -8,13 +8,13 @@
 
 use crate::time::SimTime;
 use bneck_net::Delay;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a channel registered with an [`crate::Engine`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ChannelId(pub u32);
 
 impl ChannelId {
@@ -31,7 +31,8 @@ impl fmt::Display for ChannelId {
 }
 
 /// Static description of a channel.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ChannelSpec {
     /// Bandwidth in bits per second used to compute transmission times.
     pub bandwidth_bps: f64,
@@ -88,7 +89,11 @@ impl Channel {
     /// Computes the arrival time of a packet handed to the channel at `now`,
     /// updating the transmitter occupancy.
     pub(crate) fn accept(&mut self, now: SimTime) -> SimTime {
-        let start = if self.free_at > now { self.free_at } else { now };
+        let start = if self.free_at > now {
+            self.free_at
+        } else {
+            now
+        };
         let done = start + self.spec.transmission_delay();
         self.free_at = done;
         self.sent += 1;

@@ -4,6 +4,7 @@ use crate::channel::{Channel, ChannelId, ChannelSpec};
 use crate::event::EventQueue;
 use crate::time::SimTime;
 use bneck_net::Delay;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -11,9 +12,8 @@ use std::fmt;
 ///
 /// The protocol harness decides what addresses mean (in the B-Neck harness,
 /// every directed link task and every source/destination task gets one).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Address(pub u32);
 
 impl Address {
@@ -83,7 +83,8 @@ impl<'a, M> Context<'a, M> {
 }
 
 /// Summary of an [`Engine::run`] call.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct RunReport {
     /// Number of events delivered to the world during this run.
     pub events_processed: u64,
@@ -190,7 +191,11 @@ impl<M> Engine<M> {
     /// `horizon`. Events at exactly `horizon` are processed. When the run
     /// stops at the horizon, the engine's clock is advanced to `horizon` so a
     /// subsequent run continues from there.
-    pub fn run_until<W: World<Message = M>>(&mut self, world: &mut W, horizon: SimTime) -> RunReport {
+    pub fn run_until<W: World<Message = M>>(
+        &mut self,
+        world: &mut W,
+        horizon: SimTime,
+    ) -> RunReport {
         let start_events = self.events_processed;
         let start_messages = self.messages_sent;
         let mut last_event_time = self.now;
@@ -312,7 +317,12 @@ mod tests {
         }
         impl World for Timers {
             type Message = &'static str;
-            fn handle(&mut self, ctx: &mut Context<'_, &'static str>, _to: Address, msg: &'static str) {
+            fn handle(
+                &mut self,
+                ctx: &mut Context<'_, &'static str>,
+                _to: Address,
+                msg: &'static str,
+            ) {
                 self.fired.push(ctx.now().as_micros());
                 if msg == "start" {
                     ctx.schedule_after(Delay::from_micros(7), Address(0), "later");

@@ -16,11 +16,13 @@ use crate::schedule::Schedule;
 use crate::sessions::{LimitPolicy, SessionPlanner};
 use bneck_net::{Delay, Network};
 use bneck_sim::SimTime;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// Experiment 1: many sessions join simultaneously; measure the time to
 /// quiescence and the control traffic (Figure 5).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Experiment1Config {
     /// The network scenario to run on.
     pub scenario: NetworkScenario,
@@ -73,7 +75,8 @@ impl Experiment1Config {
 }
 
 /// One phase of Experiment 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct PhaseSpec {
     /// Human-readable phase name (as used in Figure 6).
     pub name: &'static str,
@@ -87,7 +90,8 @@ pub struct PhaseSpec {
 
 /// Experiment 2: stability under a highly dynamic system — five phases of
 /// churn on a Medium LAN network (Figure 6).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Experiment2Config {
     /// The network scenario (Medium LAN in the paper).
     pub scenario: NetworkScenario,
@@ -175,7 +179,8 @@ impl Experiment2Config {
 /// Experiment 3: accuracy over time against non-quiescent baselines — joins
 /// plus leaves in the first milliseconds, rates sampled at fixed intervals
 /// (Figures 7 and 8).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Experiment3Config {
     /// The network scenario (Medium LAN in the paper).
     pub scenario: NetworkScenario,
@@ -233,14 +238,14 @@ impl Experiment3Config {
         let mut schedule = Schedule::new();
         let half = Delay::from_nanos(self.change_window.as_nanos() / 2);
         for request in &requests {
-            let offset = Delay::from_nanos(
-                planner.rng().gen_range(0..half.as_nanos().max(1)),
-            );
+            let offset = Delay::from_nanos(planner.rng().gen_range(0..half.as_nanos().max(1)));
             schedule.push_join(SimTime::ZERO + offset, *request);
         }
         for request in requests.iter().take(self.leaves) {
             let offset = Delay::from_nanos(
-                planner.rng().gen_range(half.as_nanos()..self.change_window.as_nanos()),
+                planner
+                    .rng()
+                    .gen_range(half.as_nanos()..self.change_window.as_nanos()),
             );
             schedule.push(
                 SimTime::ZERO + offset,
@@ -315,10 +320,16 @@ mod tests {
         for e in schedule.iter() {
             match e.event {
                 WorkloadEvent::Join { .. } => {
-                    assert!(e.at < SimTime::ZERO + Delay::from_nanos(config.change_window.as_nanos() / 2))
+                    assert!(
+                        e.at < SimTime::ZERO
+                            + Delay::from_nanos(config.change_window.as_nanos() / 2)
+                    )
                 }
                 WorkloadEvent::Leave { .. } => {
-                    assert!(e.at >= SimTime::ZERO + Delay::from_nanos(config.change_window.as_nanos() / 2))
+                    assert!(
+                        e.at >= SimTime::ZERO
+                            + Delay::from_nanos(config.change_window.as_nanos() / 2)
+                    )
                 }
                 _ => {}
             }

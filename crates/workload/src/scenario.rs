@@ -2,6 +2,7 @@
 
 use bneck_net::topology::transit_stub::{paper_network, NetworkSize};
 use bneck_net::{DelayModel, Network};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// A network scenario: a transit–stub topology size, a delay model (LAN or
@@ -10,7 +11,8 @@ use serde::{Deserialize, Serialize};
 /// The paper evaluates Small (110 routers), Medium (1,100) and Big (11,000)
 /// networks in both LAN (1 µs links) and WAN (1–10 ms links) flavours, with up
 /// to 600,000 hosts.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct NetworkScenario {
     /// Topology size class.
     pub size: NetworkSize,
@@ -101,14 +103,8 @@ mod tests {
         assert_eq!(NetworkScenario::small_lan(10).size, NetworkSize::Small);
         assert_eq!(NetworkScenario::medium_lan(10).size, NetworkSize::Medium);
         assert_eq!(NetworkScenario::big_lan(10).size, NetworkSize::Big);
-        assert_eq!(
-            NetworkScenario::small_wan(10).delay_model,
-            DelayModel::Wan
-        );
-        assert_eq!(
-            NetworkScenario::medium_wan(10).delay_model,
-            DelayModel::Wan
-        );
+        assert_eq!(NetworkScenario::small_wan(10).delay_model, DelayModel::Wan);
+        assert_eq!(NetworkScenario::medium_wan(10).delay_model, DelayModel::Wan);
     }
 
     #[test]

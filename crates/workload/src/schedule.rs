@@ -5,10 +5,12 @@ use bneck_core::BneckSimulation;
 use bneck_maxmin::{RateLimit, SessionId};
 use bneck_net::NodeId;
 use bneck_sim::SimTime;
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// One workload action (an invocation of an API primitive).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum WorkloadEvent {
     /// `API.Join(s, r)` for a session between two hosts.
     Join {
@@ -36,7 +38,8 @@ pub enum WorkloadEvent {
 }
 
 /// A workload event with the time at which it is injected.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct TimedEvent {
     /// Injection time.
     pub at: SimTime,
@@ -45,7 +48,8 @@ pub struct TimedEvent {
 }
 
 /// Counters of how a schedule was applied to a harness.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ApplyStats {
     /// Join events accepted.
     pub joins: usize,
@@ -107,7 +111,8 @@ impl ScheduleTarget for BneckSimulation<'_> {
 }
 
 /// A time-ordered sequence of workload events.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Schedule {
     events: Vec<TimedEvent>,
 }

@@ -5,11 +5,13 @@ use bneck_net::{Network, NodeId, Router};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// Policy for choosing the maximum requested rate of planned sessions.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum LimitPolicy {
     /// Every session requests an unlimited rate (`r_s = ∞`).
     Unlimited,
@@ -45,7 +47,8 @@ impl LimitPolicy {
 }
 
 /// A planned session: identifier, endpoints and requested maximum rate.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SessionRequest {
     /// The session identifier the planner assigned.
     pub session: SessionId,

@@ -1,0 +1,21 @@
+//! No-op derive macros for the offline `serde` stand-in crate.
+//!
+//! The real `serde_derive` generates `Serialize`/`Deserialize` impls; this
+//! shim accepts the same derive syntax (including `#[serde(...)]` helper
+//! attributes) and expands to nothing, which is sufficient because nothing in
+//! the workspace serializes values yet — the derives only declare intent for
+//! downstream users with the real `serde` enabled.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` crate: the two marker traits plus the
+//! derive macros, so `#[derive(Serialize, Deserialize)]` and
+//! `use serde::{Deserialize, Serialize}` compile without crates.io access.
+//!
+//! The derives are no-ops (see the sibling `serde-derive` shim); they exist so
+//! the protocol types carry serialization intent for the day the workspace can
+//! depend on the real `serde`. Swapping the real crate in is a one-line change
+//! in the root manifest's `[workspace.dependencies]`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
