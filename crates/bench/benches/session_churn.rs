@@ -1,0 +1,63 @@
+//! Criterion benchmark of `SessionSet` maintenance under churn: the dense
+//! arena must keep insert / remove / change-limit cheap at 10k live sessions,
+//! since every `API.Join` / `API.Leave` / `API.Change` in the harness goes
+//! through it.
+
+use bneck_maxmin::prelude::*;
+use bneck_net::prelude::*;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+const SESSIONS: usize = 10_000;
+
+fn big_session_set() -> SessionSet {
+    let network = synthetic::dumbbell(
+        SESSIONS,
+        Capacity::from_mbps(100.0),
+        Capacity::from_gbps(100.0),
+        Delay::from_micros(1),
+    );
+    let hosts: Vec<_> = network.hosts().map(|h| h.id()).collect();
+    let mut router = Router::new(&network);
+    (0..SESSIONS)
+        .map(|i| {
+            let path = router
+                .shortest_path(hosts[2 * i], hosts[2 * i + 1])
+                .expect("dumbbell pairs are connected");
+            Session::new(SessionId(i as u64), path, RateLimit::unlimited())
+        })
+        .collect()
+}
+
+fn bench_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_set_churn");
+    let mut set = big_session_set();
+
+    let mut victim = 0u64;
+    group.bench_function(BenchmarkId::new("insert_remove", SESSIONS), |b| {
+        b.iter(|| {
+            let session = set.remove(SessionId(victim)).expect("session is live");
+            set.insert(session);
+            victim = (victim + 7) % SESSIONS as u64;
+            set.len()
+        });
+    });
+
+    let mut toggle = false;
+    let mut target = 0u64;
+    group.bench_function(BenchmarkId::new("change_limit", SESSIONS), |b| {
+        b.iter(|| {
+            let limit = if toggle {
+                RateLimit::finite(5e6)
+            } else {
+                RateLimit::unlimited()
+            };
+            toggle = !toggle;
+            target = (target + 13) % SESSIONS as u64;
+            set.change_limit(SessionId(target), limit)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_churn);
+criterion_main!(benches);

@@ -36,7 +36,7 @@ fn session_set(sessions: usize) -> (bneck_net::Network, SessionSet) {
     (network, set)
 }
 
-use bneck_net::Router;
+use bneck_net::prelude::*;
 
 fn bench_oracles(c: &mut Criterion) {
     let mut group = c.benchmark_group("centralized_oracles");
@@ -57,8 +57,81 @@ fn bench_oracles(c: &mut Criterion) {
             },
         );
     }
+    // The production call pattern for repeated solves (validate binary,
+    // experiment runners): scratch reused across calls via a workspace.
+    let (network, set) = session_set(2_000);
+    let mut ws = SolverWorkspace::new();
+    group.bench_with_input(
+        BenchmarkId::new("centralized_bneck_reuse", 2_000),
+        &set,
+        |b, set| {
+            b.iter(|| CentralizedBneck::new(&network, set).solve_in(&mut ws));
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("water_filling_reuse", 2_000),
+        &set,
+        |b, set| {
+            b.iter(|| WaterFilling::new(&network, set).solve_in(&mut ws));
+        },
+    );
     group.finish();
 }
 
-criterion_group!(benches, bench_oracles);
+/// A parking-lot chain tuned so that progressive filling freezes exactly one
+/// session per round: strictly increasing segment capacities mean every round
+/// saturates the single next-tightest segment. This is the adversarial case
+/// for the freeze loop, which used to be O(active²) per round.
+fn chain_instance(segments: usize) -> (bneck_net::Network, SessionSet) {
+    let us = Delay::from_micros(1);
+    let access = Capacity::from_mbps(100_000.0);
+    let mut b = NetworkBuilder::new();
+    let routers: Vec<_> = (0..=segments)
+        .map(|i| b.add_router(format!("r{i}")))
+        .collect();
+    for i in 0..segments {
+        // 20, 21, 22, ... Mbps: every segment saturates in its own round.
+        b.connect(
+            routers[i],
+            routers[i + 1],
+            Capacity::from_mbps(20.0 + i as f64),
+            us,
+        );
+    }
+    let hosts: Vec<_> = (0..=segments)
+        .map(|i| b.add_host(format!("h{i}"), routers[i], access, us))
+        .collect();
+    let network = b.build();
+    let mut router = Router::new(&network);
+    let mut set = SessionSet::new();
+    let long = router.shortest_path(hosts[0], hosts[segments]).unwrap();
+    set.insert(Session::new(SessionId(0), long, RateLimit::unlimited()));
+    for i in 0..segments {
+        let short = router.shortest_path(hosts[i], hosts[i + 1]).unwrap();
+        set.insert(Session::new(
+            SessionId(1 + i as u64),
+            short,
+            RateLimit::unlimited(),
+        ));
+    }
+    (network, set)
+}
+
+fn bench_worst_case_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("waterfill");
+    for &segments in &[64usize, 256] {
+        let (network, set) = chain_instance(segments);
+        let mut ws = SolverWorkspace::new();
+        group.bench_with_input(
+            BenchmarkId::new("worst_case_chain", segments),
+            &set,
+            |b, set| {
+                b.iter(|| WaterFilling::new(&network, set).solve_in(&mut ws));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles, bench_worst_case_chain);
 criterion_main!(benches);

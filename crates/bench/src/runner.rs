@@ -91,6 +91,8 @@ pub fn run_experiment2(
     let mut planner = config.planner(&network);
     let mut sim = BneckSimulation::new(&network, BneckConfig::default().with_packet_log());
     let mut results = Vec::new();
+    // One workspace across the five per-phase oracle solves.
+    let mut ws = SolverWorkspace::new();
     for phase in config.phases() {
         let start = if sim.now() == SimTime::ZERO {
             SimTime::ZERO
@@ -109,7 +111,7 @@ pub fn run_experiment2(
         schedule.apply(&mut sim);
         let report = sim.run_to_quiescence();
         let sessions = sim.session_set();
-        let oracle = CentralizedBneck::new(&network, &sessions).solve();
+        let oracle = CentralizedBneck::new(&network, &sessions).solve_in(&mut ws);
         let validated = compare_allocations(
             &sessions,
             &sim.allocation(),

@@ -13,10 +13,10 @@
 
 use crate::rate::{Rate, Tolerance};
 use crate::session::{Allocation, SessionId, SessionSet};
+use crate::workspace::{SolverWorkspace, NONE};
 use bneck_net::{LinkId, Network};
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The bottleneck structure of one link in the max-min fair allocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,16 +65,6 @@ impl CentralizedSolution {
     }
 }
 
-/// Internal constraint: a capacity shared by a set of sessions. Real links map
-/// one-to-one to constraints; finite rate limits add a per-session constraint.
-#[derive(Debug, Clone)]
-struct Constraint {
-    link: Option<LinkId>,
-    capacity: Rate,
-    restricted: BTreeSet<SessionId>,
-    unrestricted: BTreeSet<SessionId>,
-}
-
 /// The Centralized B-Neck solver (Figure 1).
 ///
 /// # Example
@@ -121,127 +111,167 @@ impl<'a> CentralizedBneck<'a> {
 
     /// Computes the max-min fair allocation.
     pub fn solve(&self) -> Allocation {
-        self.solve_with_bottlenecks().allocation
+        self.solve_in(&mut SolverWorkspace::new())
+    }
+
+    /// Computes the max-min fair allocation using the caller's scratch
+    /// buffers, so repeated solves allocate (almost) nothing per call.
+    pub fn solve_in(&self, ws: &mut SolverWorkspace) -> Allocation {
+        let mut allocation = Allocation::new();
+        self.run(ws);
+        for (slot, session) in self.sessions.iter_with_slots() {
+            allocation.set(session.id(), ws.rate[slot as usize]);
+        }
+        allocation
     }
 
     /// Computes the allocation together with each link's bottleneck sets.
     pub fn solve_with_bottlenecks(&self) -> CentralizedSolution {
-        let tol = self.tolerance;
-        let mut rates: BTreeMap<SessionId, Rate> = BTreeMap::new();
+        self.solve_with_bottlenecks_in(&mut SolverWorkspace::new())
+    }
 
-        // Build the constraints: one per used link, one per finite limit.
-        let mut constraints: Vec<Constraint> = Vec::new();
-        let mut link_constraint: HashMap<LinkId, usize> = HashMap::new();
-        for link in self.sessions.used_links() {
-            let crossing: BTreeSet<SessionId> = self
-                .sessions
-                .sessions_on_link(link)
-                .iter()
-                .copied()
-                .collect();
-            link_constraint.insert(link, constraints.len());
-            constraints.push(Constraint {
-                link: Some(link),
-                capacity: self.network.link(link).capacity().as_bps(),
-                restricted: crossing,
-                unrestricted: BTreeSet::new(),
-            });
-        }
-        for session in self.sessions.iter() {
-            if !session.limit().is_unlimited() {
-                constraints.push(Constraint {
-                    link: None,
-                    capacity: session.limit().as_bps(),
-                    restricted: [session.id()].into_iter().collect(),
-                    unrestricted: BTreeSet::new(),
-                });
-            }
-        }
+    /// [`CentralizedBneck::solve_with_bottlenecks`] with caller-provided
+    /// scratch buffers (the reported solution still owns its memory).
+    pub fn solve_with_bottlenecks_in(&self, ws: &mut SolverWorkspace) -> CentralizedSolution {
+        let allocation = self.solve_in(ws);
 
-        // L ← {e ∈ E : R_e ≠ ∅}
-        let mut live: BTreeSet<usize> = (0..constraints.len())
-            .filter(|i| !constraints[*i].restricted.is_empty())
-            .collect();
-
-        while !live.is_empty() {
-            // B_e ← (C_e − Σ_{s∈F_e} λ*_s) / |R_e| for each live constraint.
-            let mut estimates: BTreeMap<usize, Rate> = BTreeMap::new();
-            for &i in &live {
-                let c = &constraints[i];
-                let assigned: Rate = c
-                    .unrestricted
-                    .iter()
-                    .map(|s| rates.get(s).copied().unwrap_or(0.0))
-                    .sum();
-                let estimate = (c.capacity - assigned).max(0.0) / c.restricted.len() as f64;
-                estimates.insert(i, estimate);
+        // Report the per-link bottleneck structure. A session is restricted
+        // at a link iff it was assigned in the round the link's constraint
+        // was identified as a bottleneck; everything else crossing the link
+        // is restricted elsewhere.
+        let mut links = Vec::with_capacity(ws.link_ids.len());
+        for (i, &link) in ws.link_ids.iter().enumerate() {
+            let bottleneck_round = ws.cons_round[i];
+            ws.pairs.clear();
+            for &slot in self.sessions.slots_on_link(link) {
+                let session = self.sessions.session_at(slot).expect("session exists");
+                ws.pairs.push((session.id(), slot));
             }
-            // B ← min; L' ← argmin; X ← union of R_e over L'.
-            let min_estimate = estimates.values().copied().fold(f64::INFINITY, f64::min);
-            let argmin: BTreeSet<usize> = estimates
-                .iter()
-                .filter(|(_, b)| tol.eq(**b, min_estimate))
-                .map(|(i, _)| *i)
-                .collect();
-            let newly_assigned: BTreeSet<SessionId> = argmin
-                .iter()
-                .flat_map(|i| constraints[*i].restricted.iter().copied())
-                .collect();
-            for s in &newly_assigned {
-                rates.insert(*s, min_estimate);
-            }
-            // Move the newly assigned sessions to F_e on every other live
-            // constraint, and drop constraints that became empty or were just
-            // identified as bottlenecks.
-            let remaining: BTreeSet<usize> = live.difference(&argmin).copied().collect();
-            for &i in &remaining {
-                let c = &mut constraints[i];
-                let moved: Vec<SessionId> = c
-                    .restricted
-                    .intersection(&newly_assigned)
-                    .copied()
-                    .collect();
-                for s in moved {
-                    c.restricted.remove(&s);
-                    c.unrestricted.insert(s);
+            ws.pairs.sort_unstable();
+            let mut restricted = Vec::new();
+            let mut unrestricted = Vec::new();
+            let mut assigned: Rate = 0.0;
+            for &(id, slot) in ws.pairs.iter() {
+                if bottleneck_round != NONE && ws.round[slot as usize] == bottleneck_round {
+                    restricted.push(id);
+                } else {
+                    unrestricted.push(id);
+                    assigned += ws.rate[slot as usize];
                 }
             }
-            live = remaining
-                .into_iter()
-                .filter(|i| !constraints[*i].restricted.is_empty())
-                .collect();
+            let bottleneck_rate = if restricted.is_empty() {
+                None
+            } else {
+                Some((ws.cap[i] - assigned).max(0.0) / restricted.len() as f64)
+            };
+            links.push(LinkBottleneck {
+                link,
+                restricted,
+                unrestricted,
+                bottleneck_rate,
+            });
         }
-
-        let mut allocation = Allocation::new();
-        for (s, r) in &rates {
-            allocation.set(*s, *r);
-        }
-
-        // Report the per-link bottleneck structure (only for real links).
-        let links = constraints
-            .iter()
-            .filter_map(|c| {
-                let link = c.link?;
-                let bottleneck_rate = if c.restricted.is_empty() {
-                    None
-                } else {
-                    let assigned: Rate = c
-                        .unrestricted
-                        .iter()
-                        .map(|s| rates.get(s).copied().unwrap_or(0.0))
-                        .sum();
-                    Some((c.capacity - assigned).max(0.0) / c.restricted.len() as f64)
-                };
-                Some(LinkBottleneck {
-                    link,
-                    restricted: c.restricted.iter().copied().collect(),
-                    unrestricted: c.unrestricted.iter().copied().collect(),
-                    bottleneck_rate,
-                })
-            })
-            .collect();
 
         CentralizedSolution { allocation, links }
+    }
+
+    /// Runs Figure 1 on flat constraint arrays, leaving per-slot rates and
+    /// rounds plus per-constraint bottleneck rounds in the workspace.
+    ///
+    /// Constraints are the used links (in [`SessionSet::used_links`] order)
+    /// followed by one private constraint per rate-limited session. Instead
+    /// of materializing the `R_e` / `F_e` session sets, the loop maintains
+    /// each constraint's undecided-member count and granted-rate sum
+    /// incrementally: assigning a session only touches the constraints on its
+    /// path.
+    fn run(&self, ws: &mut SolverWorkspace) {
+        let tol = self.tolerance;
+
+        ws.init_link_constraints(self.network, self.sessions);
+        let link_cons = ws.link_ids.len();
+        ws.cons_member.clear();
+        ws.round.clear();
+        ws.round.resize(self.sessions.slot_capacity(), NONE);
+        ws.limit_cons.clear();
+        ws.limit_cons.resize(self.sessions.slot_capacity(), NONE);
+        for (slot, session) in self.sessions.iter_with_slots() {
+            if !session.limit().is_unlimited() {
+                ws.limit_cons[slot as usize] = (link_cons + ws.cons_member.len()) as u32;
+                ws.cons_member.push(slot);
+                ws.cap.push(session.limit().as_bps());
+                ws.active.push(1);
+                ws.granted.push(0.0);
+            }
+        }
+        let cons = ws.cap.len();
+        ws.cons_live.clear();
+        ws.cons_live.resize(cons, true);
+        ws.cons_est.clear();
+        ws.cons_est.resize(cons, f64::INFINITY);
+        ws.cons_round.clear();
+        ws.cons_round.resize(cons, NONE);
+        let mut live = cons;
+
+        let mut round = 0u32;
+        while live > 0 {
+            // B_e ← (C_e − Σ_{s∈F_e} λ*_s) / |R_e| for each live constraint.
+            let mut min_estimate = f64::INFINITY;
+            for c in 0..cons {
+                if !ws.cons_live[c] {
+                    continue;
+                }
+                let estimate = (ws.cap[c] - ws.granted[c]).max(0.0) / ws.active[c] as f64;
+                ws.cons_est[c] = estimate;
+                min_estimate = min_estimate.min(estimate);
+            }
+            // L' ← argmin; X ← union of R_e over L'. The estimates were all
+            // taken before any assignment, so marking argmin constraints and
+            // assigning their members in one sweep matches Figure 1.
+            ws.newly.clear();
+            for c in 0..cons {
+                if !ws.cons_live[c] || !tol.eq(ws.cons_est[c], min_estimate) {
+                    continue;
+                }
+                ws.cons_live[c] = false;
+                ws.cons_round[c] = round;
+                live -= 1;
+                let members = if c < link_cons {
+                    self.sessions.slots_on_link(ws.link_ids[c])
+                } else {
+                    std::slice::from_ref(&ws.cons_member[c - link_cons])
+                };
+                for &slot in members {
+                    if ws.rate[slot as usize].is_nan() {
+                        ws.rate[slot as usize] = min_estimate;
+                        ws.round[slot as usize] = round;
+                        ws.newly.push(slot);
+                    }
+                }
+            }
+            // Move the newly assigned sessions to F_e on every other live
+            // constraint they cross, dropping constraints that drained.
+            for k in 0..ws.newly.len() {
+                let slot = ws.newly[k];
+                let session = self.sessions.session_at(slot).expect("session exists");
+                for &link in session.path().links() {
+                    let c = ws.link_pos[link.index()] as usize;
+                    if ws.cons_live[c] {
+                        ws.active[c] -= 1;
+                        ws.granted[c] += min_estimate;
+                        if ws.active[c] == 0 {
+                            ws.cons_live[c] = false;
+                            live -= 1;
+                        }
+                    }
+                }
+                let lc = ws.limit_cons[slot as usize];
+                if lc != NONE && ws.cons_live[lc as usize] {
+                    ws.cons_live[lc as usize] = false;
+                    live -= 1;
+                }
+            }
+            round += 1;
+        }
     }
 }
 

@@ -44,16 +44,20 @@
 #![warn(missing_docs)]
 
 pub mod centralized;
+#[cfg(test)]
+pub(crate) mod naive;
 pub mod rate;
 pub mod session;
 pub mod verify;
 pub mod waterfill;
+pub mod workspace;
 
 pub use centralized::{CentralizedBneck, CentralizedSolution, LinkBottleneck};
 pub use rate::{Rate, RateLimit, Tolerance};
 pub use session::{Allocation, Session, SessionId, SessionSet};
 pub use verify::{compare_allocations, verify_max_min, Violation};
 pub use waterfill::WaterFilling;
+pub use workspace::SolverWorkspace;
 
 /// Commonly used items, suitable for glob import.
 pub mod prelude {
@@ -62,4 +66,5 @@ pub mod prelude {
     pub use crate::session::{Allocation, Session, SessionId, SessionSet};
     pub use crate::verify::{compare_allocations, verify_max_min, Violation};
     pub use crate::waterfill::WaterFilling;
+    pub use crate::workspace::SolverWorkspace;
 }

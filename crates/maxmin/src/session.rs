@@ -4,7 +4,7 @@ use crate::rate::{Rate, RateLimit};
 use bneck_net::{LinkId, Path};
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a session.
@@ -60,16 +60,44 @@ impl Session {
     }
 }
 
+/// The sessions crossing one link, kept as parallel identifier / arena-slot
+/// arrays so that callers can pick whichever representation is cheaper.
+#[derive(Debug, Clone, Default)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+struct LinkSessions {
+    ids: Vec<SessionId>,
+    slots: Vec<u32>,
+    /// `true` once the link has been pushed onto the `used` list.
+    listed: bool,
+}
+
 /// An indexed collection of active sessions.
 ///
 /// Besides storing sessions by identifier, a `SessionSet` maintains the
 /// reverse index from links to the sessions that cross them (`S_e` in the
 /// paper), which every max-min algorithm needs.
+///
+/// Sessions live in a dense arena of reusable slots: every active session has
+/// a stable [`slot`](SessionSet::slot_of) in `0..slot_capacity()` for the
+/// duration of its membership, so solvers can keep per-session state in flat
+/// vectors instead of hash maps. The link reverse index is likewise a flat
+/// vector indexed by [`LinkId`], exposing both session identifiers
+/// ([`sessions_on_link`](SessionSet::sessions_on_link)) and arena slots
+/// ([`slots_on_link`](SessionSet::slots_on_link)).
 #[derive(Debug, Clone, Default)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SessionSet {
-    sessions: BTreeMap<SessionId, Session>,
-    by_link: HashMap<LinkId, Vec<SessionId>>,
+    /// Dense arena; `None` marks a reusable vacant slot.
+    slots: Vec<Option<Session>>,
+    /// Vacant arena slots available for reuse.
+    free: Vec<u32>,
+    /// Identifier → slot, ordered so iteration stays in identifier order.
+    index: BTreeMap<SessionId, u32>,
+    /// Reverse index, indexed by `LinkId::index()`.
+    by_link: Vec<LinkSessions>,
+    /// Links that have carried at least one session (may contain links whose
+    /// crossing set is currently empty; iteration filters them out).
+    used: Vec<LinkId>,
 }
 
 impl SessionSet {
@@ -80,34 +108,52 @@ impl SessionSet {
 
     /// Number of active sessions.
     pub fn len(&self) -> usize {
-        self.sessions.len()
+        self.index.len()
     }
 
     /// `true` when no session is active.
     pub fn is_empty(&self) -> bool {
-        self.sessions.is_empty()
+        self.index.is_empty()
     }
 
     /// Adds (or replaces) a session. Returns the previous session with the
     /// same identifier, if any.
     pub fn insert(&mut self, session: Session) -> Option<Session> {
         let prev = self.remove(session.id());
+        let slot = match self.free.pop() {
+            Some(s) => s,
+            None => {
+                self.slots.push(None);
+                (self.slots.len() - 1) as u32
+            }
+        };
         for &link in session.path().links() {
-            self.by_link.entry(link).or_default().push(session.id());
+            if link.index() >= self.by_link.len() {
+                self.by_link.resize_with(link.index() + 1, Default::default);
+            }
+            let entry = &mut self.by_link[link.index()];
+            entry.ids.push(session.id());
+            entry.slots.push(slot);
+            if !entry.listed {
+                entry.listed = true;
+                self.used.push(link);
+            }
         }
-        self.sessions.insert(session.id(), session);
+        self.index.insert(session.id(), slot);
+        self.slots[slot as usize] = Some(session);
         prev
     }
 
     /// Removes a session, returning it if it was present.
     pub fn remove(&mut self, id: SessionId) -> Option<Session> {
-        let session = self.sessions.remove(&id)?;
+        let slot = self.index.remove(&id)?;
+        let session = self.slots[slot as usize].take().expect("slot occupied");
+        self.free.push(slot);
         for &link in session.path().links() {
-            if let Some(v) = self.by_link.get_mut(&link) {
-                v.retain(|s| *s != id);
-                if v.is_empty() {
-                    self.by_link.remove(&link);
-                }
+            let entry = &mut self.by_link[link.index()];
+            if let Some(pos) = entry.ids.iter().position(|s| *s == id) {
+                entry.ids.remove(pos);
+                entry.slots.remove(pos);
             }
         }
         Some(session)
@@ -115,35 +161,80 @@ impl SessionSet {
 
     /// Looks up a session by identifier.
     pub fn get(&self, id: SessionId) -> Option<&Session> {
-        self.sessions.get(&id)
+        let slot = *self.index.get(&id)?;
+        self.slots[slot as usize].as_ref()
     }
 
     /// Changes the maximum requested rate of a session (models `API.Change`).
     ///
     /// Returns `false` if the session is not present.
     pub fn change_limit(&mut self, id: SessionId, limit: RateLimit) -> bool {
-        match self.sessions.get_mut(&id) {
-            Some(s) => {
-                s.set_limit(limit);
-                true
-            }
-            None => false,
-        }
+        let Some(&slot) = self.index.get(&id) else {
+            return false;
+        };
+        self.slots[slot as usize]
+            .as_mut()
+            .expect("slot occupied")
+            .set_limit(limit);
+        true
     }
 
     /// Iterates over sessions in identifier order.
     pub fn iter(&self) -> impl Iterator<Item = &Session> {
-        self.sessions.values()
+        self.index
+            .values()
+            .map(|slot| self.slots[*slot as usize].as_ref().expect("slot occupied"))
     }
 
     /// The sessions crossing `link` (`S_e`), in insertion order.
     pub fn sessions_on_link(&self, link: LinkId) -> &[SessionId] {
-        self.by_link.get(&link).map(Vec::as_slice).unwrap_or(&[])
+        self.by_link
+            .get(link.index())
+            .map(|e| e.ids.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The arena slots of the sessions crossing `link`, in insertion order
+    /// (parallel to [`sessions_on_link`](SessionSet::sessions_on_link)).
+    pub fn slots_on_link(&self, link: LinkId) -> &[u32] {
+        self.by_link
+            .get(link.index())
+            .map(|e| e.slots.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Iterates over the links crossed by at least one session.
     pub fn used_links(&self) -> impl Iterator<Item = LinkId> + '_ {
-        self.by_link.keys().copied()
+        self.used
+            .iter()
+            .copied()
+            .filter(|l| !self.by_link[l.index()].ids.is_empty())
+    }
+
+    /// Upper bound (exclusive) on the arena slots currently handed out; usable
+    /// as the length of per-session scratch vectors indexed by slot.
+    pub fn slot_capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The arena slot of a session, stable while the session stays in the set.
+    pub fn slot_of(&self, id: SessionId) -> Option<u32> {
+        self.index.get(&id).copied()
+    }
+
+    /// The session occupying an arena slot, if any.
+    pub fn session_at(&self, slot: u32) -> Option<&Session> {
+        self.slots.get(slot as usize)?.as_ref()
+    }
+
+    /// Iterates over `(slot, session)` pairs in identifier order.
+    pub fn iter_with_slots(&self) -> impl Iterator<Item = (u32, &Session)> {
+        self.index.values().map(|slot| {
+            (
+                *slot,
+                self.slots[*slot as usize].as_ref().expect("slot occupied"),
+            )
+        })
     }
 }
 
@@ -305,6 +396,59 @@ mod tests {
         assert_eq!(alloc.sum_over(ids.iter()), 30.0);
         let from_iter: Allocation = vec![(SessionId(3), 1.0)].into_iter().collect();
         assert_eq!(from_iter.rate(SessionId(3)), Some(1.0));
+    }
+
+    #[test]
+    fn removal_clears_every_occurrence_of_a_looping_path() {
+        // Path::from_links only checks adjacency, so a caller may build a
+        // path that crosses the same link twice. Removal walks the path's
+        // link list, so it must drop one reverse-index entry per crossing.
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("r0");
+        let r1 = b.add_router("r1");
+        let (ab, ba) = b.connect(r0, r1, Capacity::from_mbps(100.0), Delay::from_micros(1));
+        let net = b.build();
+        let loopy = Path::from_links(&net, vec![ab, ba, ab]);
+        let mut set = SessionSet::new();
+        set.insert(Session::new(SessionId(7), loopy, RateLimit::unlimited()));
+        assert_eq!(set.sessions_on_link(ab), &[SessionId(7), SessionId(7)]);
+        assert_eq!(set.slots_on_link(ab).len(), 2);
+        set.remove(SessionId(7));
+        assert!(set.sessions_on_link(ab).is_empty());
+        assert!(set.slots_on_link(ab).is_empty());
+        assert!(set.sessions_on_link(ba).is_empty());
+        assert_eq!(set.used_links().count(), 0);
+    }
+
+    #[test]
+    fn slots_are_stable_and_reused() {
+        let (_net, mut set) = star_sessions(4);
+        let slot1 = set.slot_of(SessionId(1)).unwrap();
+        assert_eq!(set.session_at(slot1).unwrap().id(), SessionId(1));
+        // Parallel id/slot views of a link agree.
+        for link in set.used_links().collect::<Vec<_>>() {
+            let ids = set.sessions_on_link(link).to_vec();
+            let slots = set.slots_on_link(link).to_vec();
+            assert_eq!(ids.len(), slots.len());
+            for (id, slot) in ids.iter().zip(slots.iter()) {
+                assert_eq!(set.session_at(*slot).unwrap().id(), *id);
+                assert_eq!(set.slot_of(*id), Some(*slot));
+            }
+        }
+        // Removing frees the slot; the next insert reuses it.
+        let session = set.remove(SessionId(1)).unwrap();
+        assert!(set.session_at(slot1).is_none());
+        set.insert(session);
+        assert_eq!(set.slot_of(SessionId(1)), Some(slot1));
+        assert!(set.slot_capacity() >= set.len());
+        let pairs: Vec<_> = set
+            .iter_with_slots()
+            .map(|(s, sess)| (s, sess.id()))
+            .collect();
+        assert_eq!(pairs.len(), set.len());
+        for (slot, id) in pairs {
+            assert_eq!(set.slot_of(id), Some(slot));
+        }
     }
 
     #[test]

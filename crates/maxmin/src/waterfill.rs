@@ -9,9 +9,9 @@
 //! centralized algorithm similar to the Water-Filling algorithm").
 
 use crate::rate::{Rate, Tolerance};
-use crate::session::{Allocation, SessionId, SessionSet};
-use bneck_net::{LinkId, Network};
-use std::collections::HashMap;
+use crate::session::{Allocation, SessionSet};
+use crate::workspace::{SolverWorkspace, NONE};
+use bneck_net::Network;
 
 /// Progressive-filling max-min solver.
 ///
@@ -58,94 +58,131 @@ impl<'a> WaterFilling<'a> {
     }
 
     /// Computes the max-min fair allocation.
+    ///
+    /// Allocates a fresh [`SolverWorkspace`] internally; callers solving
+    /// repeatedly should use [`WaterFilling::solve_in`].
     pub fn solve(&self) -> Allocation {
+        self.solve_in(&mut SolverWorkspace::new())
+    }
+
+    /// Computes the max-min fair allocation using the caller's scratch
+    /// buffers, so repeated solves allocate (almost) nothing per call.
+    ///
+    /// The water level rises round by round; each round freezes the sessions
+    /// that sit on a link saturated at the new level or that reached their
+    /// own requested maximum. Per-link active counts and frozen-capacity sums
+    /// are maintained incrementally — freezing a session only touches the
+    /// links on its path — instead of rescanning every link × session pair.
+    pub fn solve_in(&self, ws: &mut SolverWorkspace) -> Allocation {
         let tol = self.tolerance;
         let mut allocation = Allocation::new();
         if self.sessions.is_empty() {
             return allocation;
         }
 
-        // Active sessions all share the same current "water level".
-        let mut active: Vec<SessionId> = self.sessions.iter().map(|s| s.id()).collect();
-        let mut frozen_rate: HashMap<SessionId, Rate> = HashMap::new();
-        // Per used link: capacity and the number of active sessions on it.
-        let used_links: Vec<LinkId> = self.sessions.used_links().collect();
+        ws.init_link_constraints(self.network, self.sessions);
+
+        // Rate-limited sessions sorted by limit: since the water level only
+        // rises, a cursor over this list yields the smallest unfrozen limit
+        // in O(1) per round.
+        ws.by_limit.clear();
+        let mut remaining = 0usize;
+        for (slot, session) in self.sessions.iter_with_slots() {
+            remaining += 1;
+            if !session.limit().is_unlimited() {
+                ws.by_limit.push((session.limit().as_bps(), slot));
+            }
+        }
+        ws.by_limit.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .expect("rate limits are never NaN")
+                .then(a.1.cmp(&b.1))
+        });
+        let mut limit_cursor = 0usize;
         let mut level: Rate = 0.0;
 
-        while !active.is_empty() {
-            // The highest level each link allows for its active sessions.
+        while remaining > 0 {
+            while limit_cursor < ws.by_limit.len()
+                && !ws.rate[ws.by_limit[limit_cursor].1 as usize].is_nan()
+            {
+                limit_cursor += 1;
+            }
+            // The highest level each link allows for its active sessions,
+            // capped by the smallest limit an active session could hit.
             let mut next_level: Rate = f64::INFINITY;
-            for &link in &used_links {
-                let on_link = self.sessions.sessions_on_link(link);
-                let active_count = on_link
-                    .iter()
-                    .filter(|s| !frozen_rate.contains_key(s))
-                    .count();
-                if active_count == 0 {
+            for i in 0..ws.link_ids.len() {
+                let active = ws.active[i];
+                if active == 0 {
                     continue;
                 }
-                let frozen_sum: Rate = on_link.iter().filter_map(|s| frozen_rate.get(s)).sum();
-                let cap = self.network.link(link).capacity().as_bps();
-                let allowed = (cap - frozen_sum).max(0.0) / active_count as f64;
+                let allowed = (ws.cap[i] - ws.granted[i]).max(0.0) / active as f64;
                 next_level = next_level.min(allowed);
             }
-            // Sessions may also freeze because they reach their own limit.
-            for id in &active {
-                let limit = self
-                    .sessions
-                    .get(*id)
-                    .expect("active session exists")
-                    .limit();
-                next_level = next_level.min(limit.as_bps());
+            if limit_cursor < ws.by_limit.len() {
+                next_level = next_level.min(ws.by_limit[limit_cursor].0);
             }
-
             level = next_level.max(level);
 
-            // Freeze sessions that hit their limit or sit on a saturated link.
-            let mut saturated_links: Vec<LinkId> = Vec::new();
-            for &link in &used_links {
-                let on_link = self.sessions.sessions_on_link(link);
-                let active_count = on_link
-                    .iter()
-                    .filter(|s| !frozen_rate.contains_key(s))
-                    .count();
-                if active_count == 0 {
+            // Links saturated at the new level, decided before any freeze
+            // mutates the counts.
+            ws.saturated.clear();
+            for i in 0..ws.link_ids.len() {
+                let active = ws.active[i];
+                if active == 0 {
                     continue;
                 }
-                let frozen_sum: Rate = on_link.iter().filter_map(|s| frozen_rate.get(s)).sum();
-                let cap = self.network.link(link).capacity().as_bps();
-                let total = frozen_sum + active_count as f64 * level;
-                if tol.ge(total, cap) {
-                    saturated_links.push(link);
+                if tol.ge(ws.granted[i] + active as f64 * level, ws.cap[i]) {
+                    ws.saturated.push(i as u32);
                 }
             }
-            let mut newly_frozen: Vec<SessionId> = Vec::new();
-            for id in &active {
-                let session = self.sessions.get(*id).expect("active session exists");
-                let at_limit = tol.ge(level, session.limit().as_bps());
-                let on_saturated = session
-                    .path()
-                    .links()
-                    .iter()
-                    .any(|l| saturated_links.contains(l));
-                if at_limit || on_saturated {
-                    newly_frozen.push(*id);
+            let mut frozen_this_round = 0usize;
+            for k in 0..ws.saturated.len() {
+                let link = ws.link_ids[ws.saturated[k] as usize];
+                for &slot in self.sessions.slots_on_link(link) {
+                    if ws.rate[slot as usize].is_nan() {
+                        freeze(ws, self.sessions, slot, level);
+                        frozen_this_round += 1;
+                    }
+                }
+            }
+            // Sessions frozen by their own limit rather than by a link.
+            while limit_cursor < ws.by_limit.len() {
+                let (limit, slot) = ws.by_limit[limit_cursor];
+                if !ws.rate[slot as usize].is_nan() {
+                    limit_cursor += 1;
+                    continue;
+                }
+                if tol.ge(level, limit) {
+                    freeze(ws, self.sessions, slot, level);
+                    frozen_this_round += 1;
+                    limit_cursor += 1;
+                } else {
+                    break;
                 }
             }
             assert!(
-                !newly_frozen.is_empty(),
+                frozen_this_round > 0,
                 "progressive filling must freeze at least one session per round"
             );
-            for id in newly_frozen {
-                frozen_rate.insert(id, level);
-                active.retain(|s| *s != id);
-            }
+            remaining -= frozen_this_round;
         }
 
-        for (id, rate) in frozen_rate {
-            allocation.set(id, rate);
+        for (slot, session) in self.sessions.iter_with_slots() {
+            allocation.set(session.id(), ws.rate[slot as usize]);
         }
         allocation
+    }
+}
+
+/// Freezes `slot` at `level`, updating only the links on its path.
+fn freeze(ws: &mut SolverWorkspace, sessions: &SessionSet, slot: u32, level: Rate) {
+    ws.rate[slot as usize] = level;
+    let session = sessions.session_at(slot).expect("frozen session exists");
+    for &link in session.path().links() {
+        let i = ws.link_pos[link.index()];
+        debug_assert!(i != NONE, "session paths only cross used links");
+        ws.active[i as usize] -= 1;
+        ws.granted[i as usize] += level;
     }
 }
 
@@ -153,7 +190,7 @@ impl<'a> WaterFilling<'a> {
 mod tests {
     use super::*;
     use crate::rate::RateLimit;
-    use crate::session::Session;
+    use crate::session::{Session, SessionId};
     use bneck_net::prelude::*;
 
     fn mbps(x: f64) -> Capacity {

@@ -1,0 +1,117 @@
+//! Reusable scratch state for the centralized solvers.
+
+use crate::session::SessionId;
+use bneck_net::LinkId;
+
+/// Scratch buffers shared by [`crate::WaterFilling`] and
+/// [`crate::CentralizedBneck`].
+///
+/// Both solvers keep their per-session and per-link working state in flat
+/// vectors indexed by [`crate::SessionSet`] arena slots and dense link
+/// identifiers. A workspace owns those vectors so that repeated solves — the
+/// validation binary, the experiment runners, the benchmarks — reuse the same
+/// allocations instead of rebuilding hash maps on every call. A workspace is
+/// not tied to a network or session set: the same instance can serve solves
+/// over different instances of any size.
+///
+/// # Example
+///
+/// ```
+/// use bneck_net::prelude::*;
+/// use bneck_maxmin::prelude::*;
+///
+/// let net = synthetic::dumbbell(2, Capacity::from_mbps(100.0),
+///                               Capacity::from_mbps(60.0), Delay::from_micros(1));
+/// let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+/// let mut router = Router::new(&net);
+/// let mut sessions = SessionSet::new();
+/// for i in 0..2 {
+///     let path = router.shortest_path(hosts[2 * i], hosts[2 * i + 1]).unwrap();
+///     sessions.insert(Session::new(SessionId(i as u64), path, RateLimit::unlimited()));
+/// }
+/// let mut ws = SolverWorkspace::new();
+/// let a = WaterFilling::new(&net, &sessions).solve_in(&mut ws);
+/// let b = CentralizedBneck::new(&net, &sessions).solve_in(&mut ws);
+/// assert_eq!(a.rate(SessionId(0)), b.rate(SessionId(0)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SolverWorkspace {
+    /// Per arena slot: the assigned/frozen rate; `NaN` while undecided.
+    pub(crate) rate: Vec<f64>,
+    /// Per arena slot: the round the session was assigned in (centralized).
+    pub(crate) round: Vec<u32>,
+    /// Per arena slot: the session's private limit constraint, `NONE` if the
+    /// session is unlimited (centralized).
+    pub(crate) limit_cons: Vec<u32>,
+    /// Per `LinkId::index()`: position of the link in the dense used-link /
+    /// constraint arrays below, `NONE` for unused links.
+    pub(crate) link_pos: Vec<u32>,
+    /// Dense list of used links, in `SessionSet::used_links` order.
+    pub(crate) link_ids: Vec<LinkId>,
+    /// Per constraint: its capacity (`C_e`, or `r_s` for limit constraints).
+    pub(crate) cap: Vec<f64>,
+    /// Per constraint: number of crossing sessions still undecided
+    /// (water-filling's active count / centralized's `|R_e|`).
+    pub(crate) active: Vec<u32>,
+    /// Per constraint: total rate already granted to decided crossing sessions
+    /// (water-filling's frozen sum / centralized's `Σ_{s∈F_e} λ*_s`).
+    pub(crate) granted: Vec<f64>,
+    /// Links saturated in the current round (water-filling).
+    pub(crate) saturated: Vec<u32>,
+    /// `(limit_bps, slot)` of rate-limited sessions, sorted ascending
+    /// (water-filling).
+    pub(crate) by_limit: Vec<(f64, u32)>,
+    /// Per constraint: still live (centralized).
+    pub(crate) cons_live: Vec<bool>,
+    /// Per constraint: this round's estimate `B_e` (centralized).
+    pub(crate) cons_est: Vec<f64>,
+    /// Per constraint: the round it was identified as a bottleneck, `NONE`
+    /// when it drained without ever being an argmin (centralized).
+    pub(crate) cons_round: Vec<u32>,
+    /// Per limit constraint (offset by the link-constraint count): its single
+    /// member slot (centralized).
+    pub(crate) cons_member: Vec<u32>,
+    /// Slots assigned in the current round (centralized).
+    pub(crate) newly: Vec<u32>,
+    /// `(id, slot)` sorting scratch for the bottleneck report (centralized).
+    pub(crate) pairs: Vec<(SessionId, u32)>,
+}
+
+/// Sentinel for "no entry" in the `u32` index vectors.
+pub(crate) const NONE: u32 = u32::MAX;
+
+impl SolverWorkspace {
+    /// Creates an empty workspace; buffers grow on first use and are then
+    /// reused across solves.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the per-slot and per-link tables and builds the used-link
+    /// constraints — one entry per link crossed by at least one session, with
+    /// its capacity, its crossing-session count and a zeroed granted sum —
+    /// establishing the `link_pos` ↔ `link_ids`/`cap`/`active`/`granted`
+    /// correspondence both solvers rely on.
+    pub(crate) fn init_link_constraints(
+        &mut self,
+        network: &bneck_net::Network,
+        sessions: &crate::session::SessionSet,
+    ) {
+        self.rate.clear();
+        self.rate.resize(sessions.slot_capacity(), f64::NAN);
+        self.link_pos.clear();
+        self.link_pos.resize(network.link_count(), NONE);
+        self.link_ids.clear();
+        self.cap.clear();
+        self.active.clear();
+        self.granted.clear();
+        for link in sessions.used_links() {
+            self.link_pos[link.index()] = self.link_ids.len() as u32;
+            self.link_ids.push(link);
+            self.cap.push(network.link(link).capacity().as_bps());
+            self.active
+                .push(sessions.sessions_on_link(link).len() as u32);
+            self.granted.push(0.0);
+        }
+    }
+}

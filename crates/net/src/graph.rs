@@ -158,8 +158,11 @@ impl Link {
 pub struct Network {
     nodes: Vec<Node>,
     links: Vec<Link>,
-    /// Outgoing links of each node, indexed by `NodeId::index()`.
-    out_links: Vec<Vec<LinkId>>,
+    /// Adjacency in compressed sparse row form: the outgoing links of node
+    /// `n` are `out_link_ids[out_offsets[n] .. out_offsets[n + 1]]`. One flat
+    /// allocation keeps BFS traversals on a contiguous cache-friendly array.
+    out_offsets: Vec<u32>,
+    out_link_ids: Vec<LinkId>,
     /// Lookup from `(src, dst)` to the connecting link, if any.
     by_endpoints: HashMap<(NodeId, NodeId), LinkId>,
 }
@@ -225,7 +228,9 @@ impl Network {
 
     /// Outgoing links of a node.
     pub fn out_links(&self, node: NodeId) -> &[LinkId] {
-        &self.out_links[node.index()]
+        let start = self.out_offsets[node.index()] as usize;
+        let end = self.out_offsets[node.index() + 1] as usize;
+        &self.out_link_ids[start..end]
     }
 
     /// Returns the link from `src` to `dst`, if one exists.
@@ -380,14 +385,27 @@ impl NetworkBuilder {
 
     /// Finalizes the builder into an immutable [`Network`].
     pub fn build(self) -> Network {
-        let mut out_links = vec![Vec::new(); self.nodes.len()];
+        // Counting sort of the links by source node into CSR form, preserving
+        // insertion order within each node (links are appended id-ascending).
+        let mut out_offsets = vec![0u32; self.nodes.len() + 1];
         for link in &self.links {
-            out_links[link.src().index()].push(link.id());
+            out_offsets[link.src().index() + 1] += 1;
+        }
+        for i in 1..out_offsets.len() {
+            out_offsets[i] += out_offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = out_offsets[..self.nodes.len()].to_vec();
+        let mut out_link_ids = vec![LinkId(0); self.links.len()];
+        for link in &self.links {
+            let c = &mut cursor[link.src().index()];
+            out_link_ids[*c as usize] = link.id();
+            *c += 1;
         }
         Network {
             nodes: self.nodes,
             links: self.links,
-            out_links,
+            out_offsets,
+            out_link_ids,
             by_endpoints: self.by_endpoints,
         }
     }

@@ -3,7 +3,7 @@
 use crate::engine::Address;
 use crate::time::SimTime;
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// One scheduled delivery.
 #[derive(Debug, Clone)]
@@ -42,9 +42,27 @@ impl<M> Ord for Event<M> {
 }
 
 /// A deterministic min-priority queue of events.
+///
+/// Events scheduled for the *current* instant bypass the binary heap: they go
+/// into a FIFO bucket (`now`) keyed by `now_time`, the timestamp of the most
+/// recent heap transition. Protocols that churn through long same-timestamp
+/// cascades — the B-Neck quiescence experiments deliver most events at the
+/// instant they are sent plus a fixed delay pattern — pay `O(1)` per such
+/// event instead of `O(log n)` heap reshuffles.
+///
+/// Determinism is unchanged: events are delivered in globally increasing
+/// `(at, seq)` order. The bucket only ever holds events with `at == now_time`
+/// and monotonically increasing `seq`, and a `(at, seq)` comparison against
+/// the heap head decides which side pops next, so events that reached the
+/// heap earlier (smaller `seq`) still win ties.
 #[derive(Debug)]
 pub(crate) struct EventQueue<M> {
     heap: BinaryHeap<Event<M>>,
+    /// FIFO bucket of events at `now_time`.
+    now: VecDeque<Event<M>>,
+    /// The current instant: timestamp of the last event popped from the heap
+    /// (`SimTime::ZERO` before the first pop, matching the engine's clock).
+    now_time: SimTime,
     next_seq: u64,
 }
 
@@ -52,6 +70,8 @@ impl<M> Default for EventQueue<M> {
     fn default() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
+            now: VecDeque::new(),
+            now_time: SimTime::ZERO,
             next_seq: 0,
         }
     }
@@ -61,23 +81,54 @@ impl<M> EventQueue<M> {
     pub(crate) fn push(&mut self, at: SimTime, to: Address, msg: M) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { at, seq, to, msg });
+        let event = Event { at, seq, to, msg };
+        // The engine never schedules into the simulated past, so `at` is
+        // either exactly the current instant (fast path) or in the future.
+        if at == self.now_time {
+            self.now.push_back(event);
+        } else {
+            debug_assert!(
+                at > self.now_time,
+                "events must not be scheduled in the past"
+            );
+            self.heap.push(event);
+        }
     }
 
     pub(crate) fn pop(&mut self) -> Option<Event<M>> {
-        self.heap.pop()
+        let from_now = match (self.now.front(), self.heap.peek()) {
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(f), Some(h)) => (f.at, f.seq) < (h.at, h.seq),
+            (None, None) => return None,
+        };
+        if from_now {
+            self.now.pop_front()
+        } else {
+            let event = self.heap.pop();
+            if let Some(e) = &event {
+                debug_assert!(e.at >= self.now_time, "time must not go backwards");
+                self.now_time = e.at;
+            }
+            event
+        }
     }
 
     pub(crate) fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.at)
+        match (self.now.front(), self.heap.peek()) {
+            (Some(f), None) => Some(f.at),
+            (None, Some(h)) => Some(h.at),
+            (Some(f), Some(h)) => Some(f.at.min(h.at)),
+            (None, None) => None,
+        }
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.now.len()
     }
 
     pub(crate) fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.now.is_empty()
     }
 }
 

@@ -70,7 +70,7 @@ pub struct SessionRequest {
 /// it can be reused across experiment phases.
 #[derive(Debug)]
 pub struct SessionPlanner<'a> {
-    network: &'a Network,
+    router: Router<'a>,
     hosts: Vec<NodeId>,
     rng: SmallRng,
     used_sources: HashSet<NodeId>,
@@ -87,7 +87,7 @@ impl<'a> SessionPlanner<'a> {
         let hosts: Vec<NodeId> = network.hosts().map(|h| h.id()).collect();
         assert!(hosts.len() >= 2, "planning sessions needs at least 2 hosts");
         SessionPlanner {
-            network,
+            router: Router::new(network),
             hosts,
             rng: SmallRng::seed_from_u64(seed),
             used_sources: HashSet::new(),
@@ -110,7 +110,6 @@ impl<'a> SessionPlanner<'a> {
     /// asked when the network runs out of free source hosts.
     pub fn plan(&mut self, count: usize, limits: LimitPolicy) -> Vec<SessionRequest> {
         let mut requests = Vec::with_capacity(count);
-        let mut router = Router::new(self.network);
         let mut candidates: Vec<NodeId> = self
             .hosts
             .iter()
@@ -130,7 +129,14 @@ impl<'a> SessionPlanner<'a> {
                 if candidate == source {
                     continue;
                 }
-                if router.shortest_path(source, candidate).is_some() {
+                // The cached variant builds one BFS tree per source, so the
+                // retries here (and any later query from the same source)
+                // only walk parent links.
+                if self
+                    .router
+                    .shortest_path_cached(source, candidate)
+                    .is_some()
+                {
                     destination = Some(candidate);
                     break;
                 }

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Smoke-runs every Criterion bench with a tiny wall-clock budget and fails if
+# any benchmark panics, records no iterations, or disappears compared to the
+# checked-in name manifest (crates/bench/bench-manifest.txt).
+#
+# Usage: [BNECK_BENCH_BUDGET_MS=25] scripts/bench_smoke.sh
+#
+# When adding, renaming or removing a benchmark intentionally, regenerate the
+# manifest with:
+#   BNECK_BENCH_BUDGET_MS=25 cargo bench 2>/dev/null \
+#     | grep '^bench ' | awk '{print $2}' | sort > crates/bench/bench-manifest.txt
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+budget="${BNECK_BENCH_BUDGET_MS:-25}"
+out="$(mktemp)"
+trap 'rm -f "$out" "$out.names"' EXIT
+
+# A panicking bench binary makes cargo exit non-zero, which set -o pipefail
+# propagates through the tee.
+BNECK_BENCH_BUDGET_MS="$budget" cargo bench 2>&1 | tee "$out"
+
+if grep -q 'no iterations recorded' "$out"; then
+  echo "bench smoke FAILED: a benchmark recorded no iterations" >&2
+  exit 1
+fi
+
+grep '^bench ' "$out" | awk '{print $2}' | sort > "$out.names"
+if ! diff -u crates/bench/bench-manifest.txt "$out.names"; then
+  echo "bench smoke FAILED: benchmark name set diverged from crates/bench/bench-manifest.txt" >&2
+  echo "(update the manifest if the change is intentional; see this script's header)" >&2
+  exit 1
+fi
+
+echo "bench smoke OK: $(wc -l < "$out.names") benchmarks present"
