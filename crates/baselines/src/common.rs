@@ -8,13 +8,13 @@
 //! schedules the next probe. None of these protocols can detect convergence,
 //! so the probing never stops — the defining contrast with B-Neck.
 
-use bneck_maxmin::{Allocation, Rate, RateLimit, SessionId};
-use bneck_net::{LinkId, Network, NodeId, Path, Router};
+use bneck_maxmin::{Allocation, FastMap, Rate, RateLimit, SessionId};
+use bneck_net::{Network, NodeId, Path, Router};
 use bneck_sim::{Address, ChannelId, ChannelSpec, Context, Engine, SimTime, World};
-use bneck_workload::ScheduleTarget;
+use bneck_workload::{ScheduleTarget, SessionRequest};
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// The per-link rate controller of a baseline protocol.
@@ -101,35 +101,33 @@ impl fmt::Display for BaselineStats {
     }
 }
 
-/// Messages exchanged by the baseline harness.
+/// Messages exchanged by the baseline harness. Sessions are addressed by
+/// their dense slot in the world's session table, assigned at join.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Message {
     /// API call: start the session.
-    Start { session: SessionId },
+    Start { slot: u32 },
     /// API call: stop the session.
-    Stop { session: SessionId },
+    Stop { slot: u32 },
     /// Probe travelling downstream; `hop` is the index of the link whose
     /// controller processes it next.
-    Probe {
-        session: SessionId,
-        granted: Rate,
-        hop: usize,
-    },
+    Probe { slot: u32, granted: Rate, hop: u32 },
     /// Response travelling upstream; `hops_left` reverse hops remain.
     Response {
-        session: SessionId,
+        slot: u32,
         granted: Rate,
-        hops_left: usize,
+        hops_left: u32,
     },
     /// Departure notification travelling downstream.
-    Leave { session: SessionId, hop: usize },
+    Leave { slot: u32, hop: u32 },
     /// Source timer: time to send the next periodic probe.
-    Timer { session: SessionId },
+    Timer { slot: u32 },
 }
 
-/// Per-session state kept by the harness.
+/// Per-session state kept by the harness, indexed by session slot.
 #[derive(Debug, Clone)]
 struct SessionState {
+    id: SessionId,
     path: Path,
     demand: Rate,
     limit: RateLimit,
@@ -137,11 +135,16 @@ struct SessionState {
     active: bool,
 }
 
-/// The simulator world: controllers, sessions, accounting.
+/// The simulator world: controllers, sessions, accounting — all in dense
+/// per-link / per-slot vectors.
 struct BaselineWorld<P: BaselineProtocol> {
     protocol: P,
-    controllers: HashMap<LinkId, P::Controller>,
-    sessions: BTreeMap<SessionId, SessionState>,
+    /// Controller of each directed link, indexed by `LinkId::index()`;
+    /// created lazily when the first probe crosses the link.
+    controllers: Vec<Option<P::Controller>>,
+    /// Session table indexed by slot; entries persist after a leave (stray
+    /// timers and in-flight packets may still reference the slot).
+    sessions: Vec<SessionState>,
     active: BTreeSet<SessionId>,
     stats: BaselineStats,
     probe_interval: bneck_net::Delay,
@@ -155,17 +158,15 @@ struct BaselineWorld<P: BaselineProtocol> {
 }
 
 impl<P: BaselineProtocol> BaselineWorld<P> {
-    fn send_probe(&mut self, ctx: &mut Context<'_, Message>, session: SessionId) {
-        let Some(state) = self.sessions.get(&session) else {
-            return;
-        };
+    fn send_probe(&mut self, ctx: &mut Context<'_, Message>, slot: u32) {
+        let state = &self.sessions[slot as usize];
         if !state.active {
             return;
         }
         ctx.deliver_now(
             Address(0),
             Message::Probe {
-                session,
+                slot,
                 granted: state.demand,
                 hop: 0,
             },
@@ -174,60 +175,54 @@ impl<P: BaselineProtocol> BaselineWorld<P> {
 
     fn dispatch(&mut self, ctx: &mut Context<'_, Message>, msg: Message) {
         match msg {
-            Message::Start { session } | Message::Timer { session } => {
-                self.send_probe(ctx, session);
+            Message::Start { slot } | Message::Timer { slot } => {
+                self.send_probe(ctx, slot);
             }
-            Message::Stop { session } => {
-                if let Some(state) = self.sessions.get_mut(&session) {
-                    state.active = false;
-                }
-                self.active.remove(&session);
-                ctx.deliver_now(Address(0), Message::Leave { session, hop: 0 });
+            Message::Stop { slot } => {
+                let state = &mut self.sessions[slot as usize];
+                state.active = false;
+                self.active.remove(&state.id);
+                ctx.deliver_now(Address(0), Message::Leave { slot, hop: 0 });
             }
-            Message::Probe {
-                session,
-                granted,
-                hop,
-            } => {
-                let Some(state) = self.sessions.get(&session) else {
-                    return;
-                };
+            Message::Probe { slot, granted, hop } => {
+                let state = &self.sessions[slot as usize];
                 if !state.active {
                     return;
                 }
+                let session = state.id;
                 let demand = state.demand;
                 let current = state.current;
-                let links = state.path.links().to_vec();
-                let link = links[hop];
+                let hops = state.path.links().len();
+                // A stale probe from a previous incarnation of the slot
+                // (leave + rejoin with the same identifier while packets were
+                // in flight) may carry a hop beyond the current, shorter
+                // path: drop it — the new incarnation started its own probe.
+                let Some(&link) = state.path.links().get(hop as usize) else {
+                    return;
+                };
                 let capacity = self.capacities[link.index()];
-                if !self.controllers.contains_key(&link) {
-                    let controller = self.protocol.controller(capacity);
-                    self.controllers.insert(link, controller);
-                }
-                let controller = self
-                    .controllers
-                    .get_mut(&link)
-                    .expect("controller was just inserted");
+                let controller = self.controllers[link.index()]
+                    .get_or_insert_with(|| self.protocol.controller(capacity));
                 let advertised = controller.on_probe(session, demand, current, ctx.now());
                 let granted = granted.min(advertised).min(demand);
                 self.stats.probes += 1;
-                let next = if hop + 1 < links.len() {
+                let next = if (hop as usize) + 1 < hops {
                     Message::Probe {
-                        session,
+                        slot,
                         granted,
                         hop: hop + 1,
                     }
                 } else {
                     Message::Response {
-                        session,
+                        slot,
                         granted,
-                        hops_left: links.len(),
+                        hops_left: hops as u32,
                     }
                 };
                 ctx.send(self.channels[link.index()], Address(0), next);
             }
             Message::Response {
-                session,
+                slot,
                 granted,
                 hops_left,
             } => {
@@ -235,49 +230,45 @@ impl<P: BaselineProtocol> BaselineWorld<P> {
                     // Reached the source: adopt the granted rate and schedule
                     // the next periodic probe. The probing never stops.
                     let interval = self.probe_interval;
-                    if let Some(state) = self.sessions.get_mut(&session) {
-                        if state.active {
-                            state.current = granted;
-                            ctx.schedule_after(interval, Address(0), Message::Timer { session });
-                        }
+                    let state = &mut self.sessions[slot as usize];
+                    if state.active {
+                        state.current = granted;
+                        ctx.schedule_after(interval, Address(0), Message::Timer { slot });
                     }
                     return;
                 }
-                let Some(state) = self.sessions.get(&session) else {
+                let state = &self.sessions[slot as usize];
+                // As with probes, drop responses whose hop count belongs to a
+                // previous, longer incarnation of the slot's path.
+                let Some(&forward) = state.path.links().get(hops_left as usize - 1) else {
                     return;
                 };
-                let forward = state.path.links()[hops_left - 1];
                 self.stats.responses += 1;
                 ctx.send(
                     self.reverse_channels[forward.index()],
                     Address(0),
                     Message::Response {
-                        session,
+                        slot,
                         granted,
                         hops_left: hops_left - 1,
                     },
                 );
             }
-            Message::Leave { session, hop } => {
-                let Some(state) = self.sessions.get(&session) else {
-                    return;
-                };
-                let links = state.path.links().to_vec();
-                if hop >= links.len() {
+            Message::Leave { slot, hop } => {
+                let state = &self.sessions[slot as usize];
+                if hop as usize >= state.path.links().len() {
                     return;
                 }
-                let link = links[hop];
-                if let Some(controller) = self.controllers.get_mut(&link) {
+                let session = state.id;
+                let link = state.path.links()[hop as usize];
+                if let Some(controller) = &mut self.controllers[link.index()] {
                     controller.on_leave(session);
                 }
                 self.stats.leaves += 1;
                 ctx.send(
                     self.channels[link.index()],
                     Address(0),
-                    Message::Leave {
-                        session,
-                        hop: hop + 1,
-                    },
+                    Message::Leave { slot, hop: hop + 1 },
                 );
             }
         }
@@ -319,6 +310,9 @@ pub struct BaselineSimulation<'a, P: BaselineProtocol> {
     name: &'static str,
     config: BaselineConfig,
     world: BaselineWorld<P>,
+    /// Session id → slot in the world's session table. Entries persist across
+    /// a leave and are remapped when the identifier rejoins.
+    slot_of: FastMap<SessionId, u32>,
     router: Router<'a>,
 }
 
@@ -349,10 +343,12 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
             .collect();
         let name = protocol.name();
         let probe_interval = protocol.probe_interval();
+        let mut controllers = Vec::new();
+        controllers.resize_with(network.link_count(), || None);
         let world = BaselineWorld {
             protocol,
-            controllers: HashMap::new(),
-            sessions: BTreeMap::new(),
+            controllers,
+            sessions: Vec::new(),
             active: BTreeSet::new(),
             stats: BaselineStats::default(),
             probe_interval,
@@ -366,6 +362,7 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
             name,
             config,
             world,
+            slot_of: FastMap::default(),
             router: Router::new(network),
         }
     }
@@ -396,21 +393,46 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
         let Some(path) = self.router.shortest_path(source, destination) else {
             return false;
         };
+        self.join_with_path(at, session, path, limit)
+    }
+
+    /// Starts a session at time `at` along an explicit path (e.g. the one a
+    /// workload planner already routed). Returns `false` if the identifier is
+    /// already in use by an active session.
+    pub fn join_with_path(
+        &mut self,
+        at: SimTime,
+        session: SessionId,
+        path: Path,
+        limit: RateLimit,
+    ) -> bool {
+        if self.world.active.contains(&session) {
+            return false;
+        }
         let first_capacity = self.network.link(path.first_link()).capacity().as_bps();
         let demand = limit.effective_demand(first_capacity);
-        self.world.sessions.insert(
-            session,
-            SessionState {
-                path,
-                demand,
-                limit,
-                current: 0.0,
-                active: true,
-            },
-        );
+        let state = SessionState {
+            id: session,
+            path,
+            demand,
+            limit,
+            current: 0.0,
+            active: true,
+        };
+        let slot = match self.slot_of.get(&session) {
+            Some(&slot) => {
+                self.world.sessions[slot as usize] = state;
+                slot
+            }
+            None => {
+                let slot = self.world.sessions.len() as u32;
+                self.world.sessions.push(state);
+                self.slot_of.insert(session, slot);
+                slot
+            }
+        };
         self.world.active.insert(session);
-        self.engine
-            .inject(at, Address(0), Message::Start { session });
+        self.engine.inject(at, Address(0), Message::Start { slot });
         true
     }
 
@@ -419,8 +441,8 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
         if !self.world.active.contains(&session) {
             return false;
         }
-        self.engine
-            .inject(at, Address(0), Message::Stop { session });
+        let slot = self.slot_of[&session];
+        self.engine.inject(at, Address(0), Message::Stop { slot });
         true
     }
 
@@ -431,9 +453,10 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
         if !self.world.active.contains(&session) {
             return false;
         }
-        let Some(state) = self.world.sessions.get_mut(&session) else {
+        let Some(&slot) = self.slot_of.get(&session) else {
             return false;
         };
+        let state = &mut self.world.sessions[slot as usize];
         let first_capacity = self
             .network
             .link(state.path.first_link())
@@ -466,7 +489,10 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
         self.world
             .active
             .iter()
-            .filter_map(|s| self.world.sessions.get(s).map(|st| (*s, st.current)))
+            .filter_map(|s| {
+                let slot = *self.slot_of.get(s)?;
+                Some((*s, self.world.sessions[slot as usize].current))
+            })
             .collect()
     }
 
@@ -476,7 +502,8 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
             .active
             .iter()
             .filter_map(|s| {
-                let st = self.world.sessions.get(s)?;
+                let slot = *self.slot_of.get(s)?;
+                let st = &self.world.sessions[slot as usize];
                 Some(bneck_maxmin::Session::new(*s, st.path.clone(), st.limit))
             })
             .collect()
@@ -499,15 +526,8 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
 }
 
 impl<'a, P: BaselineProtocol> ScheduleTarget for BaselineSimulation<'a, P> {
-    fn apply_join(
-        &mut self,
-        at: SimTime,
-        session: SessionId,
-        source: NodeId,
-        destination: NodeId,
-        limit: RateLimit,
-    ) -> bool {
-        self.join(at, session, source, destination, limit)
+    fn apply_join(&mut self, at: SimTime, request: &SessionRequest) -> bool {
+        self.join_with_path(at, request.session, request.path.clone(), request.limit)
     }
 
     fn apply_leave(&mut self, at: SimTime, session: SessionId) -> bool {
@@ -619,6 +639,51 @@ mod tests {
             "with no active session the probing dies out"
         );
         assert!(sim.stats().leaves > 0);
+    }
+
+    #[test]
+    fn stray_packets_from_a_previous_incarnation_are_dropped() {
+        // A session on a long path leaves mid-probe and rejoins with the
+        // same identifier on a short path; in-flight probes and responses of
+        // the old incarnation carry hops beyond the new path and must be
+        // dropped, not indexed.
+        use bneck_net::prelude::*;
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("r0");
+        let r1 = b.add_router("r1");
+        let r2 = b.add_router("r2");
+        let r3 = b.add_router("r3");
+        b.connect(r0, r1, Capacity::from_mbps(100.0), Delay::from_micros(1));
+        b.connect(r1, r2, Capacity::from_mbps(100.0), Delay::from_micros(1));
+        b.connect(r2, r3, Capacity::from_mbps(100.0), Delay::from_micros(1));
+        let h0 = b.add_host("h0", r0, Capacity::from_mbps(100.0), Delay::from_micros(1));
+        let h1 = b.add_host("h1", r3, Capacity::from_mbps(50.0), Delay::from_micros(1));
+        let h2 = b.add_host("h2", r0, Capacity::from_mbps(80.0), Delay::from_micros(1));
+        let net = b.build();
+        let mut sim = BaselineSimulation::new(&net, GrantAll, BaselineConfig::default());
+        for probe_us in 1..12u64 {
+            let start = sim.now() + Delay::from_micros(1);
+            assert!(sim.join(start, SessionId(0), h0, h1, RateLimit::unlimited()));
+            sim.run_until(start + Delay::from_micros(probe_us));
+            // Leave and rejoin immediately along the 2-link path while the
+            // long-path probe train may still be in flight.
+            let t = sim.now() + Delay::from_nanos(1);
+            assert!(sim.leave(t, SessionId(0)));
+            sim.run_until(t + Delay::from_nanos(2));
+            assert!(sim.join(
+                sim.now() + Delay::from_nanos(1),
+                SessionId(0),
+                h0,
+                h2,
+                RateLimit::unlimited()
+            ));
+            sim.run_until(sim.now() + Delay::from_millis(2));
+            let rate = sim.current_rates().rate(SessionId(0)).unwrap();
+            assert!((rate - 80e6).abs() < 1.0, "short path rate, got {rate}");
+            let t = sim.now() + Delay::from_micros(1);
+            assert!(sim.leave(t, SessionId(0)));
+            sim.run_until(t + Delay::from_millis(1));
+        }
     }
 
     #[test]

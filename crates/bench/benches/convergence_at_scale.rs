@@ -1,0 +1,32 @@
+//! Criterion benchmark for the paper-scale flavour of Experiment 1: the
+//! distributed protocol driven to quiescence on the Medium transit–stub
+//! network with thousands of simultaneous joins (the `paper_scale` binary
+//! runs the full 50k–100k-session presets; the benchmark sizes here keep one
+//! iteration within CI's bench-smoke budget).
+
+use bneck_bench::run_experiment1_point;
+use bneck_workload::Experiment1Config;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_convergence_at_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("convergence_at_scale");
+    group.sample_size(10);
+    for &sessions in &[1_000usize, 5_000] {
+        group.bench_with_input(
+            BenchmarkId::new("paper_scale", sessions),
+            &sessions,
+            |b, &sessions| {
+                let config = Experiment1Config::paper_scale(sessions);
+                b.iter(|| {
+                    let point = run_experiment1_point(&config);
+                    assert!(point.validated);
+                    point.total_packets
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence_at_scale);
+criterion_main!(benches);

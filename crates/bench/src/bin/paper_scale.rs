@@ -1,0 +1,103 @@
+//! Paper-scale join-to-quiescence run: tens of thousands of sessions joining
+//! a Medium transit–stub network within one millisecond, driven to
+//! quiescence and validated against the centralized oracle (toward the
+//! paper's 300,000-session evaluations, §IV).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bneck-bench --bin paper_scale [-- --sessions 50000] [-- --no-validate]
+//! ```
+//!
+//! Prints one summary line with wall-clock timings; exits non-zero when the
+//! run fails to reach quiescence or disagrees with the oracle. The CI
+//! `scale-smoke` job runs this binary under a wall-clock budget.
+
+use bneck_core::prelude::*;
+use bneck_maxmin::prelude::*;
+use bneck_workload::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sessions = args
+        .iter()
+        .position(|a| a == "--sessions")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse::<usize>().expect("--sessions takes an integer"))
+        .unwrap_or(50_000);
+    let validate = !args.iter().any(|a| a == "--no-validate");
+
+    let config = Experiment1Config::paper_scale(sessions);
+    let t0 = Instant::now();
+    let network = config.scenario.build();
+    let t_build = t0.elapsed();
+    eprintln!(
+        "[paper_scale] network: {} routers, {} hosts, {} links ({:.2?})",
+        network.router_count(),
+        network.host_count(),
+        network.link_count(),
+        t_build
+    );
+
+    let t1 = Instant::now();
+    let schedule = config.schedule(&network);
+    let t_plan = t1.elapsed();
+
+    let mut sim = BneckSimulation::new(&network, BneckConfig::default());
+    let t2 = Instant::now();
+    let stats = schedule.apply(&mut sim);
+    let report = sim.run_to_quiescence();
+    let t_run = t2.elapsed();
+    eprintln!(
+        "[paper_scale] {} joins applied, quiescent={} at {}us after {} events / {} packets ({:.2?})",
+        stats.joins,
+        report.quiescent,
+        report.quiescent_at.as_micros(),
+        report.events_processed,
+        report.packets_sent,
+        t_run
+    );
+
+    let mut ok = report.quiescent && stats.joins == sessions;
+    let mut mismatches = 0usize;
+    let mut t_oracle = std::time::Duration::ZERO;
+    if validate {
+        let t3 = Instant::now();
+        let session_set = sim.session_set();
+        let oracle = CentralizedBneck::new(&network, &session_set).solve();
+        mismatches = compare_allocations(
+            &session_set,
+            &sim.allocation(),
+            &oracle,
+            Tolerance::new(1e-6, 10.0),
+        )
+        .err()
+        .map(|v| v.len())
+        .unwrap_or(0);
+        t_oracle = t3.elapsed();
+        ok &= mismatches == 0;
+    }
+
+    println!(
+        "paper_scale sessions={} quiescent={} quiescent_at_us={} events={} packets={} \
+         packets_per_session={:.1} mismatches={} build_s={:.3} plan_s={:.3} run_s={:.3} \
+         oracle_s={:.3} total_s={:.3}",
+        sessions,
+        report.quiescent,
+        report.quiescent_at.as_micros(),
+        report.events_processed,
+        report.packets_sent,
+        report.packets_sent as f64 / sessions.max(1) as f64,
+        mismatches,
+        t_build.as_secs_f64(),
+        t_plan.as_secs_f64(),
+        t_run.as_secs_f64(),
+        t_oracle.as_secs_f64(),
+        t0.elapsed().as_secs_f64(),
+    );
+    if !ok {
+        eprintln!("[paper_scale] FAILED (quiescent={report:?}, mismatches={mismatches})");
+        std::process::exit(1);
+    }
+}

@@ -6,7 +6,7 @@
 //! path, asks the source to start a new Probe cycle with an `Update`.
 
 use crate::packet::{Packet, ResponseKind};
-use crate::task::Action;
+use crate::task::{Action, ActionBuffer};
 use bneck_maxmin::SessionId;
 
 /// The per-session destination task of the B-Neck protocol.
@@ -26,13 +26,14 @@ impl DestinationNode {
         self.session
     }
 
-    /// Handles a packet that reached the destination host.
+    /// Handles a packet that reached the destination host, emitting the
+    /// produced actions into `actions`.
     ///
     /// Packets belonging to other sessions or of kinds a destination never
     /// receives are ignored.
-    pub fn handle(&self, packet: Packet) -> Vec<Action> {
+    pub fn handle(&self, packet: Packet, actions: &mut ActionBuffer) {
         if packet.session() != self.session {
-            return Vec::new();
+            return;
         }
         match packet {
             Packet::Join {
@@ -44,20 +45,19 @@ impl DestinationNode {
                 session,
                 rate,
                 restricting,
-            } => vec![Action::SendUpstream(Packet::Response {
+            } => actions.push(Action::SendUpstream(Packet::Response {
                 session,
                 kind: ResponseKind::Response,
                 rate,
                 restricting,
-            })],
-            Packet::SetBottleneck { session, found } => {
-                if found {
-                    Vec::new()
-                } else {
-                    vec![Action::SendUpstream(Packet::Update { session })]
-                }
+            })),
+            Packet::SetBottleneck {
+                session,
+                found: false,
+            } => {
+                actions.push(Action::SendUpstream(Packet::Update { session }));
             }
-            _ => Vec::new(),
+            _ => {}
         }
     }
 }
@@ -66,6 +66,12 @@ impl DestinationNode {
 mod tests {
     use super::*;
     use bneck_net::LinkId;
+
+    fn handle(d: &DestinationNode, packet: Packet) -> Vec<Action> {
+        let mut buf = ActionBuffer::new();
+        d.handle(packet, &mut buf);
+        buf.into_vec()
+    }
 
     #[test]
     fn join_and_probe_are_answered_with_responses() {
@@ -82,7 +88,7 @@ mod tests {
                 restricting: LinkId(2),
             },
         ] {
-            let actions = d.handle(packet);
+            let actions = handle(&d, packet);
             assert_eq!(
                 actions,
                 vec![Action::SendUpstream(Packet::Response {
@@ -98,39 +104,48 @@ mod tests {
     #[test]
     fn missing_bottleneck_triggers_an_update() {
         let d = DestinationNode::new(SessionId(4));
-        let actions = d.handle(Packet::SetBottleneck {
-            session: SessionId(4),
-            found: false,
-        });
+        let actions = handle(
+            &d,
+            Packet::SetBottleneck {
+                session: SessionId(4),
+                found: false,
+            },
+        );
         assert_eq!(
             actions,
             vec![Action::SendUpstream(Packet::Update {
                 session: SessionId(4)
             })]
         );
-        assert!(d
-            .handle(Packet::SetBottleneck {
+        assert!(handle(
+            &d,
+            Packet::SetBottleneck {
                 session: SessionId(4),
                 found: true
-            })
-            .is_empty());
+            }
+        )
+        .is_empty());
     }
 
     #[test]
     fn unrelated_packets_are_ignored() {
         let d = DestinationNode::new(SessionId(4));
-        assert!(d
-            .handle(Packet::Join {
+        assert!(handle(
+            &d,
+            Packet::Join {
                 session: SessionId(5),
                 rate: 1.0,
                 restricting: LinkId(0)
-            })
-            .is_empty());
-        assert!(d
-            .handle(Packet::Leave {
+            }
+        )
+        .is_empty());
+        assert!(handle(
+            &d,
+            Packet::Leave {
                 session: SessionId(4)
-            })
-            .is_empty());
+            }
+        )
+        .is_empty());
         assert_eq!(d.session(), SessionId(4));
     }
 }

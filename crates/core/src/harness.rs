@@ -7,6 +7,13 @@
 //! task handlers hop by hop over the network's links, each modelled as a
 //! simulator channel with the link's bandwidth and propagation delay.
 //!
+//! All world state is keyed by dense indices: router-link tasks live in a
+//! vector indexed by [`LinkId`], and per-session tasks, paths and notified
+//! rates live in vectors indexed by a per-simulation *session slot* (assigned
+//! at join, resolved once per packet through a single id → slot map). Task
+//! handlers emit into one reusable [`ActionBuffer`], so steady-state packet
+//! processing allocates nothing.
+//!
 //! Quiescence detection is inherited from the simulator: the network is
 //! quiescent exactly when no protocol packet is in flight or pending, which is
 //! when [`BneckSimulation::run_to_quiescence`] returns.
@@ -17,14 +24,16 @@ use crate::packet::{Packet, PacketKind};
 use crate::router_link::RouterLink;
 use crate::source::SourceNode;
 use crate::stats::PacketStats;
-use crate::task::{Action, RateNotification};
-use bneck_maxmin::{Allocation, Rate, RateLimit, Session, SessionId, SessionSet};
+use crate::task::{Action, ActionBuffer, RateNotification};
+use bneck_maxmin::{Allocation, FastMap, Rate, RateLimit, Session, SessionId, SessionSet};
 use bneck_net::{LinkId, Network, NodeId, Path, Router};
 use bneck_sim::{Address, ChannelId, ChannelSpec, Context, Engine, SimTime, World};
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::Arc;
 
 /// The session API primitives, delivered to a session's source task.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,12 +43,22 @@ enum ApiCall {
     Change { limit: RateLimit },
 }
 
-/// Where a simulated message is headed.
+/// Where a simulated message is headed. Sources and destinations are
+/// addressed by their dense session slot; links carry, in addition to the
+/// dense link identifier, the hop index of the link within the carried
+/// packet's session path and that session's slot, so forwarding the packet a
+/// further hop needs neither an id → slot lookup nor a path position scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Target {
-    Source(SessionId),
-    Link(LinkId),
-    Destination(SessionId),
+    Source(u32),
+    Link {
+        link: LinkId,
+        /// Index of `link` within the session path of the envelope's packet.
+        hop: u32,
+        /// Session slot of the envelope's packet.
+        slot: u32,
+    },
+    Destination(u32),
 }
 
 /// A simulated message: an API call or a protocol packet, with its target.
@@ -119,68 +138,108 @@ pub struct QuiescenceReport {
     pub packets_sent: u64,
 }
 
-/// The simulation world: all protocol tasks plus routing and accounting state.
+/// The simulation world: all protocol tasks plus routing and accounting state,
+/// in dense per-link / per-session-slot vectors.
 struct BneckWorld<'a> {
     network: &'a Network,
     config: BneckConfig,
     /// Channel of each directed link, indexed by `LinkId::index()`.
     channels: Vec<ChannelId>,
-    router_links: HashMap<LinkId, RouterLink>,
-    sources: HashMap<SessionId, SourceNode>,
-    destinations: HashMap<SessionId, DestinationNode>,
-    paths: HashMap<SessionId, Path>,
+    /// Reverse link of each directed link, indexed by `LinkId::index()`
+    /// (`None` for one-way links). Precomputed so upstream routing does not
+    /// consult the network's endpoint hash map on every packet.
+    reverse: Vec<Option<LinkId>>,
+    /// The `RouterLink` task of each directed link, indexed by
+    /// `LinkId::index()`; `None` until a session first crosses the link.
+    router_links: Vec<Option<RouterLink>>,
+    /// Per-session tasks and paths, indexed by session slot. Entries persist
+    /// after a leave (stray packets may still be in flight) and are
+    /// overwritten when the identifier rejoins.
+    sources: Vec<SourceNode>,
+    destinations: Vec<DestinationNode>,
+    paths: Vec<Path>,
+    /// Last notified rate per session slot; `NaN` = never notified / cleared.
+    notified: Vec<Rate>,
+    /// Session id → slot. Entries persist across a leave so in-flight packets
+    /// (notably the `Leave` itself) can still be routed.
+    slot_of: FastMap<SessionId, u32>,
+    /// Reusable buffer the task handlers emit into.
+    scratch: ActionBuffer,
     stats: PacketStats,
     packet_log: Vec<(SimTime, PacketKind)>,
     rate_history: Vec<(SimTime, RateNotification)>,
-    notified_rates: BTreeMap<SessionId, Rate>,
 }
 
 impl<'a> BneckWorld<'a> {
     fn dispatch(&mut self, ctx: &mut Context<'_, Envelope>, envelope: Envelope) {
-        let actions = match (envelope.target, envelope.payload) {
-            (Target::Source(s), Payload::Api(call)) => {
-                let Some(source) = self.sources.get_mut(&s) else {
+        let mut actions = std::mem::take(&mut self.scratch);
+        actions.clear();
+        // The session the delivered message belongs to; actions for this
+        // session reuse the slot (and hop) carried by the envelope's target,
+        // so the common forward-one-hop case resolves no map at all.
+        let origin_session = match (envelope.target, envelope.payload) {
+            (Target::Source(slot), Payload::Api(call)) => {
+                let Some(source) = self.sources.get_mut(slot as usize) else {
+                    self.scratch = actions;
                     return;
                 };
                 match call {
-                    ApiCall::Join { limit } => source.api_join(limit),
-                    ApiCall::Leave => source.api_leave(),
-                    ApiCall::Change { limit } => source.api_change(limit),
+                    ApiCall::Join { limit } => source.api_join(limit, &mut actions),
+                    ApiCall::Leave => source.api_leave(&mut actions),
+                    ApiCall::Change { limit } => source.api_change(limit, &mut actions),
                 }
+                source.session()
             }
-            (Target::Source(s), Payload::Protocol(packet)) => match self.sources.get_mut(&s) {
-                Some(source) => source.handle(packet),
-                None => Vec::new(),
-            },
-            (Target::Link(e), Payload::Protocol(packet)) => {
-                let capacity = self.network.link(e).capacity().as_bps();
-                let tolerance = self.config.tolerance;
-                let link = self
-                    .router_links
-                    .entry(e)
-                    .or_insert_with(|| RouterLink::new(e, capacity, tolerance));
-                link.handle(packet)
-            }
-            (Target::Destination(s), Payload::Protocol(packet)) => {
-                match self.destinations.get(&s) {
-                    Some(destination) => destination.handle(packet),
-                    None => Vec::new(),
+            (Target::Source(slot), Payload::Protocol(packet)) => {
+                if let Some(source) = self.sources.get_mut(slot as usize) {
+                    source.handle(packet, &mut actions);
                 }
+                packet.session()
+            }
+            (Target::Link { link: e, .. }, Payload::Protocol(packet)) => {
+                let entry = &mut self.router_links[e.index()];
+                let link = entry.get_or_insert_with(|| {
+                    RouterLink::new(
+                        e,
+                        self.network.link(e).capacity().as_bps(),
+                        self.config.tolerance,
+                    )
+                });
+                link.handle(packet, &mut actions);
+                packet.session()
+            }
+            (Target::Destination(slot), Payload::Protocol(packet)) => {
+                if let Some(destination) = self.destinations.get(slot as usize) {
+                    destination.handle(packet, &mut actions);
+                }
+                packet.session()
             }
             // API calls are only ever addressed to sources.
-            (_, Payload::Api(_)) => Vec::new(),
+            (_, Payload::Api(_)) => {
+                self.scratch = actions;
+                return;
+            }
         };
-        for action in actions {
-            self.perform(ctx, envelope.target, action);
+        for action in actions.drain() {
+            self.perform(ctx, envelope.target, origin_session, action);
         }
+        self.scratch = actions;
     }
 
     /// Turns a task action into a packet transmission (or a rate notification
     /// record), routing it to the next hop of the session's path.
-    fn perform(&mut self, ctx: &mut Context<'_, Envelope>, origin: Target, action: Action) {
+    fn perform(
+        &mut self,
+        ctx: &mut Context<'_, Envelope>,
+        origin: Target,
+        origin_session: SessionId,
+        action: Action,
+    ) {
         match action {
             Action::NotifyRate { session, rate } => {
-                self.notified_rates.insert(session, rate);
+                if let Some(&slot) = self.slot_of.get(&session) {
+                    self.notified[slot as usize] = rate;
+                }
                 if self.config.record_rate_history {
                     self.rate_history
                         .push((ctx.now(), RateNotification { session, rate }));
@@ -188,29 +247,60 @@ impl<'a> BneckWorld<'a> {
             }
             Action::SendDownstream(packet) => {
                 let session = packet.session();
-                let Some(path) = self.paths.get(&session) else {
-                    return;
-                };
-                let links = path.links();
                 let (channel_link, next) = match origin {
-                    Target::Source(_) => {
-                        let next = if links.len() > 1 {
-                            Target::Link(links[1])
+                    Target::Source(origin_slot) => {
+                        let slot = if session == origin_session {
+                            origin_slot
                         } else {
-                            Target::Destination(session)
+                            match self.slot_of.get(&session) {
+                                Some(&s) => s,
+                                None => return,
+                            }
+                        };
+                        let links = self.paths[slot as usize].links();
+                        let next = if links.len() > 1 {
+                            Target::Link {
+                                link: links[1],
+                                hop: 1,
+                                slot,
+                            }
+                        } else {
+                            Target::Destination(slot)
                         };
                         (links[0], next)
                     }
-                    Target::Link(e) => {
-                        let Some(i) = path.position(e) else {
-                            return;
-                        };
-                        let next = if i + 1 < links.len() {
-                            Target::Link(links[i + 1])
+                    Target::Link { link, hop, slot } => {
+                        // The carried hop is only valid for the path the
+                        // envelope was routed along; a stray packet from a
+                        // previous incarnation of the session (leave +
+                        // rejoin with the same identifier) must be
+                        // re-resolved against the current path, and dropped
+                        // if the link is no longer on it.
+                        let trusted = session == origin_session
+                            && self.paths[slot as usize].links().get(hop as usize) == Some(&link);
+                        let (slot, hop) = if trusted {
+                            (slot, hop as usize)
                         } else {
-                            Target::Destination(session)
+                            let Some(&s) = self.slot_of.get(&session) else {
+                                return;
+                            };
+                            let links = self.paths[s as usize].links();
+                            let Some(i) = links.iter().position(|l| *l == link) else {
+                                return;
+                            };
+                            (s, i)
                         };
-                        (e, next)
+                        let links = self.paths[slot as usize].links();
+                        let next = if hop + 1 < links.len() {
+                            Target::Link {
+                                link: links[hop + 1],
+                                hop: hop as u32 + 1,
+                                slot,
+                            }
+                        } else {
+                            Target::Destination(slot)
+                        };
+                        (links[hop], next)
                     }
                     Target::Destination(_) => return,
                 };
@@ -218,36 +308,70 @@ impl<'a> BneckWorld<'a> {
             }
             Action::SendUpstream(packet) => {
                 let session = packet.session();
-                let Some(path) = self.paths.get(&session) else {
-                    return;
-                };
-                let links = path.links();
                 let (forward_link, next) = match origin {
-                    Target::Destination(_) => {
+                    Target::Destination(origin_slot) => {
+                        let slot = if session == origin_session {
+                            origin_slot
+                        } else {
+                            match self.slot_of.get(&session) {
+                                Some(&s) => s,
+                                None => return,
+                            }
+                        };
+                        let links = self.paths[slot as usize].links();
                         let last = links.len() - 1;
                         let next = if last >= 1 {
-                            Target::Link(links[last])
+                            Target::Link {
+                                link: links[last],
+                                hop: last as u32,
+                                slot,
+                            }
                         } else {
-                            Target::Source(session)
+                            Target::Source(slot)
                         };
                         (links[last], next)
                     }
-                    Target::Link(e) => {
-                        let Some(i) = path.position(e) else {
-                            return;
-                        };
-                        debug_assert!(i >= 1, "the first link is owned by the source task");
-                        let next = if i > 1 {
-                            Target::Link(links[i - 1])
+                    Target::Link { link, hop, slot } => {
+                        // See the downstream arm: re-resolve (or drop) stale
+                        // hops from a previous incarnation of the session.
+                        let trusted = session == origin_session
+                            && self.paths[slot as usize].links().get(hop as usize) == Some(&link);
+                        let (slot, hop) = if trusted {
+                            (slot, hop as usize)
                         } else {
-                            Target::Source(session)
+                            let Some(&s) = self.slot_of.get(&session) else {
+                                return;
+                            };
+                            let links = self.paths[s as usize].links();
+                            let Some(i) = links.iter().position(|l| *l == link) else {
+                                return;
+                            };
+                            (s, i)
                         };
-                        (links[i - 1], next)
+                        if hop == 0 {
+                            // The first link is owned by the source task; a
+                            // hop of zero can only come from a stale packet
+                            // whose link happens to be the new path's access
+                            // link. There is no upstream neighbour to route
+                            // to — drop it.
+                            return;
+                        }
+                        let links = self.paths[slot as usize].links();
+                        let next = if hop > 1 {
+                            Target::Link {
+                                link: links[hop - 1],
+                                hop: hop as u32 - 1,
+                                slot,
+                            }
+                        } else {
+                            Target::Source(slot)
+                        };
+                        (links[hop - 1], next)
                     }
                     Target::Source(_) => return,
                 };
                 // Upstream packets travel over the reverse link of the hop.
-                let Some(reverse) = self.network.reverse_link(forward_link) else {
+                let Some(reverse) = self.reverse[forward_link.index()] else {
                     return;
                 };
                 self.transmit(ctx, reverse, next, packet);
@@ -295,6 +419,9 @@ pub struct BneckSimulation<'a> {
     limits: BTreeMap<SessionId, RateLimit>,
     active: BTreeSet<SessionId>,
     source_hosts: BTreeMap<NodeId, SessionId>,
+    /// Lazily built snapshot of the active sessions, invalidated by
+    /// join/leave/change (see [`BneckSimulation::session_set`]).
+    session_set_cache: RefCell<Option<Arc<SessionSet>>>,
 }
 
 impl<'a> fmt::Debug for BneckSimulation<'a> {
@@ -319,25 +446,35 @@ impl<'a> BneckSimulation<'a> {
             let spec = ChannelSpec::new(link.capacity().as_bps(), link.delay(), config.packet_bits);
             channels.push(engine.add_channel(spec));
         }
+        let mut router_links = Vec::new();
+        router_links.resize_with(network.link_count(), || None);
+        let reverse: Vec<Option<LinkId>> = network
+            .links()
+            .map(|link| network.reverse_link(link.id()))
+            .collect();
         BneckSimulation {
             engine,
             world: BneckWorld {
                 network,
                 config,
                 channels,
-                router_links: HashMap::new(),
-                sources: HashMap::new(),
-                destinations: HashMap::new(),
-                paths: HashMap::new(),
+                reverse,
+                router_links,
+                sources: Vec::new(),
+                destinations: Vec::new(),
+                paths: Vec::new(),
+                notified: Vec::new(),
+                slot_of: FastMap::default(),
+                scratch: ActionBuffer::new(),
                 stats: PacketStats::new(),
                 packet_log: Vec::new(),
                 rate_history: Vec::new(),
-                notified_rates: BTreeMap::new(),
             },
             router: Router::new(network),
             limits: BTreeMap::new(),
             active: BTreeSet::new(),
             source_hosts: BTreeMap::new(),
+            session_set_cache: RefCell::new(None),
         }
     }
 
@@ -404,26 +541,40 @@ impl<'a> BneckSimulation<'a> {
         self.source_hosts.insert(path.source(), session);
         let first_link = path.first_link();
         let first_capacity = self.world.network.link(first_link).capacity().as_bps();
-        self.world.sources.insert(
+        let source_task = SourceNode::new(
             session,
-            SourceNode::new(
-                session,
-                first_link,
-                first_capacity,
-                self.world.config.tolerance,
-            ),
+            first_link,
+            first_capacity,
+            self.world.config.tolerance,
         );
-        self.world
-            .destinations
-            .insert(session, DestinationNode::new(session));
-        self.world.paths.insert(session, path);
+        let slot = match self.world.slot_of.get(&session) {
+            // The identifier rejoins after a leave: reuse its slot.
+            Some(&slot) => {
+                let i = slot as usize;
+                self.world.sources[i] = source_task;
+                self.world.destinations[i] = DestinationNode::new(session);
+                self.world.paths[i] = path;
+                self.world.notified[i] = f64::NAN;
+                slot
+            }
+            None => {
+                let slot = self.world.sources.len() as u32;
+                self.world.sources.push(source_task);
+                self.world.destinations.push(DestinationNode::new(session));
+                self.world.paths.push(path);
+                self.world.notified.push(f64::NAN);
+                self.world.slot_of.insert(session, slot);
+                slot
+            }
+        };
         self.limits.insert(session, limit);
         self.active.insert(session);
+        *self.session_set_cache.borrow_mut() = None;
         self.engine.inject(
             at,
             Address(0),
             Envelope {
-                target: Target::Source(session),
+                target: Target::Source(slot),
                 payload: Payload::Api(ApiCall::Join { limit }),
             },
         );
@@ -440,13 +591,15 @@ impl<'a> BneckSimulation<'a> {
             return Err(JoinError::UnknownSession(session));
         }
         self.limits.remove(&session);
-        self.world.notified_rates.remove(&session);
         self.source_hosts.retain(|_, s| *s != session);
+        *self.session_set_cache.borrow_mut() = None;
+        let slot = self.world.slot_of[&session];
+        self.world.notified[slot as usize] = f64::NAN;
         self.engine.inject(
             at,
             Address(0),
             Envelope {
-                target: Target::Source(session),
+                target: Target::Source(slot),
                 payload: Payload::Api(ApiCall::Leave),
             },
         );
@@ -468,11 +621,13 @@ impl<'a> BneckSimulation<'a> {
             return Err(JoinError::UnknownSession(session));
         }
         self.limits.insert(session, limit);
+        *self.session_set_cache.borrow_mut() = None;
+        let slot = self.world.slot_of[&session];
         self.engine.inject(
             at,
             Address(0),
             Envelope {
-                target: Target::Source(session),
+                target: Target::Source(slot),
                 payload: Payload::Api(ApiCall::Change { limit }),
             },
         );
@@ -522,18 +677,25 @@ impl<'a> BneckSimulation<'a> {
     /// After [`BneckSimulation::run_to_quiescence`] in a steady state, this is
     /// the max-min fair allocation (Theorem 1 of the paper).
     pub fn allocation(&self) -> Allocation {
-        self.world
-            .notified_rates
+        self.active
             .iter()
-            .filter(|(s, _)| self.active.contains(s))
-            .map(|(s, r)| (*s, *r))
+            .filter_map(|s| {
+                let slot = *self.world.slot_of.get(s)?;
+                let rate = self.world.notified[slot as usize];
+                if rate.is_nan() {
+                    None
+                } else {
+                    Some((*s, rate))
+                }
+            })
             .collect()
     }
 
     /// The rate currently assigned to a session at its source (B-Neck's
     /// transient rate before convergence), or `None` for unknown sessions.
     pub fn current_rate(&self, session: SessionId) -> Option<Rate> {
-        self.world.sources.get(&session).map(|s| s.current_rate())
+        let slot = *self.world.slot_of.get(&session)?;
+        Some(self.world.sources[slot as usize].current_rate())
     }
 
     /// The transient rates of all active sessions.
@@ -546,15 +708,29 @@ impl<'a> BneckSimulation<'a> {
 
     /// The active sessions as a [`SessionSet`] (paths plus requested limits),
     /// suitable for feeding the centralized oracle.
-    pub fn session_set(&self) -> SessionSet {
-        self.active
+    ///
+    /// The snapshot is built lazily and cached until the next
+    /// join/leave/change, so repeated calls between membership changes (e.g.
+    /// per-tick oracle cross-checks) are O(1) — callers get a shared handle to
+    /// the same set.
+    pub fn session_set(&self) -> Arc<SessionSet> {
+        let mut cache = self.session_set_cache.borrow_mut();
+        if let Some(set) = cache.as_ref() {
+            return Arc::clone(set);
+        }
+        let set: SessionSet = self
+            .active
             .iter()
             .filter_map(|s| {
-                let path = self.world.paths.get(s)?.clone();
+                let slot = *self.world.slot_of.get(s)?;
+                let path = self.world.paths[slot as usize].clone();
                 let limit = self.limits.get(s).copied().unwrap_or_default();
                 Some(Session::new(*s, path, limit))
             })
-            .collect()
+            .collect();
+        let set = Arc::new(set);
+        *cache = Some(Arc::clone(&set));
+        set
     }
 
     /// Cumulative packet counts by kind.
@@ -578,7 +754,11 @@ impl<'a> BneckSimulation<'a> {
     /// conditions of Definition 2. Together with [`Self::is_quiescent`], this
     /// is the paper's notion of a stable network.
     pub fn links_stable(&self) -> bool {
-        self.world.router_links.values().all(|rl| rl.is_stable())
+        self.world
+            .router_links
+            .iter()
+            .flatten()
+            .all(|rl| rl.is_stable())
     }
 
     /// The `RouterLink` task of a link, if any session ever crossed it.
@@ -586,17 +766,19 @@ impl<'a> BneckSimulation<'a> {
     /// Mainly useful for tests and debugging tools that want to inspect the
     /// per-link protocol state (`R_e`, `F_e`, `μ`, `λ`, `B_e`).
     pub fn link_task(&self, link: LinkId) -> Option<&RouterLink> {
-        self.world.router_links.get(&link)
+        self.world.router_links.get(link.index())?.as_ref()
     }
 
     /// The `SourceNode` task of a session, if the session ever joined.
     pub fn source_task(&self, session: SessionId) -> Option<&SourceNode> {
-        self.world.sources.get(&session)
+        let slot = *self.world.slot_of.get(&session)?;
+        self.world.sources.get(slot as usize)
     }
 
     /// The path a session was routed along, if the session ever joined.
     pub fn session_path(&self, session: SessionId) -> Option<&Path> {
-        self.world.paths.get(&session)
+        let slot = *self.world.slot_of.get(&session)?;
+        self.world.paths.get(slot as usize)
     }
 }
 
@@ -921,5 +1103,105 @@ mod tests {
         assert_eq!(report.events_processed, 0);
         assert_eq!(sim.packet_stats().total(), packets_after_convergence);
         assert!(sim.is_quiescent());
+    }
+
+    #[test]
+    fn session_set_snapshot_is_cached_between_membership_changes() {
+        let net = synthetic::dumbbell(2, mbps(100.0), mbps(60.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        for i in 0..2u64 {
+            sim.join(
+                SimTime::ZERO,
+                SessionId(i),
+                hosts[2 * i as usize],
+                hosts[2 * i as usize + 1],
+                RateLimit::unlimited(),
+            )
+            .unwrap();
+        }
+        sim.run_to_quiescence();
+        let a = sim.session_set();
+        let b = sim.session_set();
+        assert!(Arc::ptr_eq(&a, &b), "repeated snapshots share one set");
+        assert_eq!(a.len(), 2);
+        // A membership change invalidates the cache.
+        let t = sim.now() + bneck_net::Delay::from_millis(1);
+        sim.leave(t, SessionId(0)).unwrap();
+        let c = sim.session_set();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn stray_packets_from_a_previous_incarnation_are_dropped() {
+        // Session 0 joins along a 5-link path; mid-convergence (packets in
+        // flight deep in the path) it leaves and immediately rejoins with the
+        // same identifier along a 2-link path. The stale envelopes still
+        // carry hop indices of the old path; they must be dropped (or
+        // re-resolved), not indexed into the new, shorter path.
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("r0");
+        let r1 = b.add_router("r1");
+        let r2 = b.add_router("r2");
+        let r3 = b.add_router("r3");
+        b.connect(r0, r1, mbps(100.0), us(1));
+        b.connect(r1, r2, mbps(100.0), us(1));
+        b.connect(r2, r3, mbps(100.0), us(1));
+        let h0 = b.add_host("h0", r0, mbps(100.0), us(1));
+        let h1 = b.add_host("h1", r3, mbps(50.0), us(1));
+        let h2 = b.add_host("h2", r0, mbps(80.0), us(1));
+        let net = b.build();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        // Try a range of interruption points so packets are caught in flight
+        // at various hops of the long path.
+        for horizon_us in 1..12u64 {
+            let start = sim.now() + bneck_net::Delay::from_millis(1);
+            sim.join(start, SessionId(0), h0, h1, RateLimit::unlimited())
+                .unwrap();
+            let report = sim.run_until(start + bneck_net::Delay::from_micros(horizon_us));
+            let t = sim.now() + bneck_net::Delay::from_nanos(1);
+            sim.leave(t, SessionId(0)).unwrap();
+            if !report.quiescent {
+                // Rejoin immediately along the short path while the old
+                // incarnation's packets are still in flight.
+                sim.join(t, SessionId(0), h0, h2, RateLimit::unlimited())
+                    .unwrap();
+            }
+            sim.run_to_quiescence();
+            assert_matches_oracle(&sim);
+            if sim.active_sessions().next().is_some() {
+                let t = sim.now() + bneck_net::Delay::from_millis(1);
+                sim.leave(t, SessionId(0)).unwrap();
+                sim.run_to_quiescence();
+            }
+        }
+    }
+
+    #[test]
+    fn session_slot_is_reused_when_an_identifier_rejoins() {
+        let net = synthetic::dumbbell(2, mbps(100.0), mbps(60.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        sim.join(
+            SimTime::ZERO,
+            SessionId(0),
+            hosts[0],
+            hosts[1],
+            RateLimit::unlimited(),
+        )
+        .unwrap();
+        sim.run_to_quiescence();
+        let t = sim.now() + bneck_net::Delay::from_millis(1);
+        sim.leave(t, SessionId(0)).unwrap();
+        sim.run_to_quiescence();
+        // Rejoin with the same identifier along a different path.
+        let t = sim.now() + bneck_net::Delay::from_millis(1);
+        sim.join(t, SessionId(0), hosts[2], hosts[3], RateLimit::unlimited())
+            .unwrap();
+        sim.run_to_quiescence();
+        assert_matches_oracle(&sim);
+        assert_eq!(sim.session_path(SessionId(0)).unwrap().source(), hosts[2]);
+        assert!((sim.allocation().rate(SessionId(0)).unwrap() - 60e6).abs() < 1.0);
     }
 }

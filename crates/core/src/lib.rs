@@ -25,10 +25,11 @@
 //!   detection and packet accounting.
 //!
 //! The task state machines are pure: every handler consumes an input and
-//! returns a list of [`task::Action`]s (packets to send upstream or
-//! downstream, or an `API.Rate` notification). This makes the protocol logic
-//! unit-testable without a simulator and keeps the harness a thin routing
-//! layer.
+//! emits [`task::Action`]s (packets to send upstream or downstream, or an
+//! `API.Rate` notification) into a reusable [`task::ActionBuffer`]. This makes
+//! the protocol logic unit-testable without a simulator, keeps the harness a
+//! thin routing layer, and keeps steady-state packet processing free of
+//! per-packet allocation.
 //!
 //! ## Quickstart
 //!
@@ -68,7 +69,7 @@ pub use config::BneckConfig;
 pub use harness::{BneckSimulation, JoinError, QuiescenceReport};
 pub use packet::{Packet, PacketKind, ResponseKind};
 pub use stats::PacketStats;
-pub use task::{Action, RateNotification};
+pub use task::{Action, ActionBuffer, RateNotification};
 
 /// Commonly used items, suitable for glob import.
 pub mod prelude {
@@ -76,5 +77,5 @@ pub mod prelude {
     pub use crate::harness::{BneckSimulation, JoinError, QuiescenceReport};
     pub use crate::packet::{Packet, PacketKind, ResponseKind};
     pub use crate::stats::PacketStats;
-    pub use crate::task::{Action, RateNotification};
+    pub use crate::task::{Action, ActionBuffer, RateNotification};
 }

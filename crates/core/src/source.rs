@@ -6,7 +6,7 @@
 //! notifications when the session's max-min fair rate is known.
 
 use crate::packet::{Packet, ResponseKind};
-use crate::task::{Action, ProbeState};
+use crate::task::{Action, ActionBuffer, ProbeState};
 use bneck_maxmin::{Rate, RateLimit, SessionId, Tolerance};
 use bneck_net::LinkId;
 
@@ -92,32 +92,32 @@ impl SourceNode {
     }
 
     /// `API.Join(s, r)` (Figure 3, lines 3–6).
-    pub fn api_join(&mut self, limit: RateLimit) -> Vec<Action> {
+    pub fn api_join(&mut self, limit: RateLimit, actions: &mut ActionBuffer) {
         self.membership = Membership::Restricted;
         self.demand = limit.effective_demand(self.first_capacity);
         self.mu = ProbeState::WaitingResponse;
         self.update_received = false;
         self.bottleneck_received = false;
-        vec![Action::SendDownstream(Packet::Join {
+        actions.push(Action::SendDownstream(Packet::Join {
             session: self.session,
             rate: self.demand,
             restricting: self.first_link,
-        })]
+        }));
     }
 
     /// `API.Leave(s)` (Figure 3, lines 8–9).
-    pub fn api_leave(&mut self) -> Vec<Action> {
+    pub fn api_leave(&mut self, actions: &mut ActionBuffer) {
         self.membership = Membership::Gone;
         self.mu = ProbeState::Idle;
         self.lambda = None;
         self.bottleneck_received = false;
-        vec![Action::SendDownstream(Packet::Leave {
+        actions.push(Action::SendDownstream(Packet::Leave {
             session: self.session,
-        })]
+        }));
     }
 
     /// `API.Change(s, r)` (Figure 3, lines 11–18).
-    pub fn api_change(&mut self, limit: RateLimit) -> Vec<Action> {
+    pub fn api_change(&mut self, limit: RateLimit, actions: &mut ActionBuffer) {
         self.demand = limit.effective_demand(self.first_capacity);
         if self.mu.is_idle() {
             if self.membership == Membership::Unrestricted {
@@ -126,61 +126,60 @@ impl SourceNode {
             self.update_received = false;
             self.bottleneck_received = false;
             self.mu = ProbeState::WaitingResponse;
-            vec![Action::SendDownstream(Packet::Probe {
+            actions.push(Action::SendDownstream(Packet::Probe {
                 session: self.session,
                 rate: self.demand,
                 restricting: self.first_link,
-            })]
+            }));
         } else {
             self.update_received = true;
-            Vec::new()
         }
     }
 
     /// Handles a packet received from the network (an upstream `Update`,
-    /// `Bottleneck` or `Response` for this session).
+    /// `Bottleneck` or `Response` for this session), emitting the produced
+    /// actions into `actions`.
     ///
     /// Packets for other sessions, or downstream packet kinds, are ignored.
-    pub fn handle(&mut self, packet: Packet) -> Vec<Action> {
+    pub fn handle(&mut self, packet: Packet, actions: &mut ActionBuffer) {
         if packet.session() != self.session || self.membership == Membership::Gone {
-            return Vec::new();
+            return;
         }
         match packet {
-            Packet::Update { .. } => self.on_update(),
-            Packet::Bottleneck { .. } => self.on_bottleneck(),
-            Packet::Response { kind, rate, .. } => self.on_response(kind, rate),
-            _ => Vec::new(),
+            Packet::Update { .. } => self.on_update(actions),
+            Packet::Bottleneck { .. } => self.on_bottleneck(actions),
+            Packet::Response { kind, rate, .. } => self.on_response(kind, rate, actions),
+            _ => {}
         }
     }
 
     /// Figure 3, lines 20–25.
-    fn on_update(&mut self) -> Vec<Action> {
+    fn on_update(&mut self, actions: &mut ActionBuffer) {
         if self.mu.is_idle() {
             if self.membership == Membership::Unrestricted {
                 self.membership = Membership::Restricted;
             }
             self.bottleneck_received = false;
             self.mu = ProbeState::WaitingResponse;
-            vec![Action::SendDownstream(Packet::Probe {
+            actions.push(Action::SendDownstream(Packet::Probe {
                 session: self.session,
                 rate: self.demand,
                 restricting: self.first_link,
-            })]
+            }));
         } else {
             self.update_received = true;
-            Vec::new()
         }
     }
 
     /// Figure 3, lines 27–31.
-    fn on_bottleneck(&mut self) -> Vec<Action> {
+    fn on_bottleneck(&mut self, actions: &mut ActionBuffer) {
         if self.mu.is_idle() && !self.bottleneck_received {
             self.bottleneck_received = true;
             let rate = self.lambda.unwrap_or(0.0);
-            let mut actions = vec![Action::NotifyRate {
+            actions.push(Action::NotifyRate {
                 session: self.session,
                 rate,
-            }];
+            });
             if self.tol.gt(self.demand, rate) {
                 self.membership = Membership::Unrestricted;
             }
@@ -188,32 +187,30 @@ impl SourceNode {
                 session: self.session,
                 found: self.tol.eq(self.demand, rate),
             }));
-            actions
-        } else {
-            Vec::new()
         }
     }
 
     /// Figure 3, lines 33–47.
-    fn on_response(&mut self, kind: ResponseKind, rate: Rate) -> Vec<Action> {
+    fn on_response(&mut self, kind: ResponseKind, rate: Rate, actions: &mut ActionBuffer) {
         if kind == ResponseKind::Update || self.update_received {
             self.update_received = false;
             self.bottleneck_received = false;
             self.mu = ProbeState::WaitingResponse;
-            return vec![Action::SendDownstream(Packet::Probe {
+            actions.push(Action::SendDownstream(Packet::Probe {
                 session: self.session,
                 rate: self.demand,
                 restricting: self.first_link,
-            })];
+            }));
+            return;
         }
         if kind == ResponseKind::Bottleneck {
             self.lambda = Some(rate);
             self.mu = ProbeState::Idle;
             self.bottleneck_received = true;
-            let mut actions = vec![Action::NotifyRate {
+            actions.push(Action::NotifyRate {
                 session: self.session,
                 rate,
-            }];
+            });
             if self.tol.gt(self.demand, rate) {
                 self.membership = Membership::Unrestricted;
             }
@@ -221,25 +218,22 @@ impl SourceNode {
                 session: self.session,
                 found: self.tol.eq(self.demand, rate),
             }));
-            return actions;
+            return;
         }
         // Plain Response.
         self.lambda = Some(rate);
         self.mu = ProbeState::Idle;
         if self.tol.eq(self.demand, rate) {
             self.bottleneck_received = true;
-            return vec![
-                Action::NotifyRate {
-                    session: self.session,
-                    rate,
-                },
-                Action::SendDownstream(Packet::SetBottleneck {
-                    session: self.session,
-                    found: true,
-                }),
-            ];
+            actions.push(Action::NotifyRate {
+                session: self.session,
+                rate,
+            });
+            actions.push(Action::SendDownstream(Packet::SetBottleneck {
+                session: self.session,
+                found: true,
+            }));
         }
-        Vec::new()
     }
 }
 
@@ -251,6 +245,30 @@ mod tests {
 
     fn source() -> SourceNode {
         SourceNode::new(SessionId(1), LinkId(0), CAP, Tolerance::default())
+    }
+
+    fn handle(s: &mut SourceNode, packet: Packet) -> Vec<Action> {
+        let mut buf = ActionBuffer::new();
+        s.handle(packet, &mut buf);
+        buf.into_vec()
+    }
+
+    fn api_join(s: &mut SourceNode, limit: RateLimit) -> Vec<Action> {
+        let mut buf = ActionBuffer::new();
+        s.api_join(limit, &mut buf);
+        buf.into_vec()
+    }
+
+    fn api_change(s: &mut SourceNode, limit: RateLimit) -> Vec<Action> {
+        let mut buf = ActionBuffer::new();
+        s.api_change(limit, &mut buf);
+        buf.into_vec()
+    }
+
+    fn api_leave(s: &mut SourceNode) -> Vec<Action> {
+        let mut buf = ActionBuffer::new();
+        s.api_leave(&mut buf);
+        buf.into_vec()
     }
 
     fn response(kind: ResponseKind, rate: Rate) -> Packet {
@@ -265,7 +283,7 @@ mod tests {
     #[test]
     fn join_caps_demand_at_the_first_link() {
         let mut s = source();
-        let actions = s.api_join(RateLimit::unlimited());
+        let actions = api_join(&mut s, RateLimit::unlimited());
         assert_eq!(s.demand(), CAP);
         assert_eq!(
             actions,
@@ -276,15 +294,15 @@ mod tests {
             })]
         );
         let mut s = source();
-        s.api_join(RateLimit::finite(10e6));
+        api_join(&mut s, RateLimit::finite(10e6));
         assert_eq!(s.demand(), 10e6);
     }
 
     #[test]
     fn response_below_demand_waits_for_bottleneck() {
         let mut s = source();
-        s.api_join(RateLimit::unlimited());
-        let actions = s.handle(response(ResponseKind::Response, 40e6));
+        api_join(&mut s, RateLimit::unlimited());
+        let actions = handle(&mut s, response(ResponseKind::Response, 40e6));
         assert!(
             actions.is_empty(),
             "no API.Rate before the bottleneck is confirmed"
@@ -292,9 +310,12 @@ mod tests {
         assert_eq!(s.current_rate(), 40e6);
         assert!(!s.is_settled());
         // The Bottleneck packet confirms the rate.
-        let actions = s.handle(Packet::Bottleneck {
-            session: SessionId(1),
-        });
+        let actions = handle(
+            &mut s,
+            Packet::Bottleneck {
+                session: SessionId(1),
+            },
+        );
         assert!(matches!(
             actions[0],
             Action::NotifyRate { rate, .. } if (rate - 40e6).abs() < 1e-3
@@ -309,8 +330,8 @@ mod tests {
     #[test]
     fn response_meeting_full_demand_settles_immediately() {
         let mut s = source();
-        s.api_join(RateLimit::finite(10e6));
-        let actions = s.handle(response(ResponseKind::Response, 10e6));
+        api_join(&mut s, RateLimit::finite(10e6));
+        let actions = handle(&mut s, response(ResponseKind::Response, 10e6));
         assert_eq!(actions.len(), 2);
         assert!(
             matches!(actions[0], Action::NotifyRate { rate, .. } if (rate - 10e6).abs() < 1e-3)
@@ -325,8 +346,8 @@ mod tests {
     #[test]
     fn bottleneck_response_notifies_and_confirms() {
         let mut s = source();
-        s.api_join(RateLimit::unlimited());
-        let actions = s.handle(response(ResponseKind::Bottleneck, 25e6));
+        api_join(&mut s, RateLimit::unlimited());
+        let actions = handle(&mut s, response(ResponseKind::Bottleneck, 25e6));
         assert!(
             matches!(actions[0], Action::NotifyRate { rate, .. } if (rate - 25e6).abs() < 1e-3)
         );
@@ -336,18 +357,20 @@ mod tests {
         ));
         assert!(s.is_settled());
         // A duplicate Bottleneck packet afterwards is ignored.
-        assert!(s
-            .handle(Packet::Bottleneck {
+        assert!(handle(
+            &mut s,
+            Packet::Bottleneck {
                 session: SessionId(1)
-            })
-            .is_empty());
+            }
+        )
+        .is_empty());
     }
 
     #[test]
     fn update_response_triggers_a_new_probe_cycle() {
         let mut s = source();
-        s.api_join(RateLimit::unlimited());
-        let actions = s.handle(response(ResponseKind::Update, 40e6));
+        api_join(&mut s, RateLimit::unlimited());
+        let actions = handle(&mut s, response(ResponseKind::Update, 40e6));
         assert_eq!(
             actions,
             vec![Action::SendDownstream(Packet::Probe {
@@ -362,15 +385,17 @@ mod tests {
     #[test]
     fn update_during_probe_cycle_is_deferred() {
         let mut s = source();
-        s.api_join(RateLimit::unlimited());
+        api_join(&mut s, RateLimit::unlimited());
         // An Update arrives while the Join's response is still pending: the
         // source remembers it and re-probes after the response arrives.
-        assert!(s
-            .handle(Packet::Update {
+        assert!(handle(
+            &mut s,
+            Packet::Update {
                 session: SessionId(1)
-            })
-            .is_empty());
-        let actions = s.handle(response(ResponseKind::Response, 40e6));
+            }
+        )
+        .is_empty());
+        let actions = handle(&mut s, response(ResponseKind::Response, 40e6));
         assert!(matches!(
             actions[0],
             Action::SendDownstream(Packet::Probe { .. })
@@ -380,11 +405,14 @@ mod tests {
     #[test]
     fn update_when_idle_probes_immediately() {
         let mut s = source();
-        s.api_join(RateLimit::unlimited());
-        s.handle(response(ResponseKind::Bottleneck, 25e6));
-        let actions = s.handle(Packet::Update {
-            session: SessionId(1),
-        });
+        api_join(&mut s, RateLimit::unlimited());
+        handle(&mut s, response(ResponseKind::Bottleneck, 25e6));
+        let actions = handle(
+            &mut s,
+            Packet::Update {
+                session: SessionId(1),
+            },
+        );
         assert!(matches!(
             actions[0],
             Action::SendDownstream(Packet::Probe { .. })
@@ -395,9 +423,9 @@ mod tests {
     #[test]
     fn change_when_idle_probes_with_the_new_demand() {
         let mut s = source();
-        s.api_join(RateLimit::unlimited());
-        s.handle(response(ResponseKind::Bottleneck, 25e6));
-        let actions = s.api_change(RateLimit::finite(5e6));
+        api_join(&mut s, RateLimit::unlimited());
+        handle(&mut s, response(ResponseKind::Bottleneck, 25e6));
+        let actions = api_change(&mut s, RateLimit::finite(5e6));
         assert_eq!(s.demand(), 5e6);
         assert!(matches!(
             actions[0],
@@ -408,10 +436,10 @@ mod tests {
     #[test]
     fn change_during_probe_cycle_is_deferred() {
         let mut s = source();
-        s.api_join(RateLimit::unlimited());
-        assert!(s.api_change(RateLimit::finite(5e6)).is_empty());
+        api_join(&mut s, RateLimit::unlimited());
+        assert!(api_change(&mut s, RateLimit::finite(5e6)).is_empty());
         // The deferred change forces a new probe after the pending response.
-        let actions = s.handle(response(ResponseKind::Response, 40e6));
+        let actions = handle(&mut s, response(ResponseKind::Response, 40e6));
         assert!(matches!(
             actions[0],
             Action::SendDownstream(Packet::Probe { rate, .. }) if (rate - 5e6).abs() < 1e-3
@@ -421,26 +449,28 @@ mod tests {
     #[test]
     fn leave_emits_leave_and_silences_the_task() {
         let mut s = source();
-        s.api_join(RateLimit::unlimited());
-        let actions = s.api_leave();
+        api_join(&mut s, RateLimit::unlimited());
+        let actions = api_leave(&mut s);
         assert_eq!(
             actions,
             vec![Action::SendDownstream(Packet::Leave {
                 session: SessionId(1)
             })]
         );
-        assert!(s.handle(response(ResponseKind::Response, 40e6)).is_empty());
+        assert!(handle(&mut s, response(ResponseKind::Response, 40e6)).is_empty());
         assert_eq!(s.current_rate(), 0.0);
     }
 
     #[test]
     fn packets_for_other_sessions_are_ignored() {
         let mut s = source();
-        s.api_join(RateLimit::unlimited());
-        assert!(s
-            .handle(Packet::Update {
+        api_join(&mut s, RateLimit::unlimited());
+        assert!(handle(
+            &mut s,
+            Packet::Update {
                 session: SessionId(99)
-            })
-            .is_empty());
+            }
+        )
+        .is_empty());
     }
 }

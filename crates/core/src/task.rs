@@ -1,8 +1,11 @@
 //! Common vocabulary shared by the three protocol tasks.
 //!
 //! Every task handler is a pure function from an input (an API primitive or a
-//! received packet) to a list of [`Action`]s. The simulation harness turns
-//! actions into packets transmitted over the network's links.
+//! received packet) to a list of [`Action`]s, emitted into a caller-provided
+//! [`ActionBuffer`]. The simulation harness owns one buffer, hands it to the
+//! handler of every delivered packet and turns the emitted actions into
+//! packets transmitted over the network's links — so steady-state packet
+//! processing performs no per-packet allocation at all.
 
 use crate::packet::Packet;
 use bneck_maxmin::{Rate, SessionId};
@@ -32,7 +35,7 @@ impl ProbeState {
 }
 
 /// An effect produced by a task handler.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum Action {
     /// Send a packet downstream (towards the session's destination).
@@ -55,6 +58,60 @@ impl Action {
             Action::SendDownstream(p) | Action::SendUpstream(p) => Some(p),
             Action::NotifyRate { .. } => None,
         }
+    }
+}
+
+/// A reusable buffer the task handlers emit their [`Action`]s into.
+///
+/// The harness keeps one buffer alive for the whole simulation and passes it
+/// to every handler invocation, eliminating the per-packet `Vec<Action>`
+/// allocations the handlers used to perform. Handlers only append; the caller
+/// decides when to [`drain`](ActionBuffer::drain) or
+/// [`clear`](ActionBuffer::clear) the buffer.
+#[derive(Debug, Clone, Default)]
+pub struct ActionBuffer {
+    actions: Vec<Action>,
+}
+
+impl ActionBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an action.
+    pub fn push(&mut self, action: Action) {
+        self.actions.push(action);
+    }
+
+    /// Number of buffered actions.
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// `true` when no action is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The buffered actions, in emission order.
+    pub fn as_slice(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Removes all buffered actions, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.actions.clear();
+    }
+
+    /// Drains the buffered actions in emission order, keeping the allocation.
+    pub fn drain(&mut self) -> impl Iterator<Item = Action> + '_ {
+        self.actions.drain(..)
+    }
+
+    /// Consumes the buffer into a plain vector (mainly for tests).
+    pub fn into_vec(self) -> Vec<Action> {
+        self.actions
     }
 }
 

@@ -11,7 +11,9 @@
 //! * [`centralized`] — the Centralized B-Neck algorithm of Figure 1 of the
 //!   paper, which additionally reports each link's bottleneck sets;
 //! * [`verify`] — checks that an allocation satisfies the max-min fairness
-//!   conditions and compares allocations produced by different algorithms.
+//!   conditions and compares allocations produced by different algorithms;
+//! * [`fastmap`] — the fast non-cryptographic hash maps the simulation
+//!   engines use for their id → dense-slot lookups.
 //!
 //! Both centralized algorithms serve as the correctness oracle against which
 //! the distributed protocol (crate `bneck-core`) is validated, exactly as the
@@ -44,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod centralized;
+pub mod fastmap;
 #[cfg(test)]
 pub(crate) mod naive;
 pub mod rate;
@@ -53,6 +56,7 @@ pub mod waterfill;
 pub mod workspace;
 
 pub use centralized::{CentralizedBneck, CentralizedSolution, LinkBottleneck};
+pub use fastmap::{FastBuildHasher, FastHasher, FastMap, FastSet};
 pub use rate::{Rate, RateLimit, Tolerance};
 pub use session::{Allocation, Session, SessionId, SessionSet};
 pub use verify::{compare_allocations, verify_max_min, Violation};

@@ -145,6 +145,13 @@ impl SessionSet {
     }
 
     /// Removes a session, returning it if it was present.
+    ///
+    /// Each per-link crossing list drops the session by swap-remove — O(1)
+    /// per link after the position scan, instead of shifting the tail of a
+    /// mega-shared link's list — which is what makes churn on links crossed
+    /// by tens of thousands of sessions cheap. This is why the crossing-list
+    /// order is only insertion order until a removal touches the link (see
+    /// [`SessionSet::sessions_on_link`]).
     pub fn remove(&mut self, id: SessionId) -> Option<Session> {
         let slot = self.index.remove(&id)?;
         let session = self.slots[slot as usize].take().expect("slot occupied");
@@ -152,8 +159,8 @@ impl SessionSet {
         for &link in session.path().links() {
             let entry = &mut self.by_link[link.index()];
             if let Some(pos) = entry.ids.iter().position(|s| *s == id) {
-                entry.ids.remove(pos);
-                entry.slots.remove(pos);
+                entry.ids.swap_remove(pos);
+                entry.slots.swap_remove(pos);
             }
         }
         Some(session)
@@ -186,7 +193,14 @@ impl SessionSet {
             .map(|slot| self.slots[*slot as usize].as_ref().expect("slot occupied"))
     }
 
-    /// The sessions crossing `link` (`S_e`), in insertion order.
+    /// The sessions crossing `link` (`S_e`).
+    ///
+    /// Ordering contract: the list is in insertion order until the first
+    /// removal of a session crossing `link`; a removal swaps the last entry
+    /// into the vacated position, so afterwards the order is unspecified.
+    /// Every consumer in this workspace (the solvers, the verifier, the
+    /// workspace builder) is order-insensitive — sums, counts and same-value
+    /// freezes only.
     pub fn sessions_on_link(&self, link: LinkId) -> &[SessionId] {
         self.by_link
             .get(link.index())
@@ -194,8 +208,9 @@ impl SessionSet {
             .unwrap_or(&[])
     }
 
-    /// The arena slots of the sessions crossing `link`, in insertion order
-    /// (parallel to [`sessions_on_link`](SessionSet::sessions_on_link)).
+    /// The arena slots of the sessions crossing `link`, parallel to
+    /// [`sessions_on_link`](SessionSet::sessions_on_link) (and with the same
+    /// ordering contract).
     pub fn slots_on_link(&self, link: LinkId) -> &[u32] {
         self.by_link
             .get(link.index())

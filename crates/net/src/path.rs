@@ -4,6 +4,7 @@
 use crate::graph::{LinkId, Network, NodeId};
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The static path `π(s)` of a session: the ordered list of directed links
 /// from the source host to the destination host.
@@ -11,11 +12,17 @@ use serde::{Deserialize, Serialize};
 /// Packets sent along the path are *downstream* packets; packets sent along
 /// the reverse sequence of nodes are *upstream* packets (Section II of the
 /// paper).
+///
+/// The link and node sequences are stored in shared `Arc` slices, so cloning
+/// a path (the workload planner, the harness and the oracle's session-set
+/// snapshots all keep one) is two reference-count bumps, not a deep copy.
+/// (With the real `serde` enabled, `Arc<[T]>` serialization needs serde's
+/// `rc` feature.)
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Path {
-    links: Vec<LinkId>,
-    nodes: Vec<NodeId>,
+    links: Arc<[LinkId]>,
+    nodes: Arc<[NodeId]>,
 }
 
 impl Path {
@@ -39,7 +46,10 @@ impl Path {
         for l in &links {
             nodes.push(network.link(*l).dst());
         }
-        Path { links, nodes }
+        Path {
+            links: links.into(),
+            nodes: nodes.into(),
+        }
     }
 
     /// The links of the path, in downstream order.

@@ -7,7 +7,7 @@
 
 use crate::graph::{LinkId, Network, NodeId};
 use crate::path::Path;
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 /// Shortest-path (minimum hop) router over a [`Network`].
 ///
@@ -41,7 +41,23 @@ pub struct Router<'a> {
     cache_generation: u64,
     cache_mark: Vec<u64>,
     cache_parent: Vec<LinkId>,
+    /// Dense index of each router among the routers (`u32::MAX` for hosts);
+    /// built on first use of [`Router::host_path_cached`].
+    router_index: Vec<u32>,
+    /// Router nodes in dense-index order.
+    router_nodes: Vec<NodeId>,
+    /// Per-source-router BFS parent trees over the router-only subgraph,
+    /// keyed by source router and indexed by dense router index
+    /// (`LinkId(u32::MAX)` marks unreachable). Hosts never forward, so a
+    /// host-to-host shortest path is its access links around a router-level
+    /// shortest path; router graphs stay small (the paper's Big network has
+    /// 11,000 routers) even when hundreds of thousands of hosts attach, so
+    /// these trees make planning huge session populations cheap.
+    router_trees: HashMap<NodeId, Box<[LinkId]>>,
 }
+
+/// Sentinel parent for unreachable routers in a cached router tree.
+const NO_LINK: LinkId = LinkId(u32::MAX);
 
 impl<'a> Router<'a> {
     /// Creates a router for the given network.
@@ -57,6 +73,9 @@ impl<'a> Router<'a> {
             cache_generation: 0,
             cache_mark: Vec::new(),
             cache_parent: Vec::new(),
+            router_index: Vec::new(),
+            router_nodes: Vec::new(),
+            router_trees: HashMap::new(),
         }
     }
 
@@ -162,6 +181,95 @@ impl<'a> Router<'a> {
         }
         self.cache_src = Some(src);
         self.cache_generation = generation;
+    }
+
+    /// [`Router::shortest_path`] between two *hosts*, through a per-router
+    /// tree cache: the path is the source's access link, a shortest path over
+    /// the router-only subgraph, and the destination's access link. One BFS
+    /// over the (small) router graph is kept per source router, so planning
+    /// hundreds of thousands of host-to-host sessions costs at most one
+    /// router-graph BFS per stub router instead of one whole-network BFS per
+    /// session.
+    ///
+    /// Paths have the same (minimum) hop count as [`Router::shortest_path`];
+    /// among equal-length paths the tie-break may differ. Returns `None` when
+    /// the hosts are equal or not connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dst` is not a host.
+    pub fn host_path_cached(&mut self, src: NodeId, dst: NodeId) -> Option<Path> {
+        assert!(
+            self.network.node(src).kind().is_host() && self.network.node(dst).kind().is_host(),
+            "host_path_cached requires host endpoints"
+        );
+        if src == dst {
+            return None;
+        }
+        // A host's single outgoing link leads to its attachment router.
+        let src_access = self.network.out_links(src)[0];
+        let src_router = self.network.link(src_access).dst();
+        let dst_up = self.network.out_links(dst)[0];
+        let dst_router = self.network.link(dst_up).dst();
+        let dst_access = self.network.reverse_link(dst_up)?;
+        if src_router == dst_router {
+            return Some(Path::from_links(self.network, vec![src_access, dst_access]));
+        }
+        if self.router_index.is_empty() {
+            self.router_index = vec![u32::MAX; self.network.node_count()];
+            for node in self.network.routers() {
+                self.router_index[node.id().index()] = self.router_nodes.len() as u32;
+                self.router_nodes.push(node.id());
+            }
+        }
+        if !self.router_trees.contains_key(&src_router) {
+            let tree = self.build_router_tree(src_router);
+            self.router_trees.insert(src_router, tree);
+        }
+        let tree = &self.router_trees[&src_router];
+        // Walk the tree from the destination's router back to the source's.
+        let mut buf = std::mem::take(&mut self.link_buf);
+        buf.clear();
+        buf.push(dst_access);
+        let mut node = dst_router;
+        while node != src_router {
+            let parent = tree[self.router_index[node.index()] as usize];
+            if parent == NO_LINK {
+                self.link_buf = buf;
+                return None;
+            }
+            buf.push(parent);
+            node = self.network.link(parent).src();
+        }
+        buf.push(src_access);
+        let links: Vec<LinkId> = buf.iter().rev().copied().collect();
+        self.link_buf = buf;
+        Some(Path::from_links(self.network, links))
+    }
+
+    /// Runs a BFS from `root` over the router-only subgraph, recording for
+    /// every router the link leading back toward `root`.
+    fn build_router_tree(&mut self, root: NodeId) -> Box<[LinkId]> {
+        let mut tree = vec![NO_LINK; self.router_nodes.len()].into_boxed_slice();
+        self.generation += 1;
+        let generation = self.generation;
+        self.visited_mark[root.index()] = generation;
+        self.queue.clear();
+        self.queue.push_back(root);
+        while let Some(node) = self.queue.pop_front() {
+            for &link_id in self.network.out_links(node) {
+                let next = self.network.link(link_id).dst();
+                if self.visited_mark[next.index()] == generation
+                    || self.network.node(next).kind().is_host()
+                {
+                    continue;
+                }
+                self.visited_mark[next.index()] = generation;
+                tree[self.router_index[next.index()] as usize] = link_id;
+                self.queue.push_back(next);
+            }
+        }
+        tree
     }
 
     /// Builds the path from `src` to `dst` out of a parent-link tree.
@@ -346,6 +454,66 @@ mod tests {
         let mut router = Router::new(&net);
         assert!(router.shortest_path_cached(h0, h1).is_none());
         assert!(router.shortest_path_cached(h0, r0).is_some());
+    }
+
+    #[test]
+    fn host_path_cached_matches_bfs_hop_counts() {
+        let net = crate::topology::transit_stub::paper_network(
+            crate::topology::transit_stub::NetworkSize::Small,
+            40,
+            crate::topology::DelayModel::Lan,
+            23,
+        );
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut router = Router::new(&net);
+        for i in 0..hosts.len() {
+            let a = hosts[i];
+            let b = hosts[(i * 7 + 3) % hosts.len()];
+            let bfs = router.shortest_path(a, b);
+            let cached = router.host_path_cached(a, b);
+            match (bfs, cached) {
+                (None, None) => {}
+                (Some(p), Some(q)) => {
+                    assert_eq!(p.hop_count(), q.hop_count(), "{a} -> {b}");
+                    assert_eq!(q.source(), a);
+                    assert_eq!(q.destination(), b);
+                    // The cached path is a valid chain of existing links.
+                    for pair in q.links().windows(2) {
+                        assert_eq!(net.link(pair[0]).dst(), net.link(pair[1]).src());
+                    }
+                }
+                (p, q) => panic!("reachability disagrees for {a} -> {b}: {p:?} vs {q:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn host_path_cached_same_router_and_self() {
+        let (c, d) = caps();
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("r0");
+        let h0 = b.add_host("h0", r0, c, d);
+        let h1 = b.add_host("h1", r0, c, d);
+        let net = b.build();
+        let mut router = Router::new(&net);
+        assert!(router.host_path_cached(h0, h0).is_none());
+        let p = router.host_path_cached(h0, h1).unwrap();
+        assert_eq!(p.hop_count(), 2);
+        assert_eq!(p.source(), h0);
+        assert_eq!(p.destination(), h1);
+    }
+
+    #[test]
+    fn host_path_cached_unreachable_returns_none() {
+        let (c, d) = caps();
+        let mut b = NetworkBuilder::new();
+        let r0 = b.add_router("r0");
+        let r1 = b.add_router("r1"); // never connected to r0
+        let h0 = b.add_host("h0", r0, c, d);
+        let h1 = b.add_host("h1", r1, c, d);
+        let net = b.build();
+        let mut router = Router::new(&net);
+        assert!(router.host_path_cached(h0, h1).is_none());
     }
 
     #[test]

@@ -71,6 +71,9 @@ impl ChannelSpec {
 #[derive(Debug, Clone)]
 pub(crate) struct Channel {
     pub(crate) spec: ChannelSpec,
+    /// The per-packet serialization time, precomputed from the spec so the
+    /// per-send hot path performs no floating-point division.
+    transmission: Delay,
     /// The earliest time at which the transmitter is free again.
     pub(crate) free_at: SimTime,
     /// Number of messages that have been sent through this channel.
@@ -81,6 +84,7 @@ impl Channel {
     pub(crate) fn new(spec: ChannelSpec) -> Self {
         Channel {
             spec,
+            transmission: spec.transmission_delay(),
             free_at: SimTime::ZERO,
             sent: 0,
         }
@@ -94,7 +98,7 @@ impl Channel {
         } else {
             now
         };
-        let done = start + self.spec.transmission_delay();
+        let done = start + self.transmission;
         self.free_at = done;
         self.sent += 1;
         done + self.spec.propagation

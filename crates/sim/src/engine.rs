@@ -199,11 +199,7 @@ impl<M> Engine<M> {
         let start_events = self.events_processed;
         let start_messages = self.messages_sent;
         let mut last_event_time = self.now;
-        while let Some(next) = self.queue.peek_time() {
-            if next > horizon {
-                break;
-            }
-            let event = self.queue.pop().expect("peeked event must exist");
+        while let Some(event) = self.queue.pop_at_most(horizon) {
             debug_assert!(event.at >= self.now, "time must not go backwards");
             self.now = event.at;
             last_event_time = event.at;

@@ -102,8 +102,8 @@ impl<'a> DynamicsPlanner<'a> {
         let requests: Vec<SessionRequest> = self.planner.plan(joins, limits);
         for request in requests {
             let at = start + half + random_offset(half, self.planner.rng());
-            schedule.push_join(at, request);
             self.active.insert(request.session, request.source);
+            schedule.push_join(at, request);
         }
         schedule
     }

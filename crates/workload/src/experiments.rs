@@ -59,6 +59,25 @@ impl Experiment1Config {
         vec![10, 30, 100, 300, 1_000]
     }
 
+    /// The paper-scale preset: `sessions` simultaneous joins (50k–100k,
+    /// toward the paper's 300,000) on a Medium LAN transit–stub network with
+    /// enough hosts that every session gets its own source host (the paper
+    /// attaches up to 220,000 hosts to the Medium network).
+    pub fn paper_scale(sessions: usize) -> Self {
+        Experiment1Config {
+            scenario: NetworkScenario::medium_lan(sessions + sessions / 4 + 8),
+            sessions,
+            join_window: Delay::from_millis(1),
+            limits: LimitPolicy::Unlimited,
+            seed: 1,
+        }
+    }
+
+    /// The session counts exercised by the paper-scale runs.
+    pub fn paper_scale_sweep() -> Vec<usize> {
+        vec![10_000, 50_000, 100_000]
+    }
+
     /// Builds the join schedule over `network` (all sessions join at times
     /// chosen uniformly at random within the join window).
     pub fn schedule(&self, network: &Network) -> Schedule {
@@ -239,7 +258,7 @@ impl Experiment3Config {
         let half = Delay::from_nanos(self.change_window.as_nanos() / 2);
         for request in &requests {
             let offset = Delay::from_nanos(planner.rng().gen_range(0..half.as_nanos().max(1)));
-            schedule.push_join(SimTime::ZERO + offset, *request);
+            schedule.push_join(SimTime::ZERO + offset, request.clone());
         }
         for request in requests.iter().take(self.leaves) {
             let offset = Delay::from_nanos(

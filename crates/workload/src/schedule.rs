@@ -3,25 +3,21 @@
 use crate::sessions::SessionRequest;
 use bneck_core::BneckSimulation;
 use bneck_maxmin::{RateLimit, SessionId};
-use bneck_net::NodeId;
+
 use bneck_sim::SimTime;
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// One workload action (an invocation of an API primitive).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum WorkloadEvent {
-    /// `API.Join(s, r)` for a session between two hosts.
+    /// `API.Join(s, r)` for a planned session (the request carries the
+    /// already-routed path, so targets need not repeat the shortest-path
+    /// search).
     Join {
-        /// The joining session.
-        session: SessionId,
-        /// Source host.
-        source: NodeId,
-        /// Destination host.
-        destination: NodeId,
-        /// Maximum requested rate.
-        limit: RateLimit,
+        /// The planned session.
+        request: SessionRequest,
     },
     /// `API.Leave(s)`.
     Leave {
@@ -38,7 +34,7 @@ pub enum WorkloadEvent {
 }
 
 /// A workload event with the time at which it is injected.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct TimedEvent {
     /// Injection time.
@@ -72,15 +68,10 @@ impl ApplyStats {
 /// Anything that can accept workload events: the B-Neck harness, the baseline
 /// harnesses, or test doubles.
 pub trait ScheduleTarget {
-    /// Applies a join; returns `false` if the target rejected it.
-    fn apply_join(
-        &mut self,
-        at: SimTime,
-        session: SessionId,
-        source: NodeId,
-        destination: NodeId,
-        limit: RateLimit,
-    ) -> bool;
+    /// Applies a join; returns `false` if the target rejected it. The request
+    /// carries the planner's routed path, which targets should reuse instead
+    /// of recomputing the route.
+    fn apply_join(&mut self, at: SimTime, request: &SessionRequest) -> bool;
 
     /// Applies a leave; returns `false` if the target rejected it.
     fn apply_leave(&mut self, at: SimTime, session: SessionId) -> bool;
@@ -90,15 +81,9 @@ pub trait ScheduleTarget {
 }
 
 impl ScheduleTarget for BneckSimulation<'_> {
-    fn apply_join(
-        &mut self,
-        at: SimTime,
-        session: SessionId,
-        source: NodeId,
-        destination: NodeId,
-        limit: RateLimit,
-    ) -> bool {
-        self.join(at, session, source, destination, limit).is_ok()
+    fn apply_join(&mut self, at: SimTime, request: &SessionRequest) -> bool {
+        self.join_with_path(at, request.session, request.path.clone(), request.limit)
+            .is_ok()
     }
 
     fn apply_leave(&mut self, at: SimTime, session: SessionId) -> bool {
@@ -111,41 +96,56 @@ impl ScheduleTarget for BneckSimulation<'_> {
 }
 
 /// A time-ordered sequence of workload events.
+///
+/// Events are stored in push order and sorted lazily: [`Schedule::push`] is
+/// O(1) (the schedule used to re-sort the whole vector on every push, which
+/// is quadratic and ruled out paper-scale workloads of tens of thousands of
+/// joins), and the ordered accessors ([`Schedule::iter`],
+/// [`Schedule::apply`], [`Schedule::last_time`]) sort a temporary index
+/// permutation when pushes arrived out of order. Equal timestamps keep their
+/// push order, as before.
 #[derive(Debug, Clone, Default, PartialEq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Schedule {
     events: Vec<TimedEvent>,
+    /// `true` while `events` is non-decreasing in time (pushes appended in
+    /// order); ordered accessors then skip the permutation sort.
+    sorted: bool,
 }
 
 impl Schedule {
     /// Creates an empty schedule.
     pub fn new() -> Self {
-        Self::default()
+        Schedule {
+            events: Vec::new(),
+            sorted: true,
+        }
     }
 
-    /// Adds an event, keeping the schedule ordered by time.
+    /// Adds an event in O(1); the schedule sorts lazily on ordered access.
     pub fn push(&mut self, at: SimTime, event: WorkloadEvent) {
+        if let Some(last) = self.events.last() {
+            if at < last.at {
+                self.sorted = false;
+            }
+        }
         self.events.push(TimedEvent { at, event });
-        self.events.sort_by_key(|e| e.at);
     }
 
     /// Adds a join event built from a [`SessionRequest`].
     pub fn push_join(&mut self, at: SimTime, request: SessionRequest) {
-        self.push(
-            at,
-            WorkloadEvent::Join {
-                session: request.session,
-                source: request.source,
-                destination: request.destination,
-                limit: request.limit,
-            },
-        );
+        self.push(at, WorkloadEvent::Join { request });
     }
 
     /// Merges another schedule into this one.
     pub fn merge(&mut self, other: Schedule) {
+        if let (Some(last), Some(first)) = (self.events.last(), other.events.first()) {
+            if first.at < last.at {
+                self.sorted = false;
+            }
+        }
+        self.sorted &= other.sorted;
         self.events.extend(other.events);
-        self.events.sort_by_key(|e| e.at);
     }
 
     /// Number of events.
@@ -158,14 +158,30 @@ impl Schedule {
         self.events.is_empty()
     }
 
-    /// Iterates over the events in time order.
+    /// The indices of `events` in `(time, push order)` order.
+    fn time_order(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.events.len() as u32).collect();
+        if !self.sorted {
+            order.sort_by_key(|&i| (self.events[i as usize].at, i));
+        }
+        order
+    }
+
+    /// Iterates over the events in time order (equal timestamps in push
+    /// order).
     pub fn iter(&self) -> impl Iterator<Item = &TimedEvent> {
-        self.events.iter()
+        self.time_order()
+            .into_iter()
+            .map(move |i| &self.events[i as usize])
     }
 
     /// The time of the last event, if any.
     pub fn last_time(&self) -> Option<SimTime> {
-        self.events.last().map(|e| e.at)
+        if self.sorted {
+            self.events.last().map(|e| e.at)
+        } else {
+            self.events.iter().map(|e| e.at).max()
+        }
     }
 
     /// Number of events of each kind `(joins, leaves, changes)`.
@@ -186,29 +202,25 @@ impl Schedule {
     /// Applies every event to `target`, in time order.
     pub fn apply<T: ScheduleTarget>(&self, target: &mut T) -> ApplyStats {
         let mut stats = ApplyStats::default();
-        for TimedEvent { at, event } in &self.events {
-            let accepted = match *event {
-                WorkloadEvent::Join {
-                    session,
-                    source,
-                    destination,
-                    limit,
-                } => {
-                    let ok = target.apply_join(*at, session, source, destination, limit);
+        for i in self.time_order() {
+            let TimedEvent { at, event } = &self.events[i as usize];
+            let accepted = match event {
+                WorkloadEvent::Join { request } => {
+                    let ok = target.apply_join(*at, request);
                     if ok {
                         stats.joins += 1;
                     }
                     ok
                 }
                 WorkloadEvent::Leave { session } => {
-                    let ok = target.apply_leave(*at, session);
+                    let ok = target.apply_leave(*at, *session);
                     if ok {
                         stats.leaves += 1;
                     }
                     ok
                 }
                 WorkloadEvent::Change { session, limit } => {
-                    let ok = target.apply_change(*at, session, limit);
+                    let ok = target.apply_change(*at, *session, *limit);
                     if ok {
                         stats.changes += 1;
                     }
@@ -227,13 +239,17 @@ impl FromIterator<TimedEvent> for Schedule {
     fn from_iter<T: IntoIterator<Item = TimedEvent>>(iter: T) -> Self {
         let mut events: Vec<TimedEvent> = iter.into_iter().collect();
         events.sort_by_key(|e| e.at);
-        Schedule { events }
+        Schedule {
+            events,
+            sorted: true,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bneck_net::prelude::*;
 
     #[derive(Default)]
     struct Recorder {
@@ -242,14 +258,7 @@ mod tests {
     }
 
     impl ScheduleTarget for Recorder {
-        fn apply_join(
-            &mut self,
-            at: SimTime,
-            _session: SessionId,
-            _source: NodeId,
-            _destination: NodeId,
-            _limit: RateLimit,
-        ) -> bool {
+        fn apply_join(&mut self, at: SimTime, _request: &SessionRequest) -> bool {
             self.log.push((at.as_micros(), "join"));
             true
         }
@@ -260,6 +269,24 @@ mod tests {
         fn apply_change(&mut self, at: SimTime, _session: SessionId, _limit: RateLimit) -> bool {
             self.log.push((at.as_micros(), "change"));
             true
+        }
+    }
+
+    fn sample_request() -> SessionRequest {
+        let net = synthetic::line(
+            2,
+            Capacity::from_mbps(100.0),
+            Capacity::from_mbps(100.0),
+            Delay::from_micros(1),
+        );
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let path = Router::new(&net).shortest_path(hosts[0], hosts[1]).unwrap();
+        SessionRequest {
+            session: SessionId(0),
+            source: hosts[0],
+            destination: hosts[1],
+            limit: RateLimit::unlimited(),
+            path,
         }
     }
 
@@ -274,10 +301,7 @@ mod tests {
         s.push(
             SimTime::from_micros(10),
             WorkloadEvent::Join {
-                session: SessionId(0),
-                source: NodeId(1),
-                destination: NodeId(2),
-                limit: RateLimit::unlimited(),
+                request: sample_request(),
             },
         );
         s.push(
@@ -335,7 +359,7 @@ mod tests {
         let b = sample_schedule();
         a.merge(b);
         assert_eq!(a.len(), 6);
-        let collected: Schedule = a.iter().copied().collect();
+        let collected: Schedule = a.iter().cloned().collect();
         assert_eq!(collected.len(), 6);
         let times: Vec<u64> = collected.iter().map(|e| e.at.as_micros()).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));

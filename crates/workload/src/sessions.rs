@@ -1,7 +1,7 @@
 //! Random session planning.
 
 use bneck_maxmin::{RateLimit, SessionId};
-use bneck_net::{Network, NodeId, Router};
+use bneck_net::{Network, NodeId, Path, Router};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -46,8 +46,13 @@ impl LimitPolicy {
     }
 }
 
-/// A planned session: identifier, endpoints and requested maximum rate.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// A planned session: identifier, endpoints, requested maximum rate and the
+/// shortest path the planner routed the session along.
+///
+/// Carrying the path means a harness applying the request can join with
+/// [`Path`] directly instead of re-running the shortest-path search the
+/// planner already performed (paths clone by reference count).
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct SessionRequest {
     /// The session identifier the planner assigned.
@@ -58,6 +63,8 @@ pub struct SessionRequest {
     pub destination: NodeId,
     /// Maximum requested rate.
     pub limit: RateLimit,
+    /// The minimum-hop path from `source` to `destination` the planner found.
+    pub path: Path,
 }
 
 /// Plans sessions between hosts chosen uniformly at random, as in the paper's
@@ -122,26 +129,23 @@ impl<'a> SessionPlanner<'a> {
                 break;
             }
             // Destination: any other host, uniformly at random; retry a few
-            // times in case the first pick is unreachable or equal.
-            let mut destination = None;
+            // times in case the first pick is unreachable or equal. Routing
+            // goes through the per-router tree cache: at most one (small)
+            // router-graph BFS per stub router for the whole plan, instead of
+            // one whole-network BFS per session — the difference between
+            // seconds and minutes when planning paper-scale populations.
+            let mut routed = None;
             for _ in 0..8 {
                 let candidate = self.hosts[self.rng.gen_range(0..self.hosts.len())];
                 if candidate == source {
                     continue;
                 }
-                // The cached variant builds one BFS tree per source, so the
-                // retries here (and any later query from the same source)
-                // only walk parent links.
-                if self
-                    .router
-                    .shortest_path_cached(source, candidate)
-                    .is_some()
-                {
-                    destination = Some(candidate);
+                if let Some(path) = self.router.host_path_cached(source, candidate) {
+                    routed = Some((candidate, path));
                     break;
                 }
             }
-            let Some(destination) = destination else {
+            let Some((destination, path)) = routed else {
                 continue;
             };
             let limit = limits.sample(&mut self.rng);
@@ -153,6 +157,7 @@ impl<'a> SessionPlanner<'a> {
                 source,
                 destination,
                 limit,
+                path,
             });
         }
         requests

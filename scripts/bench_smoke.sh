@@ -9,6 +9,12 @@
 # manifest with:
 #   BNECK_BENCH_BUDGET_MS=25 cargo bench 2>/dev/null \
 #     | grep '^bench ' | awk '{print $2}' | sort > crates/bench/bench-manifest.txt
+#
+# The convergence_at_scale suite runs whole multi-thousand-session
+# simulations per iteration, so even at a tiny budget each of its benchmarks
+# costs a couple of wall-clock seconds (one warm-up + one measured run); the
+# 50k-session presets live in the `paper_scale` binary (CI job scale-smoke),
+# not here.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
