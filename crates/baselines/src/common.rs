@@ -7,15 +7,26 @@
 //! destination echoes a response; the source adopts the granted rate and
 //! schedules the next probe. None of these protocols can detect convergence,
 //! so the probing never stops — the defining contrast with B-Neck.
+//!
+//! The harness is built on the same shared world plumbing as the B-Neck
+//! harness (`bneck_core::world`): a [`LinkTable`] of per-link channels,
+//! capacities and reverse channels, and a [`SessionArena`] assigning dense
+//! session slots with slot + hop envelope addressing and a cached
+//! `Arc<SessionSet>` oracle snapshot. Only the per-slot *protocol* state
+//! (probing flag, demand, adopted rate) and the per-link controllers are
+//! specific to this harness. A fully-built [`BaselineSimulation`] implements
+//! [`Simulation`] and [`ProtocolWorld`], so the experiment drivers run it
+//! through the same unified interface as B-Neck itself.
 
-use bneck_maxmin::{Allocation, FastMap, Rate, RateLimit, SessionId};
+use bneck_core::world::{LinkTable, SessionArena};
+use bneck_maxmin::{Allocation, Rate, RateLimit, SessionId, SessionSet};
 use bneck_net::{Network, NodeId, Path, Router};
-use bneck_sim::{Address, ChannelId, ChannelSpec, Context, Engine, SimTime, World};
-use bneck_workload::{ScheduleTarget, SessionRequest};
+use bneck_sim::{Address, Context, Engine, RunReport, SimTime, Simulation, World};
+use bneck_workload::{ProtocolWorld, ScheduleTarget, SessionRequest};
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::Arc;
 
 /// The per-link rate controller of a baseline protocol.
 pub trait LinkController {
@@ -31,9 +42,13 @@ pub trait LinkController {
 
 /// A baseline protocol: a factory of per-link controllers plus its probing
 /// period.
-pub trait BaselineProtocol {
+///
+/// `Send` bounds (on the protocol and its controllers) make a fully-built
+/// [`BaselineSimulation`] a `Send` unit, which is what lets the parallel
+/// sweep drivers in `bneck-bench` fan protocol runs across worker threads.
+pub trait BaselineProtocol: Send {
     /// The per-link controller type.
-    type Controller: LinkController;
+    type Controller: LinkController + Send;
 
     /// Human-readable protocol name (used in reports).
     fn name(&self) -> &'static str;
@@ -44,6 +59,13 @@ pub trait BaselineProtocol {
 
     /// The interval at which every source re-probes its path.
     fn probe_interval(&self) -> bneck_net::Delay;
+
+    /// The documented convergence tolerance of the protocol: the maximum
+    /// mean *absolute* per-session relative error (in percent, against the
+    /// centralized max-min fair rates) the protocol is expected to settle
+    /// within once it has probed for many intervals. The cross-protocol
+    /// conformance suite asserts this bound on randomized instances.
+    fn mean_error_tolerance_pct(&self) -> f64;
 }
 
 /// Configuration of a [`BaselineSimulation`].
@@ -102,7 +124,7 @@ impl fmt::Display for BaselineStats {
 }
 
 /// Messages exchanged by the baseline harness. Sessions are addressed by
-/// their dense slot in the world's session table, assigned at join.
+/// their dense slot in the shared session arena, assigned at join.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum Message {
     /// API call: start the session.
@@ -124,50 +146,49 @@ enum Message {
     Timer { slot: u32 },
 }
 
-/// Per-session state kept by the harness, indexed by session slot.
-#[derive(Debug, Clone)]
-struct SessionState {
-    id: SessionId,
-    path: Path,
-    demand: Rate,
-    limit: RateLimit,
-    current: Rate,
-    active: bool,
-}
-
-/// The simulator world: controllers, sessions, accounting — all in dense
-/// per-link / per-slot vectors.
+/// The simulator world: controllers plus the shared link/session plumbing of
+/// `bneck_core::world`, with the protocol-specific per-slot state in parallel
+/// vectors.
 struct BaselineWorld<P: BaselineProtocol> {
     protocol: P,
     /// Controller of each directed link, indexed by `LinkId::index()`;
     /// created lazily when the first probe crosses the link.
     controllers: Vec<Option<P::Controller>>,
-    /// Session table indexed by slot; entries persist after a leave (stray
-    /// timers and in-flight packets may still reference the slot).
-    sessions: Vec<SessionState>,
-    active: BTreeSet<SessionId>,
+    /// Channels, capacities and the reverse-channel table, indexed by
+    /// `LinkId`.
+    links: LinkTable,
+    /// The shared session-slot arena: id ↔ slot, paths, limits, active set
+    /// and the cached oracle snapshot.
+    arena: SessionArena,
+    /// `true` while the slot's probing loop is running. Flipped by the
+    /// `Start`/`Stop` events at simulated time, so a leave-then-rejoin of the
+    /// same identifier hands the probing loop over to the new incarnation
+    /// without reviving stale in-flight packets.
+    probing: Vec<bool>,
+    /// `true` from the `leave()` call until its `Stop` event has been
+    /// processed. A rejoin of the same identifier is rejected while this is
+    /// set: the departure notification still has to walk the *departing*
+    /// incarnation's path (which a rejoin would overwrite in the arena), so
+    /// the old-path controllers are guaranteed their `on_leave`.
+    stopping: Vec<bool>,
+    /// The slot's maximum requested rate, clamped to its access link.
+    demand: Vec<Rate>,
+    /// The rate the slot's source currently uses (last granted rate).
+    current: Vec<Rate>,
     stats: BaselineStats,
     probe_interval: bneck_net::Delay,
-    /// Channel of each directed link, indexed by `LinkId::index()`.
-    channels: Vec<ChannelId>,
-    /// Channel of the *reverse* of each directed link (used by upstream
-    /// responses), indexed by `LinkId::index()`.
-    reverse_channels: Vec<ChannelId>,
-    /// Capacity of each directed link, indexed by `LinkId::index()`.
-    capacities: Vec<Rate>,
 }
 
 impl<P: BaselineProtocol> BaselineWorld<P> {
     fn send_probe(&mut self, ctx: &mut Context<'_, Message>, slot: u32) {
-        let state = &self.sessions[slot as usize];
-        if !state.active {
+        if !self.probing[slot as usize] {
             return;
         }
         ctx.deliver_now(
             Address(0),
             Message::Probe {
                 slot,
-                granted: state.demand,
+                granted: self.demand[slot as usize],
                 hop: 0,
             },
         );
@@ -175,32 +196,34 @@ impl<P: BaselineProtocol> BaselineWorld<P> {
 
     fn dispatch(&mut self, ctx: &mut Context<'_, Message>, msg: Message) {
         match msg {
-            Message::Start { slot } | Message::Timer { slot } => {
+            Message::Start { slot } => {
+                self.probing[slot as usize] = true;
+                self.send_probe(ctx, slot);
+            }
+            Message::Timer { slot } => {
                 self.send_probe(ctx, slot);
             }
             Message::Stop { slot } => {
-                let state = &mut self.sessions[slot as usize];
-                state.active = false;
-                self.active.remove(&state.id);
+                self.probing[slot as usize] = false;
+                self.stopping[slot as usize] = false;
                 ctx.deliver_now(Address(0), Message::Leave { slot, hop: 0 });
             }
             Message::Probe { slot, granted, hop } => {
-                let state = &self.sessions[slot as usize];
-                if !state.active {
+                if !self.probing[slot as usize] {
                     return;
                 }
-                let session = state.id;
-                let demand = state.demand;
-                let current = state.current;
-                let hops = state.path.links().len();
                 // A stale probe from a previous incarnation of the slot
                 // (leave + rejoin with the same identifier while packets were
                 // in flight) may carry a hop beyond the current, shorter
                 // path: drop it — the new incarnation started its own probe.
-                let Some(&link) = state.path.links().get(hop as usize) else {
+                let Some(link) = self.arena.link_at(slot, hop) else {
                     return;
                 };
-                let capacity = self.capacities[link.index()];
+                let session = self.arena.id_at(slot);
+                let demand = self.demand[slot as usize];
+                let current = self.current[slot as usize];
+                let hops = self.arena.hop_count(slot);
+                let capacity = self.links.capacity(link);
                 let controller = self.controllers[link.index()]
                     .get_or_insert_with(|| self.protocol.controller(capacity));
                 let advertised = controller.on_probe(session, demand, current, ctx.now());
@@ -219,7 +242,7 @@ impl<P: BaselineProtocol> BaselineWorld<P> {
                         hops_left: hops as u32,
                     }
                 };
-                ctx.send(self.channels[link.index()], Address(0), next);
+                ctx.send(self.links.channel(link), Address(0), next);
             }
             Message::Response {
                 slot,
@@ -230,22 +253,20 @@ impl<P: BaselineProtocol> BaselineWorld<P> {
                     // Reached the source: adopt the granted rate and schedule
                     // the next periodic probe. The probing never stops.
                     let interval = self.probe_interval;
-                    let state = &mut self.sessions[slot as usize];
-                    if state.active {
-                        state.current = granted;
+                    if self.probing[slot as usize] {
+                        self.current[slot as usize] = granted;
                         ctx.schedule_after(interval, Address(0), Message::Timer { slot });
                     }
                     return;
                 }
-                let state = &self.sessions[slot as usize];
                 // As with probes, drop responses whose hop count belongs to a
                 // previous, longer incarnation of the slot's path.
-                let Some(&forward) = state.path.links().get(hops_left as usize - 1) else {
+                let Some(forward) = self.arena.link_at(slot, hops_left - 1) else {
                     return;
                 };
                 self.stats.responses += 1;
                 ctx.send(
-                    self.reverse_channels[forward.index()],
+                    self.links.reverse_channel(forward),
                     Address(0),
                     Message::Response {
                         slot,
@@ -255,18 +276,16 @@ impl<P: BaselineProtocol> BaselineWorld<P> {
                 );
             }
             Message::Leave { slot, hop } => {
-                let state = &self.sessions[slot as usize];
-                if hop as usize >= state.path.links().len() {
+                let Some(link) = self.arena.link_at(slot, hop) else {
                     return;
-                }
-                let session = state.id;
-                let link = state.path.links()[hop as usize];
+                };
+                let session = self.arena.id_at(slot);
                 if let Some(controller) = &mut self.controllers[link.index()] {
                     controller.on_leave(session);
                 }
                 self.stats.leaves += 1;
                 ctx.send(
-                    self.channels[link.index()],
+                    self.links.channel(link),
                     Address(0),
                     Message::Leave { slot, hop: hop + 1 },
                 );
@@ -310,9 +329,6 @@ pub struct BaselineSimulation<'a, P: BaselineProtocol> {
     name: &'static str,
     config: BaselineConfig,
     world: BaselineWorld<P>,
-    /// Session id → slot in the world's session table. Entries persist across
-    /// a leave and are remapped when the identifier rejoins.
-    slot_of: FastMap<SessionId, u32>,
     router: Router<'a>,
 }
 
@@ -320,27 +336,7 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
     /// Creates a simulation of `protocol` over `network`.
     pub fn new(network: &'a Network, protocol: P, config: BaselineConfig) -> Self {
         let mut engine = Engine::new();
-        let mut channels = Vec::with_capacity(network.link_count());
-        let mut capacities = Vec::with_capacity(network.link_count());
-        for link in network.links() {
-            channels.push(engine.add_channel(ChannelSpec::new(
-                link.capacity().as_bps(),
-                link.delay(),
-                config.packet_bits,
-            )));
-            capacities.push(link.capacity().as_bps());
-        }
-        // Upstream responses travel over the reverse link of each hop; fall
-        // back to the forward channel if a link happens to have no reverse.
-        let reverse_channels: Vec<ChannelId> = network
-            .links()
-            .map(|link| {
-                network
-                    .reverse_link(link.id())
-                    .map(|r| channels[r.index()])
-                    .unwrap_or(channels[link.id().index()])
-            })
-            .collect();
+        let links = LinkTable::new(network, &mut engine, config.packet_bits);
         let name = protocol.name();
         let probe_interval = protocol.probe_interval();
         let mut controllers = Vec::new();
@@ -348,13 +344,14 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
         let world = BaselineWorld {
             protocol,
             controllers,
-            sessions: Vec::new(),
-            active: BTreeSet::new(),
+            links,
+            arena: SessionArena::new(),
+            probing: Vec::new(),
+            stopping: Vec::new(),
+            demand: Vec::new(),
+            current: Vec::new(),
             stats: BaselineStats::default(),
             probe_interval,
-            channels,
-            reverse_channels,
-            capacities,
         };
         BaselineSimulation {
             engine,
@@ -362,7 +359,6 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
             name,
             config,
             world,
-            slot_of: FastMap::default(),
             router: Router::new(network),
         }
     }
@@ -387,7 +383,7 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
         destination: NodeId,
         limit: RateLimit,
     ) -> bool {
-        if self.world.active.contains(&session) {
+        if self.world.arena.is_active(session) {
             return false;
         }
         let Some(path) = self.router.shortest_path(source, destination) else {
@@ -398,7 +394,9 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
 
     /// Starts a session at time `at` along an explicit path (e.g. the one a
     /// workload planner already routed). Returns `false` if the identifier is
-    /// already in use by an active session.
+    /// already in use by an active session, or if its previous incarnation's
+    /// departure notification has not been processed yet (the notification
+    /// must walk the old path, which a rejoin would overwrite).
     pub fn join_with_path(
         &mut self,
         at: SimTime,
@@ -406,42 +404,38 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
         path: Path,
         limit: RateLimit,
     ) -> bool {
-        if self.world.active.contains(&session) {
-            return false;
+        if let Some(slot) = self.world.arena.slot_of(session) {
+            if self.world.stopping[slot as usize] {
+                return false;
+            }
         }
-        let first_capacity = self.network.link(path.first_link()).capacity().as_bps();
+        let first_capacity = self.world.links.capacity(path.first_link());
         let demand = limit.effective_demand(first_capacity);
-        let state = SessionState {
-            id: session,
-            path,
-            demand,
-            limit,
-            current: 0.0,
-            active: true,
+        let Some(joined) = self.world.arena.join(session, path, limit) else {
+            return false;
         };
-        let slot = match self.slot_of.get(&session) {
-            Some(&slot) => {
-                self.world.sessions[slot as usize] = state;
-                slot
-            }
-            None => {
-                let slot = self.world.sessions.len() as u32;
-                self.world.sessions.push(state);
-                self.slot_of.insert(session, slot);
-                slot
-            }
-        };
-        self.world.active.insert(session);
-        self.engine.inject(at, Address(0), Message::Start { slot });
+        let slot = joined.slot as usize;
+        if joined.reused {
+            self.world.probing[slot] = false;
+            self.world.demand[slot] = demand;
+            self.world.current[slot] = 0.0;
+        } else {
+            self.world.probing.push(false);
+            self.world.stopping.push(false);
+            self.world.demand.push(demand);
+            self.world.current.push(0.0);
+        }
+        self.engine
+            .inject(at, Address(0), Message::Start { slot: joined.slot });
         true
     }
 
     /// Stops a session at time `at`. Returns `false` for unknown sessions.
     pub fn leave(&mut self, at: SimTime, session: SessionId) -> bool {
-        if !self.world.active.contains(&session) {
+        let Some(slot) = self.world.arena.leave(session) else {
             return false;
-        }
-        let slot = self.slot_of[&session];
+        };
+        self.world.stopping[slot as usize] = true;
         self.engine.inject(at, Address(0), Message::Stop { slot });
         true
     }
@@ -450,27 +444,22 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
     /// effect with the next periodic probe. Returns `false` for unknown
     /// sessions.
     pub fn change(&mut self, _at: SimTime, session: SessionId, limit: RateLimit) -> bool {
-        if !self.world.active.contains(&session) {
-            return false;
-        }
-        let Some(&slot) = self.slot_of.get(&session) else {
+        let Some(slot) = self.world.arena.change(session, limit) else {
             return false;
         };
-        let state = &mut self.world.sessions[slot as usize];
         let first_capacity = self
-            .network
-            .link(state.path.first_link())
-            .capacity()
-            .as_bps();
-        state.limit = limit;
-        state.demand = limit.effective_demand(first_capacity);
+            .world
+            .links
+            .capacity(self.world.arena.path(slot).first_link());
+        self.world.demand[slot as usize] = limit.effective_demand(first_capacity);
         true
     }
 
     /// Runs the simulation up to `horizon` (the baselines never go quiescent,
     /// so an unbounded run would not terminate while sessions are active).
-    pub fn run_until(&mut self, horizon: SimTime) {
-        self.engine.run_until(&mut self.world, horizon);
+    /// Returns the engine's report of the run.
+    pub fn run_until(&mut self, horizon: SimTime) -> RunReport {
+        self.engine.run_until(&mut self.world, horizon)
     }
 
     /// The current simulated time.
@@ -487,31 +476,20 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
     /// The rate each active session is currently using.
     pub fn current_rates(&self) -> Allocation {
         self.world
-            .active
-            .iter()
-            .filter_map(|s| {
-                let slot = *self.slot_of.get(s)?;
-                Some((*s, self.world.sessions[slot as usize].current))
-            })
-            .collect()
+            .arena
+            .collect_rates(|slot| Some(self.world.current[slot as usize]))
     }
 
     /// The active sessions and their paths/limits, for feeding the oracle.
-    pub fn session_set(&self) -> bneck_maxmin::SessionSet {
-        self.world
-            .active
-            .iter()
-            .filter_map(|s| {
-                let slot = *self.slot_of.get(s)?;
-                let st = &self.world.sessions[slot as usize];
-                Some(bneck_maxmin::Session::new(*s, st.path.clone(), st.limit))
-            })
-            .collect()
+    /// Snapshots are cached between membership changes (see
+    /// [`SessionArena::session_set`]).
+    pub fn session_set(&self) -> Arc<SessionSet> {
+        self.world.arena.session_set()
     }
 
     /// Number of currently active sessions.
     pub fn active_count(&self) -> usize {
-        self.world.active.len()
+        self.world.arena.active_count()
     }
 
     /// Cumulative packet counters.
@@ -522,6 +500,36 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
     /// The configured control-packet size in bits.
     pub fn packet_bits(&self) -> u64 {
         self.config.packet_bits
+    }
+}
+
+impl<'a, P: BaselineProtocol> Simulation for BaselineSimulation<'a, P> {
+    fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.engine.is_quiescent()
+    }
+
+    fn pending_events(&self) -> usize {
+        self.engine.pending_events()
+    }
+
+    fn step(&mut self) -> bool {
+        self.engine.step(&mut self.world)
+    }
+
+    fn run_to(&mut self, horizon: SimTime) -> RunReport {
+        self.engine.run_until(&mut self.world, horizon)
+    }
+
+    fn events_processed(&self) -> u64 {
+        self.engine.total_events_processed()
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.engine.total_messages_sent()
     }
 }
 
@@ -536,6 +544,32 @@ impl<'a, P: BaselineProtocol> ScheduleTarget for BaselineSimulation<'a, P> {
 
     fn apply_change(&mut self, at: SimTime, session: SessionId, limit: RateLimit) -> bool {
         self.change(at, session, limit)
+    }
+}
+
+impl<'a, P: BaselineProtocol> ProtocolWorld for BaselineSimulation<'a, P> {
+    fn protocol_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn current_rates(&self) -> Allocation {
+        BaselineSimulation::current_rates(self)
+    }
+
+    fn session_set(&self) -> Arc<SessionSet> {
+        BaselineSimulation::session_set(self)
+    }
+
+    fn goes_quiescent(&self) -> bool {
+        false
+    }
+
+    fn packets_sent(&self) -> u64 {
+        self.world.stats.total()
+    }
+
+    fn convergence_tolerance_pct(&self) -> Option<f64> {
+        Some(self.world.protocol.mean_error_tolerance_pct())
     }
 }
 
@@ -578,6 +612,10 @@ mod tests {
         }
         fn probe_interval(&self) -> bneck_net::Delay {
             bneck_net::Delay::from_millis(1)
+        }
+        fn mean_error_tolerance_pct(&self) -> f64 {
+            // Grants everything: arbitrarily far from max-min by design.
+            100.0
         }
     }
 
@@ -687,6 +725,55 @@ mod tests {
     }
 
     #[test]
+    fn rejoin_is_deferred_until_the_departure_notification_has_walked_its_path() {
+        // Leave at t1 and try to rejoin at t2 > t1 *before running the
+        // engine*: the rejoin must be rejected — the departure notification
+        // still has to walk the departing incarnation's path (so every
+        // old-path controller gets its `on_leave`), and a rejoin would
+        // overwrite that path in the arena. Once the Stop has been
+        // processed, the identifier is free to rejoin along a new path.
+        let net = network();
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BaselineSimulation::new(&net, GrantAll, BaselineConfig::default());
+        assert!(sim.join(
+            SimTime::ZERO,
+            SessionId(0),
+            hosts[0],
+            hosts[1],
+            RateLimit::unlimited()
+        ));
+        sim.run_until(SimTime::from_millis(2));
+        assert!(sim.leave(SimTime::from_millis(3), SessionId(0)));
+        // The Stop event at 3 ms has not been processed yet.
+        assert!(!sim.join(
+            SimTime::from_millis(4),
+            SessionId(0),
+            hosts[2],
+            hosts[3],
+            RateLimit::unlimited()
+        ));
+        sim.run_until(SimTime::from_millis(5));
+        // Stop processed: the old path received its leave notifications and
+        // the identifier can rejoin.
+        assert!(sim.stats().leaves > 0);
+        assert!(sim.join(
+            SimTime::from_millis(6),
+            SessionId(0),
+            hosts[2],
+            hosts[3],
+            RateLimit::unlimited()
+        ));
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.active_count(), 1);
+        let rate = sim.current_rates().rate(SessionId(0)).unwrap();
+        assert!(
+            (rate - 60e6).abs() < 1.0,
+            "rejoined session probes, got {rate}"
+        );
+        assert!(!sim.is_quiescent());
+    }
+
+    #[test]
     fn join_and_change_validation() {
         let net = network();
         let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
@@ -720,5 +807,30 @@ mod tests {
         assert!((rate - 5e6).abs() < 1.0, "demand caps the granted rate");
         assert_eq!(sim.protocol_name(), "grant-all");
         assert_eq!(sim.packet_bits(), 256);
+    }
+
+    #[test]
+    fn a_built_baseline_is_a_send_unit_behind_the_unified_trait() {
+        fn assert_send<T: Send>(_: &T) {}
+        let net = network();
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BaselineSimulation::new(&net, GrantAll, BaselineConfig::default());
+        assert_send(&sim);
+        sim.join(
+            SimTime::ZERO,
+            SessionId(0),
+            hosts[0],
+            hosts[1],
+            RateLimit::unlimited(),
+        );
+        let world: &mut dyn ProtocolWorld = &mut sim;
+        assert_eq!(world.protocol_name(), "grant-all");
+        assert!(!world.goes_quiescent());
+        assert_eq!(world.convergence_tolerance_pct(), Some(100.0));
+        let report = world.run_to(SimTime::from_millis(5));
+        assert!(!report.quiescent, "probing continues past any horizon");
+        assert!(world.packets_sent() > 0);
+        assert_eq!(ProtocolWorld::session_set(world).len(), 1);
+        assert_eq!(world.current_rates().len(), 1);
     }
 }

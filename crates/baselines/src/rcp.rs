@@ -66,6 +66,14 @@ impl BaselineProtocol for Rcp {
     fn probe_interval(&self) -> Delay {
         self.probe_interval
     }
+
+    /// RCP's single-rate control law reaches processor sharing on one
+    /// bottleneck but only approximates global max-min with heterogeneous
+    /// paths (as the paper observes), so only a loose bound is documented
+    /// and asserted.
+    fn mean_error_tolerance_pct(&self) -> f64 {
+        60.0
+    }
 }
 
 /// Per-link state of RCP: one advertised rate plus the traffic measurement of

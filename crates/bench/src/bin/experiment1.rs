@@ -11,8 +11,13 @@
 //! Medium LAN scenarios; `--full` switches to the paper's sweep (10 to
 //! 300,000 sessions on Small/Medium/Big networks), which takes hours and lots
 //! of memory.
+//!
+//! The (scenario, session-count) points are independent simulations fanned
+//! across worker threads by the parallel sweep driver; set `BNECK_THREADS`
+//! to pin the thread count. Reports are bit-identical at any thread count
+//! (each point's seed derives from its position in the sweep).
 
-use bneck_bench::run_experiment1_point;
+use bneck_bench::{run_experiment1_sweep, SweepRunner};
 use bneck_metrics::Table;
 use bneck_workload::{Experiment1Config, NetworkScenario};
 
@@ -57,6 +62,28 @@ fn main() {
         ]
     };
 
+    // One config per (scenario, session count) cell; the seed derives from
+    // the point's position in the sweep, so any thread count reproduces the
+    // same reports.
+    let mut configs = Vec::with_capacity(scenarios.len() * sweep.len());
+    for make_scenario in &scenarios {
+        for &sessions in &sweep {
+            // One source host per session plus room for destinations.
+            let hosts = (2 * sessions).max(20);
+            let mut config = Experiment1Config::scaled(make_scenario(hosts), sessions);
+            config.seed = configs.len() as u64 + 1;
+            configs.push(config);
+        }
+    }
+
+    let runner = SweepRunner::from_env();
+    eprintln!(
+        "[experiment1] {} points on {} worker thread(s)",
+        configs.len(),
+        runner.threads()
+    );
+    let points = run_experiment1_sweep(configs, &runner);
+
     let mut left = Table::new(
         "figure-5-left: time until quiescence (Experiment 1)",
         &["scenario", "sessions", "time_to_quiescence_us", "validated"],
@@ -71,45 +98,15 @@ fn main() {
         ],
     );
 
-    // The sweep points are independent simulations: run one scenario per
-    // thread (std scoped threads keep the borrow of `sweep` simple) and
-    // report the points in a deterministic order afterwards.
-    let points: Vec<_> = std::thread::scope(|scope| {
-        let handles: Vec<_> = scenarios
-            .iter()
-            .map(|make_scenario| {
-                let sweep = &sweep;
-                scope.spawn(move || {
-                    sweep
-                        .iter()
-                        .map(|&sessions| {
-                            // One source host per session plus room for
-                            // destinations.
-                            let hosts = (2 * sessions).max(20);
-                            let scenario = make_scenario(hosts);
-                            let config = Experiment1Config::scaled(scenario, sessions);
-                            let point = run_experiment1_point(&config);
-                            eprintln!(
-                                "[experiment1] {} sessions={} quiescence={}us packets={} validated={}",
-                                point.scenario,
-                                point.sessions,
-                                point.time_to_quiescence_us,
-                                point.total_packets,
-                                point.validated
-                            );
-                            point
-                        })
-                        .collect::<Vec<_>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    });
-
     for point in &points {
+        eprintln!(
+            "[experiment1] {} sessions={} quiescence={}us packets={} validated={}",
+            point.scenario,
+            point.sessions,
+            point.time_to_quiescence_us,
+            point.total_packets,
+            point.validated
+        );
         left.add_row(&[
             point.scenario.clone(),
             point.sessions.to_string(),

@@ -10,8 +10,13 @@
 //! By default the scaled-down workload is run against BFYZ only (as in the
 //! paper's figures; CG and RCP are reported in the paper as not converging for
 //! more than 500 sessions — pass `--baselines BFYZ,CG,RCP` to include them).
+//!
+//! Every protocol runs behind the unified `ProtocolWorld` trait; the
+//! protocol cells are independent simulations fanned across worker threads
+//! by the parallel sweep driver (`BNECK_THREADS` pins the thread count;
+//! reports are bit-identical at any count).
 
-use bneck_bench::run_experiment3;
+use bneck_bench::{run_experiment3_with, SweepRunner};
 use bneck_metrics::Table;
 use bneck_workload::Experiment3Config;
 
@@ -31,15 +36,17 @@ fn main() {
     } else {
         Experiment3Config::scaled()
     };
+    let runner = SweepRunner::from_env();
     eprintln!(
-        "[experiment3] scenario={} joins={} leaves={} baselines={:?}",
+        "[experiment3] scenario={} joins={} leaves={} baselines={:?} threads={}",
         config.scenario.label(),
         config.joins,
         config.leaves,
-        baselines
+        baselines,
+        runner.threads()
     );
 
-    let results = run_experiment3(&config, &baseline_refs);
+    let results = run_experiment3_with(&config, &baseline_refs, &runner);
 
     let mut sources = Table::new(
         "figure-7-left: relative error at the sources, percent (Experiment 3)",

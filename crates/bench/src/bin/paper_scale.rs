@@ -1,39 +1,46 @@
-//! Paper-scale join-to-quiescence run: tens of thousands of sessions joining
-//! a Medium transit–stub network within one millisecond, driven to
-//! quiescence and validated against the centralized oracle (toward the
-//! paper's 300,000-session evaluations, §IV).
+//! Paper-scale join-to-quiescence runs: tens to hundreds of thousands of
+//! sessions joining a Medium transit–stub network within one millisecond,
+//! driven to quiescence and validated against the centralized oracle
+//! (the paper's 300,000-session evaluations, §IV).
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bneck-bench --bin paper_scale [-- --sessions 50000] [-- --no-validate]
+//! cargo run --release -p bneck-bench --bin paper_scale \
+//!     [-- --sessions 50000[,100000,...]] [-- --preset paper_full] [-- --no-validate]
 //! ```
 //!
-//! Prints one summary line with wall-clock timings; exits non-zero when the
-//! run fails to reach quiescence or disagrees with the oracle. The CI
-//! `scale-smoke` job runs this binary under a wall-clock budget.
+//! `--preset paper_full` runs the full 300,000-session point of Figure 5.
+//! `--sessions` takes a comma-separated list; the points are independent
+//! runs fanned across worker threads by the parallel sweep driver
+//! (`BNECK_THREADS` pins the thread count — CI's `scale-smoke` job uses it —
+//! and the reports are bit-identical at any count). Each point prints one
+//! summary line with wall-clock timings; the binary exits non-zero when any
+//! run fails to reach quiescence or disagrees with the oracle.
 
+use bneck_bench::SweepRunner;
 use bneck_core::prelude::*;
 use bneck_maxmin::prelude::*;
 use bneck_workload::prelude::*;
 use std::time::Instant;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let sessions = args
-        .iter()
-        .position(|a| a == "--sessions")
-        .and_then(|i| args.get(i + 1))
-        .map(|s| s.parse::<usize>().expect("--sessions takes an integer"))
-        .unwrap_or(50_000);
-    let validate = !args.iter().any(|a| a == "--no-validate");
+/// The outcome of one paper-scale point.
+struct ScaleRun {
+    sessions: usize,
+    summary: String,
+    detail: String,
+    ok: bool,
+}
 
+fn run_point(sessions: usize, validate: bool) -> ScaleRun {
+    // `--preset paper_full` is sugar for 300k sessions: `paper_full()` is
+    // exactly `paper_scale(300_000)`, so every point goes through one path.
     let config = Experiment1Config::paper_scale(sessions);
     let t0 = Instant::now();
     let network = config.scenario.build();
     let t_build = t0.elapsed();
-    eprintln!(
-        "[paper_scale] network: {} routers, {} hosts, {} links ({:.2?})",
+    let mut detail = format!(
+        "[paper_scale] network: {} routers, {} hosts, {} links ({:.2?})\n",
         network.router_count(),
         network.host_count(),
         network.link_count(),
@@ -49,7 +56,7 @@ fn main() {
     let stats = schedule.apply(&mut sim);
     let report = sim.run_to_quiescence();
     let t_run = t2.elapsed();
-    eprintln!(
+    detail.push_str(&format!(
         "[paper_scale] {} joins applied, quiescent={} at {}us after {} events / {} packets ({:.2?})",
         stats.joins,
         report.quiescent,
@@ -57,7 +64,7 @@ fn main() {
         report.events_processed,
         report.packets_sent,
         t_run
-    );
+    ));
 
     let mut ok = report.quiescent && stats.joins == sessions;
     let mut mismatches = 0usize;
@@ -79,7 +86,7 @@ fn main() {
         ok &= mismatches == 0;
     }
 
-    println!(
+    let summary = format!(
         "paper_scale sessions={} quiescent={} quiescent_at_us={} events={} packets={} \
          packets_per_session={:.1} mismatches={} build_s={:.3} plan_s={:.3} run_s={:.3} \
          oracle_s={:.3} total_s={:.3}",
@@ -96,8 +103,69 @@ fn main() {
         t_oracle.as_secs_f64(),
         t0.elapsed().as_secs_f64(),
     );
-    if !ok {
-        eprintln!("[paper_scale] FAILED (quiescent={report:?}, mismatches={mismatches})");
+    ScaleRun {
+        sessions,
+        summary,
+        detail,
+        ok,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let preset_full = args
+        .iter()
+        .position(|a| a == "--preset")
+        .and_then(|i| args.get(i + 1))
+        .map(|p| match p.as_str() {
+            "paper_full" => true,
+            other => panic!("unknown preset {other}; expected paper_full"),
+        })
+        .unwrap_or(false);
+    let sessions_list: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--sessions")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| {
+            list.split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<usize>()
+                        .expect("--sessions takes a comma-separated list of integers")
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| {
+            if preset_full {
+                vec![300_000]
+            } else {
+                vec![50_000]
+            }
+        });
+    let validate = !args.iter().any(|a| a == "--no-validate");
+
+    let runner = SweepRunner::from_env();
+    eprintln!(
+        "[paper_scale] {} point(s) {:?} on {} worker thread(s)",
+        sessions_list.len(),
+        sessions_list,
+        runner.threads()
+    );
+    let runs = runner.run(sessions_list, |_, sessions| run_point(sessions, validate));
+
+    let mut all_ok = true;
+    for run in &runs {
+        eprintln!("{}", run.detail);
+        println!("{}", run.summary);
+        if !run.ok {
+            eprintln!(
+                "[paper_scale] FAILED at {} sessions (non-quiescent or oracle mismatch)",
+                run.sessions
+            );
+            all_ok = false;
+        }
+    }
+    if !all_ok {
         std::process::exit(1);
     }
 }

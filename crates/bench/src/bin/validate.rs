@@ -9,8 +9,12 @@
 //! ```text
 //! cargo run --release -p bneck-bench --bin validate [-- --runs 5] [-- --sessions 100]
 //! ```
+//!
+//! The (scenario, seed) runs are independent and fanned across worker
+//! threads by the parallel sweep driver (`BNECK_THREADS` pins the thread
+//! count; the report is bit-identical at any count).
 
-use bneck_bench::validate_scenario;
+use bneck_bench::{run_validation_sweep, SweepRunner, ValidationPoint};
 use bneck_metrics::Table;
 use bneck_workload::NetworkScenario;
 
@@ -33,6 +37,26 @@ fn main() {
         NetworkScenario::medium_wan(2 * sessions),
     ];
 
+    let mut points = Vec::with_capacity(scenarios.len() * runs);
+    for scenario in &scenarios {
+        for seed in 0..runs as u64 {
+            points.push(ValidationPoint {
+                scenario: scenario.with_seed(seed + 1),
+                sessions,
+                seed: seed + 100,
+            });
+        }
+    }
+
+    let runner = SweepRunner::from_env();
+    eprintln!(
+        "[validate] {} runs on {} worker thread(s)",
+        points.len(),
+        runner.threads()
+    );
+    let topo_seeds: Vec<u64> = points.iter().map(|p| p.scenario.seed).collect();
+    let reports = run_validation_sweep(points, &runner);
+
     let mut table = Table::new(
         "validation: distributed B-Neck vs centralized oracle",
         &[
@@ -45,19 +69,16 @@ fn main() {
         ],
     );
     let mut failures = 0usize;
-    for scenario in &scenarios {
-        for seed in 0..runs as u64 {
-            let report = validate_scenario(&scenario.with_seed(seed + 1), sessions, seed + 100);
-            failures += report.mismatches + report.violations;
-            table.add_row(&[
-                report.scenario.clone(),
-                (seed + 1).to_string(),
-                report.sessions.to_string(),
-                report.time_to_quiescence_us.to_string(),
-                report.mismatches.to_string(),
-                report.violations.to_string(),
-            ]);
-        }
+    for (seed, report) in topo_seeds.iter().zip(&reports) {
+        failures += report.mismatches + report.violations;
+        table.add_row(&[
+            report.scenario.clone(),
+            seed.to_string(),
+            report.sessions.to_string(),
+            report.time_to_quiescence_us.to_string(),
+            report.mismatches.to_string(),
+            report.violations.to_string(),
+        ]);
     }
     println!("{table}");
     if failures == 0 {

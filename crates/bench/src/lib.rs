@@ -8,17 +8,26 @@
 //!
 //! | Paper figure | Runner | Binary |
 //! |---|---|---|
-//! | Figure 5 (left, right) | [`runner::run_experiment1_point`] | `experiment1` |
-//! | Figure 6 | [`runner::run_experiment2`] | `experiment2` |
-//! | Figures 7 and 8 | [`runner::run_experiment3`] | `experiment3` |
-//! | Correctness validation (Section IV) | [`runner::validate_scenario`] | `validate` |
+//! | Figure 5 (left, right) | [`runner::run_experiment1_point`] / [`runner::run_experiment1_sweep`] | `experiment1` |
+//! | Figure 6 | [`runner::run_experiment2`] / [`runner::run_experiment2_repeats`] | `experiment2` |
+//! | Figures 7 and 8 | [`runner::run_experiment3_with`] | `experiment3` |
+//! | Correctness validation (Section IV) | [`runner::run_validation_sweep`] | `validate` |
+//!
+//! Every runner drives its protocols through the unified
+//! `ProtocolWorld`/`Simulation` traits, and the sweep-level entry points fan
+//! independent points across worker threads with [`sweep::SweepRunner`]
+//! (thread count from `BNECK_THREADS`, bit-identical reports at any count).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod runner;
+pub mod sweep;
 
 pub use runner::{
-    run_experiment1_point, run_experiment2, run_experiment3, validate_scenario, Experiment1Point,
-    Experiment2PhaseResult, Experiment3Result, Experiment3Sample, ValidationReport,
+    build_protocol, run_experiment1_point, run_experiment1_sweep, run_experiment2,
+    run_experiment2_repeats, run_experiment3, run_experiment3_with, run_validation_sweep,
+    validate_scenario, Experiment1Point, Experiment2PhaseResult, Experiment2Run, Experiment3Result,
+    Experiment3Sample, ValidationPoint, ValidationReport,
 };
+pub use sweep::SweepRunner;

@@ -1,17 +1,27 @@
 //! Experiment runners: one function per figure of the paper.
+//!
+//! Every protocol is driven through the unified
+//! [`ProtocolWorld`](bneck_workload::ProtocolWorld) trait (`&mut dyn
+//! ProtocolWorld` at the driver boundary, built by [`build_protocol`]), so
+//! adding a protocol touches only the factory in `bneck-baselines`, not the
+//! runner. The `*_sweep`/`*_repeats` entry points fan their independent
+//! points across worker threads with the [`SweepRunner`]; every point's RNG
+//! seed derives from the point itself, so reports are bit-identical at any
+//! thread count.
 
-use bneck_baselines::prelude::*;
+use crate::sweep::SweepRunner;
+use bneck_baselines::{baseline_by_name, BaselineConfig};
 use bneck_core::prelude::*;
 use bneck_maxmin::prelude::*;
 use bneck_metrics::prelude::*;
-use bneck_net::Delay;
+use bneck_net::{Delay, Network};
 use bneck_sim::SimTime;
 use bneck_workload::prelude::*;
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
 /// One point of Figure 5: a session count on one scenario.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Experiment1Point {
     /// Scenario label (`small/lan`, `medium/wan`, …).
@@ -61,8 +71,19 @@ pub fn run_experiment1_point(config: &Experiment1Config) -> Experiment1Point {
     }
 }
 
+/// Runs a whole Experiment 1 sweep, fanning the (scenario, session-count)
+/// points across the runner's worker threads. Points are independent
+/// simulations whose seeds live in their configs, so the returned vector is
+/// bit-identical at any thread count and ordered like `configs`.
+pub fn run_experiment1_sweep(
+    configs: Vec<Experiment1Config>,
+    runner: &SweepRunner,
+) -> Vec<Experiment1Point> {
+    runner.run(configs, |_, config| run_experiment1_point(&config))
+}
+
 /// One phase of Figure 6.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Experiment2PhaseResult {
     /// Phase name (`join`, `leave`, `change`, `join-2`, `mixed`).
@@ -132,8 +153,46 @@ pub fn run_experiment2(
     (results, series)
 }
 
+/// One full Experiment 2 run: the seed it was planned with, its five phase
+/// results and the packet time series of the whole run.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct Experiment2Run {
+    /// The planner seed of this repeat.
+    pub seed: u64,
+    /// The per-phase results.
+    pub phases: Vec<Experiment2PhaseResult>,
+    /// Packets per 5 ms bin over the whole run.
+    pub series: PacketTimeSeries,
+}
+
+/// Runs `repeats` independent Experiment 2 repetitions (seeds
+/// `base.seed + repeat index`), fanning them across the runner's worker
+/// threads. Results are ordered by repeat index and bit-identical at any
+/// thread count.
+pub fn run_experiment2_repeats(
+    base: &Experiment2Config,
+    repeats: usize,
+    runner: &SweepRunner,
+) -> Vec<Experiment2Run> {
+    let configs: Vec<Experiment2Config> = (0..repeats.max(1) as u64)
+        .map(|i| Experiment2Config {
+            seed: base.seed + i,
+            ..*base
+        })
+        .collect();
+    runner.run(configs, |_, config| {
+        let (phases, series) = run_experiment2(&config);
+        Experiment2Run {
+            seed: config.seed,
+            phases,
+            series,
+        }
+    })
+}
+
 /// One sampling instant of Experiment 3, for one protocol.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Experiment3Sample {
     /// Sampling time in microseconds.
@@ -147,7 +206,7 @@ pub struct Experiment3Sample {
 }
 
 /// The outcome of Experiment 3 for one protocol.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Experiment3Result {
     /// Protocol name (`B-Neck`, `BFYZ`, `CG`, `RCP`).
@@ -161,105 +220,43 @@ pub struct Experiment3Result {
     pub quiescent_at_us: Option<u64>,
 }
 
-/// Runs Experiment 3 for B-Neck and the requested baselines on the same
-/// workload: joins plus early leaves, then rate samples every
-/// `config.sample_interval` until `config.horizon`, with the error measured
-/// against the centralized max-min rates of the surviving sessions (Figures 7
-/// and 8).
-pub fn run_experiment3(config: &Experiment3Config, baselines: &[&str]) -> Vec<Experiment3Result> {
-    let network = config.scenario.build();
-    let schedule = config.schedule(&network);
-    let sample_times = config.sample_times();
-
-    // The reference allocation: the max-min fair rates of the sessions that
-    // remain after the initial churn.
-    let mut reference = BneckSimulation::new(&network, BneckConfig::default());
-    schedule.apply(&mut reference);
-    let final_sessions = reference.session_set();
-    let solution = CentralizedBneck::new(&network, &final_sessions).solve_with_bottlenecks();
-
-    let mut results = Vec::new();
-
-    // B-Neck itself.
-    {
-        let mut sim = BneckSimulation::new(&network, BneckConfig::default());
-        schedule.apply(&mut sim);
-        let mut samples = Vec::new();
-        let mut previous_packets = 0u64;
-        let mut quiescent_at = None;
-        for &at in &sample_times {
-            let report = sim.run_until(at);
-            if report.quiescent && quiescent_at.is_none() {
-                quiescent_at = Some(report.quiescent_at.as_micros());
-            }
-            let assigned = sim.current_rates();
-            let source_error = Summary::of(&rate_errors(&assigned, &solution.allocation));
-            let link_error = Summary::of(&link_stress_errors(&assigned, &solution));
-            let total = sim.packet_stats().total();
-            samples.push(Experiment3Sample {
-                at_us: at.as_micros(),
-                source_error,
-                link_error,
-                packets_in_interval: total - previous_packets,
-            });
-            previous_packets = total;
-        }
-        results.push(Experiment3Result {
-            protocol: "B-Neck".to_string(),
-            samples,
-            total_packets: sim.packet_stats().total(),
-            quiescent_at_us: quiescent_at,
-        });
+/// Builds a protocol-under-test by display name: `B-Neck` itself, or one of
+/// the baselines through `bneck_baselines::baseline_by_name`. This is the
+/// single dispatch point of the experiment drivers — the runner below only
+/// ever sees `&mut dyn ProtocolWorld`.
+pub fn build_protocol<'a>(name: &str, network: &'a Network) -> Option<Box<dyn ProtocolWorld + 'a>> {
+    if name == "B-Neck" {
+        Some(Box::new(BneckSimulation::new(
+            network,
+            BneckConfig::default(),
+        )))
+    } else {
+        baseline_by_name(name, network, BaselineConfig::default())
     }
-
-    for &name in baselines {
-        let result = match name {
-            "BFYZ" => run_baseline(
-                &network,
-                Bfyz::default(),
-                &schedule,
-                &sample_times,
-                &solution,
-            ),
-            "CG" => run_baseline(
-                &network,
-                CobbGouda::default(),
-                &schedule,
-                &sample_times,
-                &solution,
-            ),
-            "RCP" => run_baseline(
-                &network,
-                Rcp::default(),
-                &schedule,
-                &sample_times,
-                &solution,
-            ),
-            other => panic!("unknown baseline {other}; expected BFYZ, CG or RCP"),
-        };
-        results.push(result);
-    }
-    results
 }
 
-fn run_baseline<P: BaselineProtocol>(
-    network: &bneck_net::Network,
-    protocol: P,
+/// Drives one protocol through the Experiment 3 measurement loop: apply the
+/// workload, then sample the assigned rates at fixed intervals against the
+/// reference max-min solution of the surviving sessions.
+fn run_protocol(
+    sim: &mut dyn ProtocolWorld,
     schedule: &Schedule,
     sample_times: &[SimTime],
     solution: &CentralizedSolution,
 ) -> Experiment3Result {
-    let name = protocol.name();
-    let mut sim = BaselineSimulation::new(network, protocol, BaselineConfig::default());
-    schedule.apply(&mut sim);
+    schedule.apply(sim);
     let mut samples = Vec::new();
     let mut previous_packets = 0u64;
+    let mut quiescent_at = None;
     for &at in sample_times {
-        sim.run_until(at);
+        let report = sim.run_to(at);
+        if sim.goes_quiescent() && report.quiescent && quiescent_at.is_none() {
+            quiescent_at = Some(report.quiescent_at.as_micros());
+        }
         let assigned = sim.current_rates();
         let source_error = Summary::of(&rate_errors(&assigned, &solution.allocation));
         let link_error = Summary::of(&link_stress_errors(&assigned, solution));
-        let total = sim.stats().total();
+        let total = sim.packets_sent();
         samples.push(Experiment3Sample {
             at_us: at.as_micros(),
             source_error,
@@ -269,15 +266,60 @@ fn run_baseline<P: BaselineProtocol>(
         previous_packets = total;
     }
     Experiment3Result {
-        protocol: name.to_string(),
+        protocol: sim.protocol_name().to_string(),
         samples,
-        total_packets: sim.stats().total(),
-        quiescent_at_us: None,
+        total_packets: sim.packets_sent(),
+        quiescent_at_us: quiescent_at,
     }
 }
 
+/// Runs Experiment 3 for B-Neck and the requested baselines on the same
+/// workload: joins plus early leaves, then rate samples every
+/// `config.sample_interval` until `config.horizon`, with the error measured
+/// against the centralized max-min rates of the surviving sessions (Figures 7
+/// and 8). Protocols run serially; see [`run_experiment3_with`] for the
+/// parallel driver.
+pub fn run_experiment3(config: &Experiment3Config, baselines: &[&str]) -> Vec<Experiment3Result> {
+    run_experiment3_with(config, baselines, &SweepRunner::new(1))
+}
+
+/// [`run_experiment3`], with the protocol cells fanned across the runner's
+/// worker threads. Every protocol runs its own independent simulation over a
+/// shared network, schedule and reference solution, so the results are
+/// bit-identical at any thread count and ordered B-Neck first, then the
+/// requested baselines.
+///
+/// # Panics
+///
+/// Panics if a requested baseline name is unknown (expected `BFYZ`, `CG` or
+/// `RCP`).
+pub fn run_experiment3_with(
+    config: &Experiment3Config,
+    baselines: &[&str],
+    runner: &SweepRunner,
+) -> Vec<Experiment3Result> {
+    let network = config.scenario.build();
+    let schedule = config.schedule(&network);
+    let sample_times = config.sample_times();
+
+    // The reference allocation: the max-min fair rates of the sessions that
+    // remain after the initial churn (computed from a bookkeeping-only pass).
+    let mut reference = BneckSimulation::new(&network, BneckConfig::default());
+    schedule.apply(&mut reference);
+    let final_sessions = reference.session_set();
+    let solution = CentralizedBneck::new(&network, &final_sessions).solve_with_bottlenecks();
+
+    let mut protocols = vec!["B-Neck"];
+    protocols.extend(baselines);
+    runner.run(protocols, |_, name| {
+        let mut sim = build_protocol(name, &network)
+            .unwrap_or_else(|| panic!("unknown baseline {name}; expected BFYZ, CG or RCP"));
+        run_protocol(sim.as_mut(), &schedule, &sample_times, &solution)
+    })
+}
+
 /// Result of validating one randomized scenario against the oracle.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct ValidationReport {
     /// Scenario label.
@@ -338,6 +380,30 @@ pub fn validate_scenario(
         mismatches,
         violations,
     }
+}
+
+/// One validation run: a scenario, a session count and the workload seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ValidationPoint {
+    /// The network scenario.
+    pub scenario: NetworkScenario,
+    /// Number of sessions to plan.
+    pub sessions: usize,
+    /// Seed of the randomized workload.
+    pub seed: u64,
+}
+
+/// Runs every validation point, fanning the independent runs across the
+/// runner's worker threads; reports come back in point order, bit-identical
+/// at any thread count.
+pub fn run_validation_sweep(
+    points: Vec<ValidationPoint>,
+    runner: &SweepRunner,
+) -> Vec<ValidationReport> {
+    runner.run(points, |_, point| {
+        validate_scenario(&point.scenario, point.sessions, point.seed)
+    })
 }
 
 #[cfg(test)]
@@ -403,6 +469,33 @@ mod tests {
         for sample in &bneck.samples {
             assert!(sample.source_error.p90 <= 0.5);
         }
+    }
+
+    #[test]
+    fn experiment3_parallel_driver_matches_the_serial_one() {
+        let mut config = Experiment3Config::scaled();
+        config.scenario = NetworkScenario::small_lan(120);
+        config.joins = 30;
+        config.leaves = 3;
+        config.horizon = Delay::from_millis(30);
+        let serial = run_experiment3(&config, &["BFYZ", "CG", "RCP"]);
+        let parallel = run_experiment3_with(&config, &["BFYZ", "CG", "RCP"], &SweepRunner::new(4));
+        assert_eq!(
+            serial, parallel,
+            "protocol cells are thread-count independent"
+        );
+        assert_eq!(parallel.len(), 4);
+        assert_eq!(parallel[3].protocol, "RCP");
+    }
+
+    #[test]
+    fn unknown_protocols_are_rejected_at_the_dispatch_boundary() {
+        let network = NetworkScenario::small_lan(20).build();
+        assert!(build_protocol("B-Neck", &network).is_some());
+        for name in bneck_baselines::BASELINE_NAMES {
+            assert!(build_protocol(name, &network).is_some());
+        }
+        assert!(build_protocol("XCP", &network).is_none());
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Determinism guard: the parallel sweep driver must produce bit-identical
+//! reports regardless of its thread count.
+//!
+//! Every experiment point owns its RNG (seeded from the point, whose seed in
+//! turn derives from the point's index in the sweep), builds its own network
+//! and simulation, and shares nothing mutable with other points — so running
+//! a sweep on 1 thread and on N threads must yield *equal* results, not
+//! merely statistically similar ones. These tests pin that property for all
+//! four sweep-level runners.
+
+use bneck_bench::{
+    run_experiment1_sweep, run_experiment2_repeats, run_experiment3_with, run_validation_sweep,
+    SweepRunner, ValidationPoint,
+};
+use bneck_net::Delay;
+use bneck_workload::{Experiment1Config, Experiment2Config, Experiment3Config, NetworkScenario};
+
+#[test]
+fn experiment1_sweep_is_bit_identical_at_any_thread_count() {
+    let configs: Vec<Experiment1Config> = [(20usize, 1u64), (35, 2), (50, 3), (20, 4)]
+        .iter()
+        .map(|&(sessions, seed)| {
+            let mut config =
+                Experiment1Config::scaled(NetworkScenario::small_lan(2 * sessions + 10), sessions);
+            config.seed = seed;
+            config
+        })
+        .collect();
+    let serial = run_experiment1_sweep(configs.clone(), &SweepRunner::new(1));
+    for threads in [2, 4, 16] {
+        let parallel = run_experiment1_sweep(configs.clone(), &SweepRunner::new(threads));
+        assert_eq!(
+            serial, parallel,
+            "{threads}-thread sweep diverged from the serial one"
+        );
+    }
+    assert!(serial.iter().all(|p| p.validated));
+}
+
+#[test]
+fn experiment2_repeats_are_bit_identical_at_any_thread_count() {
+    let base = Experiment2Config {
+        scenario: NetworkScenario::small_lan(140),
+        initial_sessions: 40,
+        churn: 10,
+        ..Experiment2Config::scaled()
+    };
+    let serial = run_experiment2_repeats(&base, 3, &SweepRunner::new(1));
+    let parallel = run_experiment2_repeats(&base, 3, &SweepRunner::new(4));
+    assert_eq!(serial, parallel);
+    // Distinct seeds really produce distinct workloads (the repeats are not
+    // accidentally clones of one run).
+    assert_eq!(serial[0].seed + 1, serial[1].seed);
+    assert!(serial.iter().all(|r| r.phases.iter().all(|p| p.validated)));
+}
+
+#[test]
+fn experiment3_protocol_cells_are_bit_identical_at_any_thread_count() {
+    let config = Experiment3Config {
+        scenario: NetworkScenario::small_lan(100),
+        joins: 25,
+        leaves: 3,
+        horizon: Delay::from_millis(30),
+        ..Experiment3Config::scaled()
+    };
+    let serial = run_experiment3_with(&config, &["BFYZ", "CG", "RCP"], &SweepRunner::new(1));
+    let parallel = run_experiment3_with(&config, &["BFYZ", "CG", "RCP"], &SweepRunner::new(4));
+    assert_eq!(serial, parallel);
+    assert_eq!(serial[0].protocol, "B-Neck");
+}
+
+#[test]
+fn validation_sweep_is_bit_identical_at_any_thread_count() {
+    let mut points = Vec::new();
+    for (i, scenario) in [
+        NetworkScenario::small_lan(60),
+        NetworkScenario::small_wan(60),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        for seed in 0..3u64 {
+            points.push(ValidationPoint {
+                scenario: scenario.with_seed(seed + 1),
+                sessions: 20,
+                seed: 100 + i as u64 * 10 + seed,
+            });
+        }
+    }
+    let serial = run_validation_sweep(points.clone(), &SweepRunner::new(1));
+    let parallel = run_validation_sweep(points, &SweepRunner::new(3));
+    assert_eq!(serial, parallel);
+    assert!(serial
+        .iter()
+        .all(|r| r.mismatches == 0 && r.violations == 0));
+}

@@ -7,16 +7,21 @@
 //! task handlers hop by hop over the network's links, each modelled as a
 //! simulator channel with the link's bandwidth and propagation delay.
 //!
-//! All world state is keyed by dense indices: router-link tasks live in a
-//! vector indexed by [`LinkId`], and per-session tasks, paths and notified
-//! rates live in vectors indexed by a per-simulation *session slot* (assigned
-//! at join, resolved once per packet through a single id → slot map). Task
-//! handlers emit into one reusable [`ActionBuffer`], so steady-state packet
-//! processing allocates nothing.
+//! All world state is keyed by dense indices through the shared plumbing of
+//! [`crate::world`]: router-link tasks live in a vector indexed by
+//! [`LinkId`] alongside a [`LinkTable`], and per-session tasks and notified
+//! rates live in vectors indexed by the *session slot* a shared
+//! [`SessionArena`] assigns at join (resolved once per packet through a
+//! single id → slot map). Task handlers emit into one reusable
+//! [`ActionBuffer`], so steady-state packet processing allocates nothing.
 //!
 //! Quiescence detection is inherited from the simulator: the network is
 //! quiescent exactly when no protocol packet is in flight or pending, which is
-//! when [`BneckSimulation::run_to_quiescence`] returns.
+//! when [`BneckSimulation::run_to_quiescence`] returns. A fully-built
+//! [`BneckSimulation`] also implements the engine-level
+//! [`Simulation`](bneck_sim::Simulation) trait, so the experiment drivers can
+//! run it — and fan it out across worker threads — through the same unified
+//! interface as any other protocol-under-test.
 
 use crate::config::BneckConfig;
 use crate::destination::DestinationNode;
@@ -25,13 +30,13 @@ use crate::router_link::RouterLink;
 use crate::source::SourceNode;
 use crate::stats::PacketStats;
 use crate::task::{Action, ActionBuffer, RateNotification};
-use bneck_maxmin::{Allocation, FastMap, Rate, RateLimit, Session, SessionId, SessionSet};
+use crate::world::{LinkTable, SessionArena};
+use bneck_maxmin::{Allocation, Rate, RateLimit, SessionId, SessionSet};
 use bneck_net::{LinkId, Network, NodeId, Path, Router};
-use bneck_sim::{Address, ChannelId, ChannelSpec, Context, Engine, SimTime, World};
+use bneck_sim::{Address, Context, Engine, RunReport, SimTime, Simulation, World};
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -138,31 +143,37 @@ pub struct QuiescenceReport {
     pub packets_sent: u64,
 }
 
-/// The simulation world: all protocol tasks plus routing and accounting state,
-/// in dense per-link / per-session-slot vectors.
-struct BneckWorld<'a> {
-    network: &'a Network,
+impl From<RunReport> for QuiescenceReport {
+    fn from(report: RunReport) -> Self {
+        QuiescenceReport {
+            quiescent: report.quiescent,
+            quiescent_at: report.quiescent_at,
+            events_processed: report.events_processed,
+            packets_sent: report.messages_sent,
+        }
+    }
+}
+
+/// The simulation world: all protocol tasks plus the shared routing and
+/// session-slot state of [`crate::world`], in dense per-link /
+/// per-session-slot vectors.
+struct BneckWorld {
     config: BneckConfig,
-    /// Channel of each directed link, indexed by `LinkId::index()`.
-    channels: Vec<ChannelId>,
-    /// Reverse link of each directed link, indexed by `LinkId::index()`
-    /// (`None` for one-way links). Precomputed so upstream routing does not
-    /// consult the network's endpoint hash map on every packet.
-    reverse: Vec<Option<LinkId>>,
+    /// Channels, capacities and the reverse-link table, indexed by `LinkId`.
+    links: LinkTable,
     /// The `RouterLink` task of each directed link, indexed by
     /// `LinkId::index()`; `None` until a session first crosses the link.
     router_links: Vec<Option<RouterLink>>,
-    /// Per-session tasks and paths, indexed by session slot. Entries persist
-    /// after a leave (stray packets may still be in flight) and are
-    /// overwritten when the identifier rejoins.
+    /// Per-session tasks, indexed by session slot (parallel to `arena`).
+    /// Entries persist after a leave (stray packets may still be in flight)
+    /// and are overwritten when the identifier rejoins.
     sources: Vec<SourceNode>,
     destinations: Vec<DestinationNode>,
-    paths: Vec<Path>,
     /// Last notified rate per session slot; `NaN` = never notified / cleared.
     notified: Vec<Rate>,
-    /// Session id → slot. Entries persist across a leave so in-flight packets
-    /// (notably the `Leave` itself) can still be routed.
-    slot_of: FastMap<SessionId, u32>,
+    /// The shared session-slot arena: id ↔ slot, paths, limits, active set
+    /// and the cached oracle snapshot.
+    arena: SessionArena,
     /// Reusable buffer the task handlers emit into.
     scratch: ActionBuffer,
     stats: PacketStats,
@@ -170,7 +181,7 @@ struct BneckWorld<'a> {
     rate_history: Vec<(SimTime, RateNotification)>,
 }
 
-impl<'a> BneckWorld<'a> {
+impl BneckWorld {
     fn dispatch(&mut self, ctx: &mut Context<'_, Envelope>, envelope: Envelope) {
         let mut actions = std::mem::take(&mut self.scratch);
         actions.clear();
@@ -197,14 +208,10 @@ impl<'a> BneckWorld<'a> {
                 packet.session()
             }
             (Target::Link { link: e, .. }, Payload::Protocol(packet)) => {
+                let capacity = self.links.capacity(e);
                 let entry = &mut self.router_links[e.index()];
-                let link = entry.get_or_insert_with(|| {
-                    RouterLink::new(
-                        e,
-                        self.network.link(e).capacity().as_bps(),
-                        self.config.tolerance,
-                    )
-                });
+                let link = entry
+                    .get_or_insert_with(|| RouterLink::new(e, capacity, self.config.tolerance));
                 link.handle(packet, &mut actions);
                 packet.session()
             }
@@ -237,7 +244,7 @@ impl<'a> BneckWorld<'a> {
     ) {
         match action {
             Action::NotifyRate { session, rate } => {
-                if let Some(&slot) = self.slot_of.get(&session) {
+                if let Some(slot) = self.arena.slot_of(session) {
                     self.notified[slot as usize] = rate;
                 }
                 if self.config.record_rate_history {
@@ -252,12 +259,12 @@ impl<'a> BneckWorld<'a> {
                         let slot = if session == origin_session {
                             origin_slot
                         } else {
-                            match self.slot_of.get(&session) {
-                                Some(&s) => s,
+                            match self.arena.slot_of(session) {
+                                Some(s) => s,
                                 None => return,
                             }
                         };
-                        let links = self.paths[slot as usize].links();
+                        let links = self.arena.path(slot).links();
                         let next = if links.len() > 1 {
                             Target::Link {
                                 link: links[1],
@@ -270,27 +277,17 @@ impl<'a> BneckWorld<'a> {
                         (links[0], next)
                     }
                     Target::Link { link, hop, slot } => {
-                        // The carried hop is only valid for the path the
-                        // envelope was routed along; a stray packet from a
-                        // previous incarnation of the session (leave +
-                        // rejoin with the same identifier) must be
-                        // re-resolved against the current path, and dropped
-                        // if the link is no longer on it.
-                        let trusted = session == origin_session
-                            && self.paths[slot as usize].links().get(hop as usize) == Some(&link);
-                        let (slot, hop) = if trusted {
-                            (slot, hop as usize)
-                        } else {
-                            let Some(&s) = self.slot_of.get(&session) else {
-                                return;
-                            };
-                            let links = self.paths[s as usize].links();
-                            let Some(i) = links.iter().position(|l| *l == link) else {
-                                return;
-                            };
-                            (s, i)
+                        // Trust the carried coordinates for fresh envelopes;
+                        // re-resolve (or drop) stale hops from a previous
+                        // incarnation of the session.
+                        let Some((slot, hop)) =
+                            self.arena
+                                .resolve_hop(session, origin_session, slot, hop, link)
+                        else {
+                            return;
                         };
-                        let links = self.paths[slot as usize].links();
+                        let hop = hop as usize;
+                        let links = self.arena.path(slot).links();
                         let next = if hop + 1 < links.len() {
                             Target::Link {
                                 link: links[hop + 1],
@@ -313,12 +310,12 @@ impl<'a> BneckWorld<'a> {
                         let slot = if session == origin_session {
                             origin_slot
                         } else {
-                            match self.slot_of.get(&session) {
-                                Some(&s) => s,
+                            match self.arena.slot_of(session) {
+                                Some(s) => s,
                                 None => return,
                             }
                         };
-                        let links = self.paths[slot as usize].links();
+                        let links = self.arena.path(slot).links();
                         let last = links.len() - 1;
                         let next = if last >= 1 {
                             Target::Link {
@@ -334,20 +331,13 @@ impl<'a> BneckWorld<'a> {
                     Target::Link { link, hop, slot } => {
                         // See the downstream arm: re-resolve (or drop) stale
                         // hops from a previous incarnation of the session.
-                        let trusted = session == origin_session
-                            && self.paths[slot as usize].links().get(hop as usize) == Some(&link);
-                        let (slot, hop) = if trusted {
-                            (slot, hop as usize)
-                        } else {
-                            let Some(&s) = self.slot_of.get(&session) else {
-                                return;
-                            };
-                            let links = self.paths[s as usize].links();
-                            let Some(i) = links.iter().position(|l| *l == link) else {
-                                return;
-                            };
-                            (s, i)
+                        let Some((slot, hop)) =
+                            self.arena
+                                .resolve_hop(session, origin_session, slot, hop, link)
+                        else {
+                            return;
                         };
+                        let hop = hop as usize;
                         if hop == 0 {
                             // The first link is owned by the source task; a
                             // hop of zero can only come from a stale packet
@@ -356,7 +346,7 @@ impl<'a> BneckWorld<'a> {
                             // to — drop it.
                             return;
                         }
-                        let links = self.paths[slot as usize].links();
+                        let links = self.arena.path(slot).links();
                         let next = if hop > 1 {
                             Target::Link {
                                 link: links[hop - 1],
@@ -371,7 +361,7 @@ impl<'a> BneckWorld<'a> {
                     Target::Source(_) => return,
                 };
                 // Upstream packets travel over the reverse link of the hop.
-                let Some(reverse) = self.reverse[forward_link.index()] else {
+                let Some(reverse) = self.links.reverse(forward_link) else {
                     return;
                 };
                 self.transmit(ctx, reverse, next, packet);
@@ -391,7 +381,7 @@ impl<'a> BneckWorld<'a> {
             self.packet_log.push((ctx.now(), packet.kind()));
         }
         ctx.send(
-            self.channels[over.index()],
+            self.links.channel(over),
             Address(0),
             Envelope {
                 target,
@@ -401,7 +391,7 @@ impl<'a> BneckWorld<'a> {
     }
 }
 
-impl<'a> World for BneckWorld<'a> {
+impl World for BneckWorld {
     type Message = Envelope;
 
     fn handle(&mut self, ctx: &mut Context<'_, Envelope>, _to: Address, msg: Envelope) {
@@ -414,21 +404,17 @@ impl<'a> World for BneckWorld<'a> {
 /// See the crate-level documentation for an end-to-end example.
 pub struct BneckSimulation<'a> {
     engine: Engine<Envelope>,
-    world: BneckWorld<'a>,
+    world: BneckWorld,
+    network: &'a Network,
     router: Router<'a>,
-    limits: BTreeMap<SessionId, RateLimit>,
-    active: BTreeSet<SessionId>,
     source_hosts: BTreeMap<NodeId, SessionId>,
-    /// Lazily built snapshot of the active sessions, invalidated by
-    /// join/leave/change (see [`BneckSimulation::session_set`]).
-    session_set_cache: RefCell<Option<Arc<SessionSet>>>,
 }
 
 impl<'a> fmt::Debug for BneckSimulation<'a> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BneckSimulation")
             .field("now", &self.engine.now())
-            .field("active_sessions", &self.active.len())
+            .field("active_sessions", &self.world.arena.active_count())
             .field("pending_events", &self.engine.pending_events())
             .finish()
     }
@@ -441,40 +427,27 @@ impl<'a> BneckSimulation<'a> {
     /// with the link's bandwidth and propagation delay.
     pub fn new(network: &'a Network, config: BneckConfig) -> Self {
         let mut engine = Engine::new();
-        let mut channels = Vec::with_capacity(network.link_count());
-        for link in network.links() {
-            let spec = ChannelSpec::new(link.capacity().as_bps(), link.delay(), config.packet_bits);
-            channels.push(engine.add_channel(spec));
-        }
+        let links = LinkTable::new(network, &mut engine, config.packet_bits);
         let mut router_links = Vec::new();
         router_links.resize_with(network.link_count(), || None);
-        let reverse: Vec<Option<LinkId>> = network
-            .links()
-            .map(|link| network.reverse_link(link.id()))
-            .collect();
         BneckSimulation {
             engine,
             world: BneckWorld {
-                network,
                 config,
-                channels,
-                reverse,
+                links,
                 router_links,
                 sources: Vec::new(),
                 destinations: Vec::new(),
-                paths: Vec::new(),
                 notified: Vec::new(),
-                slot_of: FastMap::default(),
+                arena: SessionArena::new(),
                 scratch: ActionBuffer::new(),
                 stats: PacketStats::new(),
                 packet_log: Vec::new(),
                 rate_history: Vec::new(),
             },
+            network,
             router: Router::new(network),
-            limits: BTreeMap::new(),
-            active: BTreeSet::new(),
             source_hosts: BTreeMap::new(),
-            session_set_cache: RefCell::new(None),
         }
     }
 
@@ -487,7 +460,7 @@ impl<'a> BneckSimulation<'a> {
 
     /// The network the simulation runs over.
     pub fn network(&self) -> &'a Network {
-        self.world.network
+        self.network
     }
 
     /// `API.Join(s, r)` at time `at`, routing the session along a shortest
@@ -529,7 +502,7 @@ impl<'a> BneckSimulation<'a> {
         path: Path,
         limit: RateLimit,
     ) -> Result<(), JoinError> {
-        if self.active.contains(&session) {
+        if self.world.arena.is_active(session) {
             return Err(JoinError::DuplicateSession(session));
         }
         if let Some(existing) = self.source_hosts.get(&path.source()) {
@@ -540,36 +513,29 @@ impl<'a> BneckSimulation<'a> {
         }
         self.source_hosts.insert(path.source(), session);
         let first_link = path.first_link();
-        let first_capacity = self.world.network.link(first_link).capacity().as_bps();
+        let first_capacity = self.world.links.capacity(first_link);
         let source_task = SourceNode::new(
             session,
             first_link,
             first_capacity,
             self.world.config.tolerance,
         );
-        let slot = match self.world.slot_of.get(&session) {
-            // The identifier rejoins after a leave: reuse its slot.
-            Some(&slot) => {
-                let i = slot as usize;
-                self.world.sources[i] = source_task;
-                self.world.destinations[i] = DestinationNode::new(session);
-                self.world.paths[i] = path;
-                self.world.notified[i] = f64::NAN;
-                slot
-            }
-            None => {
-                let slot = self.world.sources.len() as u32;
-                self.world.sources.push(source_task);
-                self.world.destinations.push(DestinationNode::new(session));
-                self.world.paths.push(path);
-                self.world.notified.push(f64::NAN);
-                self.world.slot_of.insert(session, slot);
-                slot
-            }
-        };
-        self.limits.insert(session, limit);
-        self.active.insert(session);
-        *self.session_set_cache.borrow_mut() = None;
+        let joined = self
+            .world
+            .arena
+            .join(session, path, limit)
+            .expect("activity was checked above");
+        let slot = joined.slot;
+        if joined.reused {
+            let i = slot as usize;
+            self.world.sources[i] = source_task;
+            self.world.destinations[i] = DestinationNode::new(session);
+            self.world.notified[i] = f64::NAN;
+        } else {
+            self.world.sources.push(source_task);
+            self.world.destinations.push(DestinationNode::new(session));
+            self.world.notified.push(f64::NAN);
+        }
         self.engine.inject(
             at,
             Address(0),
@@ -587,13 +553,10 @@ impl<'a> BneckSimulation<'a> {
     ///
     /// Returns [`JoinError::UnknownSession`] if the session is not active.
     pub fn leave(&mut self, at: SimTime, session: SessionId) -> Result<(), JoinError> {
-        if !self.active.remove(&session) {
+        let Some(slot) = self.world.arena.leave(session) else {
             return Err(JoinError::UnknownSession(session));
-        }
-        self.limits.remove(&session);
+        };
         self.source_hosts.retain(|_, s| *s != session);
-        *self.session_set_cache.borrow_mut() = None;
-        let slot = self.world.slot_of[&session];
         self.world.notified[slot as usize] = f64::NAN;
         self.engine.inject(
             at,
@@ -617,12 +580,9 @@ impl<'a> BneckSimulation<'a> {
         session: SessionId,
         limit: RateLimit,
     ) -> Result<(), JoinError> {
-        if !self.active.contains(&session) {
+        let Some(slot) = self.world.arena.change(session, limit) else {
             return Err(JoinError::UnknownSession(session));
-        }
-        self.limits.insert(session, limit);
-        *self.session_set_cache.borrow_mut() = None;
-        let slot = self.world.slot_of[&session];
+        };
         self.engine.inject(
             at,
             Address(0),
@@ -636,25 +596,13 @@ impl<'a> BneckSimulation<'a> {
 
     /// Runs the simulation until no protocol event remains (quiescence).
     pub fn run_to_quiescence(&mut self) -> QuiescenceReport {
-        let report = self.engine.run(&mut self.world);
-        QuiescenceReport {
-            quiescent: report.quiescent,
-            quiescent_at: report.quiescent_at,
-            events_processed: report.events_processed,
-            packets_sent: report.messages_sent,
-        }
+        self.engine.run(&mut self.world).into()
     }
 
     /// Runs the simulation until `horizon` (inclusive) or quiescence,
     /// whichever comes first.
     pub fn run_until(&mut self, horizon: SimTime) -> QuiescenceReport {
-        let report = self.engine.run_until(&mut self.world, horizon);
-        QuiescenceReport {
-            quiescent: report.quiescent,
-            quiescent_at: report.quiescent_at,
-            events_processed: report.events_processed,
-            packets_sent: report.messages_sent,
-        }
+        self.engine.run_until(&mut self.world, horizon).into()
     }
 
     /// The current simulated time.
@@ -669,7 +617,7 @@ impl<'a> BneckSimulation<'a> {
 
     /// The identifiers of the currently active sessions.
     pub fn active_sessions(&self) -> impl Iterator<Item = SessionId> + '_ {
-        self.active.iter().copied()
+        self.world.arena.active_sessions()
     }
 
     /// The rates last notified through `API.Rate`, for active sessions.
@@ -677,33 +625,24 @@ impl<'a> BneckSimulation<'a> {
     /// After [`BneckSimulation::run_to_quiescence`] in a steady state, this is
     /// the max-min fair allocation (Theorem 1 of the paper).
     pub fn allocation(&self) -> Allocation {
-        self.active
-            .iter()
-            .filter_map(|s| {
-                let slot = *self.world.slot_of.get(s)?;
-                let rate = self.world.notified[slot as usize];
-                if rate.is_nan() {
-                    None
-                } else {
-                    Some((*s, rate))
-                }
-            })
-            .collect()
+        self.world.arena.collect_rates(|slot| {
+            let rate = self.world.notified[slot as usize];
+            (!rate.is_nan()).then_some(rate)
+        })
     }
 
     /// The rate currently assigned to a session at its source (B-Neck's
     /// transient rate before convergence), or `None` for unknown sessions.
     pub fn current_rate(&self, session: SessionId) -> Option<Rate> {
-        let slot = *self.world.slot_of.get(&session)?;
+        let slot = self.world.arena.slot_of(session)?;
         Some(self.world.sources[slot as usize].current_rate())
     }
 
     /// The transient rates of all active sessions.
     pub fn current_rates(&self) -> Allocation {
-        self.active
-            .iter()
-            .filter_map(|s| self.current_rate(*s).map(|r| (*s, r)))
-            .collect()
+        self.world
+            .arena
+            .collect_rates(|slot| Some(self.world.sources[slot as usize].current_rate()))
     }
 
     /// The active sessions as a [`SessionSet`] (paths plus requested limits),
@@ -714,23 +653,7 @@ impl<'a> BneckSimulation<'a> {
     /// per-tick oracle cross-checks) are O(1) — callers get a shared handle to
     /// the same set.
     pub fn session_set(&self) -> Arc<SessionSet> {
-        let mut cache = self.session_set_cache.borrow_mut();
-        if let Some(set) = cache.as_ref() {
-            return Arc::clone(set);
-        }
-        let set: SessionSet = self
-            .active
-            .iter()
-            .filter_map(|s| {
-                let slot = *self.world.slot_of.get(s)?;
-                let path = self.world.paths[slot as usize].clone();
-                let limit = self.limits.get(s).copied().unwrap_or_default();
-                Some(Session::new(*s, path, limit))
-            })
-            .collect();
-        let set = Arc::new(set);
-        *cache = Some(Arc::clone(&set));
-        set
+        self.world.arena.session_set()
     }
 
     /// Cumulative packet counts by kind.
@@ -771,17 +694,45 @@ impl<'a> BneckSimulation<'a> {
 
     /// The `SourceNode` task of a session, if the session ever joined.
     pub fn source_task(&self, session: SessionId) -> Option<&SourceNode> {
-        let slot = *self.world.slot_of.get(&session)?;
+        let slot = self.world.arena.slot_of(session)?;
         self.world.sources.get(slot as usize)
     }
 
     /// The path a session was routed along, if the session ever joined.
     pub fn session_path(&self, session: SessionId) -> Option<&Path> {
-        let slot = *self.world.slot_of.get(&session)?;
-        self.world.paths.get(slot as usize)
+        self.world.arena.path_of(session)
     }
 }
 
+impl<'a> Simulation for BneckSimulation<'a> {
+    fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.engine.is_quiescent()
+    }
+
+    fn pending_events(&self) -> usize {
+        self.engine.pending_events()
+    }
+
+    fn step(&mut self) -> bool {
+        self.engine.step(&mut self.world)
+    }
+
+    fn run_to(&mut self, horizon: SimTime) -> RunReport {
+        self.engine.run_until(&mut self.world, horizon)
+    }
+
+    fn events_processed(&self) -> u64 {
+        self.engine.total_events_processed()
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.engine.total_messages_sent()
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1203,5 +1154,47 @@ mod tests {
         assert_matches_oracle(&sim);
         assert_eq!(sim.session_path(SessionId(0)).unwrap().source(), hosts[2]);
         assert!((sim.allocation().rate(SessionId(0)).unwrap() - 60e6).abs() < 1.0);
+    }
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+    use bneck_net::prelude::*;
+
+    #[test]
+    fn a_built_simulation_is_a_send_unit_and_runs_through_the_trait() {
+        fn assert_send<T: Send>(_: &T) {}
+        let net = synthetic::dumbbell(
+            2,
+            Capacity::from_mbps(100.0),
+            Capacity::from_mbps(60.0),
+            Delay::from_micros(1),
+        );
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        for i in 0..2u64 {
+            sim.join(
+                SimTime::ZERO,
+                SessionId(i),
+                hosts[2 * i as usize],
+                hosts[2 * i as usize + 1],
+                RateLimit::unlimited(),
+            )
+            .unwrap();
+        }
+        assert_send(&sim);
+        // Stepping through the unified trait is equivalent to running.
+        let dynamic: &mut dyn Simulation = &mut sim;
+        let mut steps = 0u64;
+        while dynamic.step() {
+            steps += 1;
+        }
+        assert!(dynamic.is_quiescent());
+        assert_eq!(dynamic.events_processed(), steps);
+        assert_eq!(dynamic.pending_events(), 0);
+        let rates = sim.allocation();
+        assert!((rates.rate(SessionId(0)).unwrap() - 30e6).abs() < 1.0);
+        assert!((rates.rate(SessionId(1)).unwrap() - 30e6).abs() < 1.0);
     }
 }

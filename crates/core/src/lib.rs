@@ -23,6 +23,12 @@
 //!   links (modelling transmission and propagation delays) and exposes the
 //!   `API.Join` / `API.Leave` / `API.Change` primitives plus quiescence
 //!   detection and packet accounting.
+//! * [`world`] — the shared world plumbing every protocol harness in the
+//!   workspace builds on: the [`world::LinkTable`] of per-link channels,
+//!   capacities and reverse links, and the [`world::SessionArena`] dense
+//!   session-slot arena with slot + hop envelope addressing and a cached
+//!   `Arc<SessionSet>` oracle snapshot. `bneck-baselines` instantiates the
+//!   same module for its probing harness.
 //!
 //! The task state machines are pure: every handler consumes an input and
 //! emits [`task::Action`]s (packets to send upstream or downstream, or an
@@ -64,12 +70,14 @@ pub mod router_link;
 pub mod source;
 pub mod stats;
 pub mod task;
+pub mod world;
 
 pub use config::BneckConfig;
 pub use harness::{BneckSimulation, JoinError, QuiescenceReport};
 pub use packet::{Packet, PacketKind, ResponseKind};
 pub use stats::PacketStats;
 pub use task::{Action, ActionBuffer, RateNotification};
+pub use world::{LinkTable, SessionArena, SlotJoin};
 
 /// Commonly used items, suitable for glob import.
 pub mod prelude {
@@ -78,4 +86,5 @@ pub mod prelude {
     pub use crate::packet::{Packet, PacketKind, ResponseKind};
     pub use crate::stats::PacketStats;
     pub use crate::task::{Action, ActionBuffer, RateNotification};
+    pub use crate::world::{LinkTable, SessionArena, SlotJoin};
 }

@@ -187,6 +187,35 @@ impl<M> Engine<M> {
         self.run_until(world, SimTime::MAX)
     }
 
+    /// Processes exactly the next pending event, advancing the clock to its
+    /// timestamp. Returns `false` (leaving the clock untouched) when the
+    /// queue is empty.
+    pub fn step<W: World<Message = M>>(&mut self, world: &mut W) -> bool {
+        match self.queue.pop_at_most(SimTime::MAX) {
+            Some(event) => {
+                self.process(world, event);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Delivers one popped event: advances the clock and hands the message to
+    /// the world with a scheduling context (shared by [`Engine::step`] and
+    /// [`Engine::run_until`], so the two can never diverge).
+    fn process<W: World<Message = M>>(&mut self, world: &mut W, event: crate::event::Event<M>) {
+        debug_assert!(event.at >= self.now, "time must not go backwards");
+        self.now = event.at;
+        self.events_processed += 1;
+        let mut ctx = Context {
+            now: self.now,
+            queue: &mut self.queue,
+            channels: &mut self.channels,
+            messages_sent: &mut self.messages_sent,
+        };
+        world.handle(&mut ctx, event.to, event.msg);
+    }
+
     /// Runs until the event queue is empty or the next event is strictly after
     /// `horizon`. Events at exactly `horizon` are processed. When the run
     /// stops at the horizon, the engine's clock is advanced to `horizon` so a
@@ -200,17 +229,8 @@ impl<M> Engine<M> {
         let start_messages = self.messages_sent;
         let mut last_event_time = self.now;
         while let Some(event) = self.queue.pop_at_most(horizon) {
-            debug_assert!(event.at >= self.now, "time must not go backwards");
-            self.now = event.at;
             last_event_time = event.at;
-            self.events_processed += 1;
-            let mut ctx = Context {
-                now: self.now,
-                queue: &mut self.queue,
-                channels: &mut self.channels,
-                messages_sent: &mut self.messages_sent,
-            };
-            world.handle(&mut ctx, event.to, event.msg);
+            self.process(world, event);
         }
         let quiescent = self.queue.is_empty();
         if !quiescent && horizon != SimTime::MAX && horizon > self.now {

@@ -46,15 +46,18 @@
 pub mod channel;
 pub mod engine;
 pub mod event;
+pub mod simulation;
 pub mod time;
 
 pub use channel::{ChannelId, ChannelSpec};
 pub use engine::{Address, Context, Engine, RunReport, World};
+pub use simulation::Simulation;
 pub use time::SimTime;
 
 /// Commonly used items, suitable for glob import.
 pub mod prelude {
     pub use crate::channel::{ChannelId, ChannelSpec};
     pub use crate::engine::{Address, Context, Engine, RunReport, World};
+    pub use crate::simulation::Simulation;
     pub use crate::time::SimTime;
 }

@@ -1,0 +1,155 @@
+//! The protocol-world abstraction: one trait every fully-built simulation
+//! implements, regardless of which protocol it runs.
+//!
+//! A *simulation* is an engine already wired to a concrete protocol world
+//! (B-Neck, one of the baselines, a test double). The [`Simulation`] trait
+//! exposes the engine-level surface the experiment drivers need — stepping,
+//! horizon-bounded runs, quiescence detection and the event/message
+//! counters — without knowing anything about the protocol inside.
+//!
+//! `Send` is a supertrait: a fully-built simulation is a unit of work that
+//! can be handed to a worker thread, which is what lets the sweep drivers in
+//! `bneck-bench` fan independent experiment points across cores.
+
+use crate::engine::RunReport;
+use crate::time::SimTime;
+
+/// A fully-built protocol simulation: an engine plus its world, runnable as
+/// one `Send` unit.
+///
+/// The B-Neck harness (`bneck-core`) and the baseline harness
+/// (`bneck-baselines`) both implement this trait, so experiment drivers can
+/// hold a `&mut dyn Simulation` (or the richer `ProtocolWorld` trait from
+/// `bneck-workload`) and drive any protocol through one code path.
+pub trait Simulation: Send {
+    /// The current simulated time (time of the last processed event).
+    fn now(&self) -> SimTime;
+
+    /// `true` when no event is pending: the simulated network is quiescent.
+    fn is_quiescent(&self) -> bool;
+
+    /// Number of events waiting in the queue.
+    fn pending_events(&self) -> usize;
+
+    /// Processes exactly the next pending event. Returns `false` (and leaves
+    /// the clock untouched) when the simulation is quiescent.
+    fn step(&mut self) -> bool;
+
+    /// Runs until the event queue is empty or the next event is strictly
+    /// after `horizon`; events at exactly `horizon` are processed.
+    fn run_to(&mut self, horizon: SimTime) -> RunReport;
+
+    /// Runs until no event remains (quiescence).
+    fn run_to_quiescence(&mut self) -> RunReport {
+        self.run_to(SimTime::MAX)
+    }
+
+    /// Total events processed since the simulation was created.
+    fn events_processed(&self) -> u64;
+
+    /// Total messages sent through channels since the simulation was created.
+    fn messages_sent(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::{ChannelId, ChannelSpec};
+    use crate::engine::{Address, Context, Engine, World};
+    use bneck_net::Delay;
+
+    /// A minimal simulation: a counter bounced through one channel.
+    struct Bounce {
+        engine: Engine<u32>,
+        world: BounceWorld,
+    }
+
+    struct BounceWorld {
+        limit: u32,
+        channel: ChannelId,
+    }
+
+    impl World for BounceWorld {
+        type Message = u32;
+        fn handle(&mut self, ctx: &mut Context<'_, u32>, _to: Address, msg: u32) {
+            if msg < self.limit {
+                ctx.send(self.channel, Address(0), msg + 1);
+            }
+        }
+    }
+
+    impl Simulation for Bounce {
+        fn now(&self) -> SimTime {
+            self.engine.now()
+        }
+        fn is_quiescent(&self) -> bool {
+            self.engine.is_quiescent()
+        }
+        fn pending_events(&self) -> usize {
+            self.engine.pending_events()
+        }
+        fn step(&mut self) -> bool {
+            self.engine.step(&mut self.world)
+        }
+        fn run_to(&mut self, horizon: SimTime) -> RunReport {
+            self.engine.run_until(&mut self.world, horizon)
+        }
+        fn events_processed(&self) -> u64 {
+            self.engine.total_events_processed()
+        }
+        fn messages_sent(&self) -> u64 {
+            self.engine.total_messages_sent()
+        }
+    }
+
+    fn bounce(limit: u32) -> Bounce {
+        let mut engine = Engine::new();
+        let channel = engine.add_channel(ChannelSpec::new(1e9, Delay::from_micros(5), 500));
+        engine.inject(SimTime::ZERO, Address(0), 0);
+        Bounce {
+            engine,
+            world: BounceWorld { limit, channel },
+        }
+    }
+
+    #[test]
+    fn stepping_matches_a_full_run() {
+        let mut stepped = bounce(6);
+        let mut steps = 0;
+        while stepped.step() {
+            steps += 1;
+        }
+        assert!(
+            !stepped.step(),
+            "stepping a quiescent simulation is a no-op"
+        );
+
+        let mut ran = bounce(6);
+        let report = ran.run_to_quiescence();
+        assert!(report.quiescent);
+        assert_eq!(steps, report.events_processed);
+        assert_eq!(stepped.now(), ran.now());
+        assert_eq!(stepped.messages_sent(), ran.messages_sent());
+        assert!(stepped.is_quiescent() && ran.is_quiescent());
+    }
+
+    #[test]
+    fn trait_objects_can_drive_a_simulation() {
+        let mut sim = bounce(3);
+        let dynamic: &mut dyn Simulation = &mut sim;
+        assert!(!dynamic.is_quiescent());
+        assert!(dynamic.pending_events() > 0);
+        let report = dynamic.run_to_quiescence();
+        assert!(report.quiescent);
+        assert_eq!(dynamic.events_processed(), 4);
+    }
+
+    #[test]
+    fn simulations_are_send() {
+        fn assert_send<T: Send>(_: &T) {}
+        let sim = bounce(1);
+        assert_send(&sim);
+        let boxed: Box<dyn Simulation> = Box::new(bounce(1));
+        assert_send(&boxed);
+    }
+}

@@ -78,6 +78,15 @@ impl Experiment1Config {
         vec![10_000, 50_000, 100_000]
     }
 
+    /// The full paper-scale preset: 300,000 simultaneous joins — the largest
+    /// session count of Figure 5 — on a Medium LAN transit–stub network with
+    /// one source host per session plus destination headroom (the paper
+    /// attaches up to 220,000 hosts to its Medium network; reaching the
+    /// 300,000-session point needs proportionally more).
+    pub fn paper_full() -> Self {
+        Self::paper_scale(300_000)
+    }
+
     /// Builds the join schedule over `network` (all sessions join at times
     /// chosen uniformly at random within the join window).
     pub fn schedule(&self, network: &Network) -> Schedule {

@@ -9,6 +9,9 @@
 //!   requests);
 //! * [`schedule`] — timed `Join`/`Leave`/`Change` event schedules and their
 //!   application to a protocol harness;
+//! * [`protocol`] — the unified [`protocol::ProtocolWorld`] trait every
+//!   protocol-under-test (B-Neck and the baselines) implements, so the
+//!   experiment drivers run any protocol through one code path;
 //! * [`dynamics`] — phase-structured churn (the join/leave/change phases of
 //!   Experiment 2);
 //! * [`experiments`] — ready-made configurations for the paper's three
@@ -19,12 +22,14 @@
 
 pub mod dynamics;
 pub mod experiments;
+pub mod protocol;
 pub mod scenario;
 pub mod schedule;
 pub mod sessions;
 
 pub use dynamics::DynamicsPlanner;
 pub use experiments::{Experiment1Config, Experiment2Config, Experiment3Config, PhaseSpec};
+pub use protocol::ProtocolWorld;
 pub use scenario::NetworkScenario;
 pub use schedule::{ApplyStats, Schedule, ScheduleTarget, TimedEvent, WorkloadEvent};
 pub use sessions::{LimitPolicy, SessionPlanner, SessionRequest};
@@ -35,6 +40,7 @@ pub mod prelude {
     pub use crate::experiments::{
         Experiment1Config, Experiment2Config, Experiment3Config, PhaseSpec,
     };
+    pub use crate::protocol::ProtocolWorld;
     pub use crate::scenario::NetworkScenario;
     pub use crate::schedule::{ApplyStats, Schedule, ScheduleTarget, TimedEvent, WorkloadEvent};
     pub use crate::sessions::{LimitPolicy, SessionPlanner, SessionRequest};

@@ -1,0 +1,115 @@
+//! The unified protocol-under-test interface.
+//!
+//! The paper evaluates B-Neck against BFYZ, CG and RCP on the *same*
+//! simulated networks and workloads (§IV, Figures 5–8). [`ProtocolWorld`] is
+//! the contract that makes this possible in code: anything implementing it
+//! can be handed a workload schedule (it is a [`ScheduleTarget`]), driven on
+//! the discrete-event engine (it is a [`Simulation`], and therefore a `Send`
+//! unit the parallel sweep drivers can move across worker threads), and asked
+//! for its per-session rates and its session set for comparison against the
+//! centralized oracle.
+//!
+//! `BneckSimulation` implements the trait here; `BaselineSimulation`
+//! implements it in `bneck-baselines` (which also provides a by-name factory
+//! so experiment drivers can add a protocol without monomorphizing a new
+//! runner).
+
+use crate::schedule::ScheduleTarget;
+use bneck_core::BneckSimulation;
+use bneck_maxmin::{Allocation, SessionSet};
+use bneck_sim::Simulation;
+use std::sync::Arc;
+
+/// A protocol-under-test: a fully-built simulation that accepts workload
+/// events, runs on the unified engine interface, and exposes the rates the
+/// experiments compare against the centralized oracle.
+pub trait ProtocolWorld: Simulation + ScheduleTarget {
+    /// The protocol's display name (`B-Neck`, `BFYZ`, `CG`, `RCP`).
+    fn protocol_name(&self) -> &'static str;
+
+    /// The rate each active session is currently assigned at its source.
+    fn current_rates(&self) -> Allocation;
+
+    /// The active sessions (paths plus requested limits), for feeding the
+    /// centralized oracle.
+    fn session_set(&self) -> Arc<SessionSet>;
+
+    /// Whether the protocol stops generating control traffic once converged.
+    /// `true` only for B-Neck — the probing baselines never go quiescent
+    /// while a session is active (the defining contrast of Figure 8).
+    fn goes_quiescent(&self) -> bool;
+
+    /// Total control packets transmitted over links so far.
+    fn packets_sent(&self) -> u64;
+
+    /// The documented convergence tolerance of the protocol, as the maximum
+    /// mean absolute per-session relative error (in percent, against the
+    /// max-min fair rates) the protocol is expected to settle within on a
+    /// converged steady state. `None` means the protocol converges to the
+    /// exact rates (B-Neck, Theorem 1 of the paper).
+    fn convergence_tolerance_pct(&self) -> Option<f64>;
+}
+
+impl ProtocolWorld for BneckSimulation<'_> {
+    fn protocol_name(&self) -> &'static str {
+        "B-Neck"
+    }
+
+    fn current_rates(&self) -> Allocation {
+        BneckSimulation::current_rates(self)
+    }
+
+    fn session_set(&self) -> Arc<SessionSet> {
+        BneckSimulation::session_set(self)
+    }
+
+    fn goes_quiescent(&self) -> bool {
+        true
+    }
+
+    fn packets_sent(&self) -> u64 {
+        self.packet_stats().total()
+    }
+
+    fn convergence_tolerance_pct(&self) -> Option<f64> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::NetworkScenario;
+    use crate::sessions::{LimitPolicy, SessionPlanner};
+    use bneck_core::BneckConfig;
+    use bneck_maxmin::prelude::*;
+    use bneck_sim::SimTime;
+
+    #[test]
+    fn bneck_runs_to_the_exact_rates_through_the_unified_trait() {
+        let network = NetworkScenario::small_lan(40).with_seed(4).build();
+        let mut planner = SessionPlanner::new(&network, 9);
+        let requests = planner.plan(12, LimitPolicy::Unlimited);
+        let mut sim = BneckSimulation::new(&network, BneckConfig::default());
+        {
+            let world: &mut dyn ProtocolWorld = &mut sim;
+            for r in &requests {
+                assert!(world.apply_join(SimTime::ZERO, r));
+            }
+            let report = world.run_to_quiescence();
+            assert!(report.quiescent);
+            assert_eq!(world.protocol_name(), "B-Neck");
+            assert!(world.goes_quiescent());
+            assert!(world.convergence_tolerance_pct().is_none());
+            assert!(world.packets_sent() > 0);
+            let sessions = ProtocolWorld::session_set(world);
+            assert_eq!(sessions.len(), requests.len());
+            let oracle = CentralizedBneck::new(&network, &sessions).solve();
+            let tol = Tolerance::new(1e-6, 10.0);
+            assert!(
+                compare_allocations(&sessions, &world.current_rates(), &oracle, tol).is_ok(),
+                "quiescent rates through the trait must equal the oracle's"
+            );
+        }
+    }
+}

@@ -199,8 +199,10 @@ impl Schedule {
         (joins, leaves, changes)
     }
 
-    /// Applies every event to `target`, in time order.
-    pub fn apply<T: ScheduleTarget>(&self, target: &mut T) -> ApplyStats {
+    /// Applies every event to `target`, in time order. Accepts unsized
+    /// targets, so experiment drivers can apply a schedule through
+    /// `&mut dyn ProtocolWorld` without monomorphizing per protocol.
+    pub fn apply<T: ScheduleTarget + ?Sized>(&self, target: &mut T) -> ApplyStats {
         let mut stats = ApplyStats::default();
         for i in self.time_order() {
             let TimedEvent { at, event } = &self.events[i as usize];
