@@ -18,7 +18,9 @@
 //! [`Simulation`] and [`ProtocolWorld`], so the experiment drivers run it
 //! through the same unified interface as B-Neck itself.
 
+use bneck_core::events::SubscriberSet;
 use bneck_core::world::{LinkTable, SessionArena};
+use bneck_core::{PacketKind, RateCause, RateEvent, RateEvents, Subscriber};
 use bneck_maxmin::{Allocation, Rate, RateLimit, SessionId, SessionSet};
 use bneck_net::{Network, NodeId, Path, Router};
 use bneck_sim::{Address, Context, Engine, RunReport, SimTime, Simulation, World};
@@ -175,8 +177,16 @@ struct BaselineWorld<P: BaselineProtocol> {
     demand: Vec<Rate>,
     /// The rate the slot's source currently uses (last granted rate).
     current: Vec<Rate>,
+    /// What the slot's next rate adoption means to subscribers (`Joined`
+    /// after a join, `Changed` after a change, `Converged` afterwards).
+    causes: Vec<RateCause>,
     stats: BaselineStats,
     probe_interval: bneck_net::Delay,
+    /// The registered observers (`RateEvents` writers, user callbacks), on
+    /// the same shared [`SubscriberSet`] fan-out as the B-Neck harness. The
+    /// baseline packet vocabulary maps onto the closest B-Neck
+    /// [`PacketKind`]s for the per-packet callbacks.
+    subscribers: SubscriberSet,
 }
 
 impl<P: BaselineProtocol> BaselineWorld<P> {
@@ -206,6 +216,14 @@ impl<P: BaselineProtocol> BaselineWorld<P> {
             Message::Stop { slot } => {
                 self.probing[slot as usize] = false;
                 self.stopping[slot as usize] = false;
+                // Tell the subscribers the session is gone, carrying the last
+                // rate it was using.
+                self.subscribers.emit_rate(&RateEvent {
+                    at: ctx.now(),
+                    session: self.arena.id_at(slot),
+                    rate: self.current[slot as usize],
+                    cause: RateCause::Left,
+                });
                 ctx.deliver_now(Address(0), Message::Leave { slot, hop: 0 });
             }
             Message::Probe { slot, granted, hop } => {
@@ -229,6 +247,7 @@ impl<P: BaselineProtocol> BaselineWorld<P> {
                 let advertised = controller.on_probe(session, demand, current, ctx.now());
                 let granted = granted.min(advertised).min(demand);
                 self.stats.probes += 1;
+                self.subscribers.note_packet(ctx.now(), PacketKind::Probe);
                 let next = if (hop as usize) + 1 < hops {
                     Message::Probe {
                         slot,
@@ -254,7 +273,27 @@ impl<P: BaselineProtocol> BaselineWorld<P> {
                     // the next periodic probe. The probing never stops.
                     let interval = self.probe_interval;
                     if self.probing[slot as usize] {
+                        let previous = self.current[slot as usize];
                         self.current[slot as usize] = granted;
+                        // Notify subscribers on the first adoption of an
+                        // incarnation and whenever the granted rate moves
+                        // (periodic re-grants of an unchanged rate stay
+                        // silent, like an `API.Rate` that only fires on
+                        // change).
+                        let cause = std::mem::replace(
+                            &mut self.causes[slot as usize],
+                            RateCause::Converged,
+                        );
+                        if (granted != previous || cause != RateCause::Converged)
+                            && !self.subscribers.is_empty()
+                        {
+                            self.subscribers.emit_rate(&RateEvent {
+                                at: ctx.now(),
+                                session: self.arena.id_at(slot),
+                                rate: granted,
+                                cause,
+                            });
+                        }
                         ctx.schedule_after(interval, Address(0), Message::Timer { slot });
                     }
                     return;
@@ -265,6 +304,8 @@ impl<P: BaselineProtocol> BaselineWorld<P> {
                     return;
                 };
                 self.stats.responses += 1;
+                self.subscribers
+                    .note_packet(ctx.now(), PacketKind::Response);
                 ctx.send(
                     self.links.reverse_channel(forward),
                     Address(0),
@@ -284,6 +325,7 @@ impl<P: BaselineProtocol> BaselineWorld<P> {
                     controller.on_leave(session);
                 }
                 self.stats.leaves += 1;
+                self.subscribers.note_packet(ctx.now(), PacketKind::Leave);
                 ctx.send(
                     self.links.channel(link),
                     Address(0),
@@ -350,8 +392,10 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
             stopping: Vec::new(),
             demand: Vec::new(),
             current: Vec::new(),
+            causes: Vec::new(),
             stats: BaselineStats::default(),
             probe_interval,
+            subscribers: SubscriberSet::new(),
         };
         BaselineSimulation {
             engine,
@@ -419,11 +463,13 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
             self.world.probing[slot] = false;
             self.world.demand[slot] = demand;
             self.world.current[slot] = 0.0;
+            self.world.causes[slot] = RateCause::Joined;
         } else {
             self.world.probing.push(false);
             self.world.stopping.push(false);
             self.world.demand.push(demand);
             self.world.current.push(0.0);
+            self.world.causes.push(RateCause::Joined);
         }
         self.engine
             .inject(at, Address(0), Message::Start { slot: joined.slot });
@@ -452,7 +498,23 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
             .links
             .capacity(self.world.arena.path(slot).first_link());
         self.world.demand[slot as usize] = limit.effective_demand(first_capacity);
+        self.world.causes[slot as usize] = RateCause::Changed;
         true
+    }
+
+    /// Registers an observer of this simulation's rate adoptions (delivered
+    /// as [`RateEvent`]s: `Joined` on a session's first grant, `Changed`
+    /// after an `API.Change`, `Converged` when a periodic re-grant moves the
+    /// rate, `Left` on departure).
+    pub fn subscribe<S: Subscriber + 'static>(&mut self, subscriber: S) {
+        self.world.subscribers.subscribe(Box::new(subscriber));
+    }
+
+    /// Opens a drainable stream of this simulation's [`RateEvent`]s.
+    pub fn rate_events(&mut self) -> RateEvents {
+        let (events, writer) = RateEvents::channel();
+        self.world.subscribers.subscribe(writer);
+        events
     }
 
     /// Runs the simulation up to `horizon` (the baselines never go quiescent,
@@ -558,6 +620,10 @@ impl<'a, P: BaselineProtocol> ProtocolWorld for BaselineSimulation<'a, P> {
 
     fn session_set(&self) -> Arc<SessionSet> {
         BaselineSimulation::session_set(self)
+    }
+
+    fn subscribe(&mut self, subscriber: Box<dyn Subscriber>) {
+        self.world.subscribers.subscribe(subscriber);
     }
 
     fn goes_quiescent(&self) -> bool {
@@ -807,6 +873,47 @@ mod tests {
         assert!((rate - 5e6).abs() < 1.0, "demand caps the granted rate");
         assert_eq!(sim.protocol_name(), "grant-all");
         assert_eq!(sim.packet_bits(), 256);
+    }
+
+    #[test]
+    fn rate_events_report_adoption_changes_only() {
+        let net = network();
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BaselineSimulation::new(&net, GrantAll, BaselineConfig::default());
+        let events = sim.rate_events();
+        sim.join(
+            SimTime::ZERO,
+            SessionId(0),
+            hosts[0],
+            hosts[1],
+            RateLimit::unlimited(),
+        );
+        sim.run_until(SimTime::from_millis(10));
+        let initial = events.drain();
+        // One Joined event for the first grant; unchanged periodic re-grants
+        // stay silent even though probing continues.
+        assert_eq!(initial.len(), 1);
+        assert_eq!(initial[0].cause, RateCause::Joined);
+        assert!((initial[0].rate - 60e6).abs() < 1.0);
+        sim.run_until(SimTime::from_millis(20));
+        assert!(events.is_empty(), "steady probing emits no events");
+        // A change re-notifies once the next probe adopts the new demand.
+        sim.change(
+            SimTime::from_millis(20),
+            SessionId(0),
+            RateLimit::finite(5e6),
+        );
+        sim.run_until(SimTime::from_millis(25));
+        let after_change = events.drain();
+        assert_eq!(after_change[0].cause, RateCause::Changed);
+        assert!((after_change[0].rate - 5e6).abs() < 1.0);
+        // Departure emits the Left marker with the last used rate.
+        sim.leave(SimTime::from_millis(26), SessionId(0));
+        sim.run_until(SimTime::from_millis(30));
+        let after_leave = events.drain();
+        assert_eq!(after_leave.len(), 1);
+        assert_eq!(after_leave[0].cause, RateCause::Left);
+        assert!((after_leave[0].rate - 5e6).abs() < 1.0);
     }
 
     #[test]

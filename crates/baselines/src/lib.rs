@@ -38,11 +38,38 @@ pub use common::{
 pub use rcp::Rcp;
 
 use bneck_net::Network;
-use bneck_workload::ProtocolWorld;
+use bneck_workload::{ProtocolRegistry, ProtocolWorld};
 
 /// The display names of the three baselines, in the order the paper's
 /// Experiment 3 reports them.
 pub const BASELINE_NAMES: [&str; 3] = ["BFYZ", "CG", "RCP"];
+
+/// Registers the three baselines (with default parameters and
+/// [`BaselineConfig::default`]) in a [`ProtocolRegistry`], so registry-driven
+/// experiment drivers can build them by name next to B-Neck.
+pub fn register_baselines(registry: &mut ProtocolRegistry) {
+    registry.register("BFYZ", |network| {
+        Box::new(BaselineSimulation::new(
+            network,
+            Bfyz::default(),
+            BaselineConfig::default(),
+        ))
+    });
+    registry.register("CG", |network| {
+        Box::new(BaselineSimulation::new(
+            network,
+            CobbGouda::default(),
+            BaselineConfig::default(),
+        ))
+    });
+    registry.register("RCP", |network| {
+        Box::new(BaselineSimulation::new(
+            network,
+            Rcp::default(),
+            BaselineConfig::default(),
+        ))
+    });
+}
 
 /// Builds a baseline simulation by its display name (`BFYZ`, `CG` or `RCP`)
 /// behind the unified [`ProtocolWorld`] trait, or `None` for unknown names.

@@ -1,128 +1,29 @@
-//! Experiment 1 (Figure 5): time to quiescence and control traffic as a
-//! function of the number of sessions joining simultaneously.
+//! DEPRECATED wrapper: `experiment1` forwards to `bneck run --preset exp1`.
 //!
-//! Usage:
-//!
-//! ```text
-//! cargo run --release -p bneck-bench --bin experiment1 [-- --full] [-- --sessions 10,100,1000]
-//! ```
-//!
-//! By default a scaled-down sweep is run on the Small LAN, Small WAN and
-//! Medium LAN scenarios; `--full` switches to the paper's sweep (10 to
-//! 300,000 sessions on Small/Medium/Big networks), which takes hours and lots
-//! of memory.
-//!
-//! The (scenario, session-count) points are independent simulations fanned
-//! across worker threads by the parallel sweep driver; set `BNECK_THREADS`
-//! to pin the thread count. Reports are bit-identical at any thread count
-//! (each point's seed derives from its position in the sweep).
-
-use bneck_bench::{run_experiment1_sweep, SweepRunner};
-use bneck_metrics::Table;
-use bneck_workload::{Experiment1Config, NetworkScenario};
+//! The former flags keep working: `--full` selects the paper-scale preset,
+//! `--sessions a,b,c` overrides the sweep. This wrapper is kept for one
+//! release so existing scripts do not break silently; use the `bneck` CLI
+//! directly.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let sessions_override = args
-        .iter()
-        .position(|a| a == "--sessions")
-        .and_then(|i| args.get(i + 1))
-        .map(|list| {
-            list.split(',')
-                .map(|s| {
-                    s.trim()
-                        .parse::<usize>()
-                        .expect("--sessions takes a comma-separated list of integers")
-                })
-                .collect::<Vec<_>>()
-        });
-
-    let sweep = sessions_override.unwrap_or_else(|| {
-        if full {
-            Experiment1Config::paper_sweep()
-        } else {
-            Experiment1Config::scaled_sweep()
-        }
-    });
-
-    let scenarios: Vec<fn(usize) -> NetworkScenario> = if full {
-        vec![
-            NetworkScenario::small_lan,
-            NetworkScenario::small_wan,
-            NetworkScenario::medium_lan,
-            NetworkScenario::medium_wan,
-            NetworkScenario::big_lan,
-        ]
+    let preset = if args.iter().any(|a| a == "--full") {
+        "exp1_full"
     } else {
-        vec![
-            NetworkScenario::small_lan,
-            NetworkScenario::small_wan,
-            NetworkScenario::medium_lan,
-        ]
+        "exp1"
     };
-
-    // One config per (scenario, session count) cell; the seed derives from
-    // the point's position in the sweep, so any thread count reproduces the
-    // same reports.
-    let mut configs = Vec::with_capacity(scenarios.len() * sweep.len());
-    for make_scenario in &scenarios {
-        for &sessions in &sweep {
-            // One source host per session plus room for destinations.
-            let hosts = (2 * sessions).max(20);
-            let mut config = Experiment1Config::scaled(make_scenario(hosts), sessions);
-            config.seed = configs.len() as u64 + 1;
-            configs.push(config);
-        }
-    }
-
-    let runner = SweepRunner::from_env();
     eprintln!(
-        "[experiment1] {} points on {} worker thread(s)",
-        configs.len(),
-        runner.threads()
+        "[experiment1] DEPRECATED: use `bneck run --preset {preset}` (this wrapper forwards \
+         and will be removed in a future release)"
     );
-    let points = run_experiment1_sweep(configs, &runner);
-
-    let mut left = Table::new(
-        "figure-5-left: time until quiescence (Experiment 1)",
-        &["scenario", "sessions", "time_to_quiescence_us", "validated"],
-    );
-    let mut right = Table::new(
-        "figure-5-right: packets transmitted (Experiment 1)",
-        &[
-            "scenario",
-            "sessions",
-            "total_packets",
-            "packets_per_session",
-        ],
-    );
-
-    for point in &points {
-        eprintln!(
-            "[experiment1] {} sessions={} quiescence={}us packets={} validated={}",
-            point.scenario,
-            point.sessions,
-            point.time_to_quiescence_us,
-            point.total_packets,
-            point.validated
-        );
-        left.add_row(&[
-            point.scenario.clone(),
-            point.sessions.to_string(),
-            point.time_to_quiescence_us.to_string(),
-            point.validated.to_string(),
-        ]);
-        right.add_row(&[
-            point.scenario.clone(),
-            point.sessions.to_string(),
-            point.total_packets.to_string(),
-            format!("{:.1}", point.packets_per_session),
-        ]);
+    let mut forwarded = vec![
+        "run".to_string(),
+        "--preset".to_string(),
+        preset.to_string(),
+    ];
+    if let Some(i) = args.iter().position(|a| a == "--sessions") {
+        forwarded.push("--sessions".to_string());
+        forwarded.extend(args.get(i + 1).cloned());
     }
-
-    println!("{left}");
-    println!("{right}");
-    println!("{}", left.to_csv());
-    println!("{}", right.to_csv());
+    std::process::exit(bneck_bench::cli::run_main(&forwarded));
 }

@@ -1,109 +1,29 @@
-//! Experiment 2 (Figure 6): behaviour of B-Neck under a highly dynamic
-//! system — five phases of joins, leaves and rate changes.
+//! DEPRECATED wrapper: `experiment2` forwards to `bneck run --preset exp2`.
 //!
-//! Usage:
-//!
-//! ```text
-//! cargo run --release -p bneck-bench --bin experiment2 [-- --full] [-- --repeats 4]
-//! ```
-//!
-//! The default is a scaled-down version of the paper's workload (which uses
-//! 100,000 initial sessions and 20,000-session churn phases on a Medium LAN
-//! network); `--full` runs the paper's parameters. `--repeats N` runs N
-//! independent repetitions (seeds `base + repeat index`) fanned across
-//! worker threads by the parallel sweep driver (`BNECK_THREADS` pins the
-//! thread count; reports are bit-identical at any count).
-
-use bneck_bench::{run_experiment2_repeats, SweepRunner};
-use bneck_core::PacketKind;
-use bneck_metrics::Table;
-use bneck_workload::Experiment2Config;
+//! The former flags keep working: `--full` selects the paper-scale preset,
+//! `--repeats N` overrides the repeat count. This wrapper is kept for one
+//! release so existing scripts do not break silently; use the `bneck` CLI
+//! directly.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let repeats = args
-        .iter()
-        .position(|a| a == "--repeats")
-        .and_then(|i| args.get(i + 1))
-        .map(|v| v.parse::<usize>().expect("--repeats takes an integer"))
-        .unwrap_or(1);
-    let config = if full {
-        Experiment2Config::paper()
+    let preset = if args.iter().any(|a| a == "--full") {
+        "exp2_full"
     } else {
-        Experiment2Config::scaled()
+        "exp2"
     };
-
-    let runner = SweepRunner::from_env();
     eprintln!(
-        "[experiment2] scenario={} initial_sessions={} churn={} repeats={} threads={}",
-        config.scenario.label(),
-        config.initial_sessions,
-        config.churn,
-        repeats,
-        runner.threads()
+        "[experiment2] DEPRECATED: use `bneck run --preset {preset}` (this wrapper forwards \
+         and will be removed in a future release)"
     );
-    let runs = run_experiment2_repeats(&config, repeats, &runner);
-
-    let mut summary = Table::new(
-        "figure-6 (summary): per-phase convergence (Experiment 2)",
-        &[
-            "seed",
-            "phase",
-            "started_at_us",
-            "time_to_quiescence_us",
-            "active_sessions",
-            "packets",
-            "validated",
-        ],
-    );
-    for run in &runs {
-        for phase in &run.phases {
-            summary.add_row(&[
-                run.seed.to_string(),
-                phase.name.to_string(),
-                phase.started_at_us.to_string(),
-                phase.time_to_quiescence_us.to_string(),
-                phase.active_sessions.to_string(),
-                phase.packets.total().to_string(),
-                phase.validated.to_string(),
-            ]);
-        }
+    let mut forwarded = vec![
+        "run".to_string(),
+        "--preset".to_string(),
+        preset.to_string(),
+    ];
+    if let Some(i) = args.iter().position(|a| a == "--repeats") {
+        forwarded.push("--repeats".to_string());
+        forwarded.extend(args.get(i + 1).cloned());
     }
-    println!("{summary}");
-
-    // The traffic time series of the first repeat (the figure in the paper
-    // shows one run).
-    let mut traffic = Table::new(
-        "figure-6: packets per 5 ms interval, by type (Experiment 2)",
-        &[
-            "interval_start_ms",
-            "Join",
-            "Probe",
-            "Response",
-            "Update",
-            "Bottleneck",
-            "SetBottleneck",
-            "Leave",
-            "total",
-        ],
-    );
-    if let Some(first) = runs.first() {
-        for (start, stats) in first.series.iter() {
-            traffic.add_row(&[
-                start.as_millis().to_string(),
-                stats.count(PacketKind::Join).to_string(),
-                stats.count(PacketKind::Probe).to_string(),
-                stats.count(PacketKind::Response).to_string(),
-                stats.count(PacketKind::Update).to_string(),
-                stats.count(PacketKind::Bottleneck).to_string(),
-                stats.count(PacketKind::SetBottleneck).to_string(),
-                stats.count(PacketKind::Leave).to_string(),
-                stats.total().to_string(),
-            ]);
-        }
-    }
-    println!("{traffic}");
-    println!("{}", summary.to_csv());
-    println!("{}", traffic.to_csv());
+    std::process::exit(bneck_bench::cli::run_main(&forwarded));
 }

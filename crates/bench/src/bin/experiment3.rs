@@ -1,106 +1,29 @@
-//! Experiment 3 (Figures 7 and 8): accuracy and control traffic of B-Neck
-//! against the non-quiescent baselines (BFYZ, CG, RCP) over time.
+//! DEPRECATED wrapper: `experiment3` forwards to `bneck run --preset exp3`.
 //!
-//! Usage:
-//!
-//! ```text
-//! cargo run --release -p bneck-bench --bin experiment3 [-- --full] [-- --baselines BFYZ,CG,RCP]
-//! ```
-//!
-//! By default the scaled-down workload is run against BFYZ only (as in the
-//! paper's figures; CG and RCP are reported in the paper as not converging for
-//! more than 500 sessions — pass `--baselines BFYZ,CG,RCP` to include them).
-//!
-//! Every protocol runs behind the unified `ProtocolWorld` trait; the
-//! protocol cells are independent simulations fanned across worker threads
-//! by the parallel sweep driver (`BNECK_THREADS` pins the thread count;
-//! reports are bit-identical at any count).
-
-use bneck_bench::{run_experiment3_with, SweepRunner};
-use bneck_metrics::Table;
-use bneck_workload::Experiment3Config;
+//! The former flags keep working: `--full` selects the paper-scale preset,
+//! `--baselines BFYZ,CG,RCP` overrides the protocols run next to B-Neck.
+//! This wrapper is kept for one release so existing scripts do not break
+//! silently; use the `bneck` CLI directly.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let full = args.iter().any(|a| a == "--full");
-    let baselines: Vec<String> = args
-        .iter()
-        .position(|a| a == "--baselines")
-        .and_then(|i| args.get(i + 1))
-        .map(|list| list.split(',').map(|s| s.trim().to_string()).collect())
-        .unwrap_or_else(|| vec!["BFYZ".to_string()]);
-    let baseline_refs: Vec<&str> = baselines.iter().map(String::as_str).collect();
-
-    let config = if full {
-        Experiment3Config::paper()
+    let preset = if args.iter().any(|a| a == "--full") {
+        "exp3_full"
     } else {
-        Experiment3Config::scaled()
+        "exp3"
     };
-    let runner = SweepRunner::from_env();
     eprintln!(
-        "[experiment3] scenario={} joins={} leaves={} baselines={:?} threads={}",
-        config.scenario.label(),
-        config.joins,
-        config.leaves,
-        baselines,
-        runner.threads()
+        "[experiment3] DEPRECATED: use `bneck run --preset {preset}` (this wrapper forwards \
+         and will be removed in a future release)"
     );
-
-    let results = run_experiment3_with(&config, &baseline_refs, &runner);
-
-    let mut sources = Table::new(
-        "figure-7-left: relative error at the sources, percent (Experiment 3)",
-        &["protocol", "time_us", "p10", "median", "mean", "p90"],
-    );
-    let mut links = Table::new(
-        "figure-7-right: relative error on bottleneck links, percent (Experiment 3)",
-        &["protocol", "time_us", "p10", "median", "mean", "p90"],
-    );
-    let mut packets = Table::new(
-        "figure-8: packets transmitted per interval (Experiment 3)",
-        &["protocol", "time_us", "packets_in_interval"],
-    );
-
-    for result in &results {
-        for sample in &result.samples {
-            sources.add_row(&[
-                result.protocol.clone(),
-                sample.at_us.to_string(),
-                format!("{:.2}", sample.source_error.p10),
-                format!("{:.2}", sample.source_error.median),
-                format!("{:.2}", sample.source_error.mean),
-                format!("{:.2}", sample.source_error.p90),
-            ]);
-            links.add_row(&[
-                result.protocol.clone(),
-                sample.at_us.to_string(),
-                format!("{:.2}", sample.link_error.p10),
-                format!("{:.2}", sample.link_error.median),
-                format!("{:.2}", sample.link_error.mean),
-                format!("{:.2}", sample.link_error.p90),
-            ]);
-            packets.add_row(&[
-                result.protocol.clone(),
-                sample.at_us.to_string(),
-                sample.packets_in_interval.to_string(),
-            ]);
-        }
-        match result.quiescent_at_us {
-            Some(t) => eprintln!(
-                "[experiment3] {} became quiescent at {} us after {} packets",
-                result.protocol, t, result.total_packets
-            ),
-            None => eprintln!(
-                "[experiment3] {} never became quiescent ({} packets over the horizon)",
-                result.protocol, result.total_packets
-            ),
-        }
+    let mut forwarded = vec![
+        "run".to_string(),
+        "--preset".to_string(),
+        preset.to_string(),
+    ];
+    if let Some(i) = args.iter().position(|a| a == "--baselines") {
+        forwarded.push("--baselines".to_string());
+        forwarded.extend(args.get(i + 1).cloned());
     }
-
-    println!("{sources}");
-    println!("{links}");
-    println!("{packets}");
-    println!("{}", sources.to_csv());
-    println!("{}", links.to_csv());
-    println!("{}", packets.to_csv());
+    std::process::exit(bneck_bench::cli::run_main(&forwarded));
 }

@@ -1,0 +1,392 @@
+//! The `bneck` command-line driver.
+//!
+//! One binary drives every experiment of the paper's evaluation from a
+//! declarative [`ExperimentSpec`] — a shipped preset or a JSON spec file —
+//! replacing the former `experiment1`/`experiment2`/`experiment3`/`validate`/
+//! `paper_scale` one-off binaries (which remain as thin forwarding wrappers
+//! for one release):
+//!
+//! ```text
+//! bneck run (--preset NAME | SPEC.json) [overrides] [--json] [--out PATH]
+//! bneck sweep [--preset paper_scale] [--sessions N[,N...]]
+//! bneck validate [SPEC.json ...]
+//! bneck bench-presets [--json]
+//! ```
+//!
+//! `run` executes a spec and prints the text tables, CSV and (on request)
+//! the machine-readable JSON report; reports are bit-identical at any
+//! `BNECK_THREADS`. `sweep` is `run` specialised to the paper-scale session
+//! sweep. `validate` checks spec files against the registries without
+//! running anything (CI's `spec-check`). `bench-presets` lists the shipped
+//! presets.
+
+use crate::report::{render_tables, run_spec, SpecOutcome};
+use crate::runner::default_protocols;
+use crate::sweep::SweepRunner;
+use bneck_metrics::Table;
+use bneck_workload::registry::{ProtocolRegistry, TopologyRegistry};
+use bneck_workload::spec::{ExperimentKind, ExperimentSpec, PAPER_FULL, PRESET_NAMES};
+
+const USAGE: &str = "\
+bneck — declarative driver for the B-Neck paper experiments
+
+USAGE:
+    bneck run (--preset NAME | SPEC.json) [OPTIONS]
+    bneck sweep [--preset NAME] [--sessions N[,N...]] [OPTIONS]
+    bneck validate [SPEC.json ...]
+    bneck bench-presets [--json]
+
+RUN OPTIONS:
+    --preset NAME         run a shipped preset (see `bneck bench-presets`)
+    --sessions N[,N...]   override the session sweep (joins/scale specs)
+    --repeats N           override the repeat count (churn specs)
+    --baselines A[,B...]  override the baselines (accuracy specs)
+    --no-validate         skip the oracle cross-check (scale specs)
+    --json                print the JSON report to stdout
+    --out PATH            write the JSON report to PATH
+    --no-tables           suppress the text tables
+    --no-csv              suppress the CSV renderings
+
+The worker-thread count comes from BNECK_THREADS (default: all cores);
+reports are bit-identical at any thread count.
+";
+
+/// Runs the CLI on the given arguments (without the program name), returning
+/// the process exit code.
+pub fn run_main(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..], None),
+        Some("sweep") => cmd_run(&args[1..], Some("paper_scale")),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("bench-presets") => cmd_bench_presets(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") => {
+            print!("{USAGE}");
+            0
+        }
+        Some(other) => {
+            eprintln!("[bneck] unknown subcommand `{other}`\n");
+            eprint!("{USAGE}");
+            2
+        }
+        None => {
+            eprint!("{USAGE}");
+            2
+        }
+    }
+}
+
+/// Options shared by `run` and `sweep`.
+struct RunOptions {
+    spec: ExperimentSpec,
+    json: bool,
+    out: Option<String>,
+    tables: bool,
+    csv: bool,
+}
+
+fn value_of(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_list<T: std::str::FromStr>(list: &str, what: &str) -> Result<Vec<T>, String> {
+    list.split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<T>()
+                .map_err(|_| format!("{what} takes a comma-separated list, got `{s}`"))
+        })
+        .collect()
+}
+
+/// Loads the spec named by `--preset` or by a positional JSON file path.
+fn load_spec(args: &[String], default_preset: Option<&str>) -> Result<ExperimentSpec, String> {
+    if let Some(name) = value_of(args, "--preset") {
+        return ExperimentSpec::preset(&name)
+            .ok_or_else(|| format!("unknown preset `{name}`; see `bneck bench-presets`"));
+    }
+    // The first argument that is neither a flag nor a flag's value.
+    let mut positional = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if matches!(
+            arg.as_str(),
+            "--sessions" | "--repeats" | "--baselines" | "--out" | "--preset"
+        ) {
+            i += 2; // skip the flag and its value
+        } else if arg.starts_with("--") {
+            i += 1;
+        } else {
+            positional = Some(arg);
+            break;
+        }
+    }
+    match positional {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read spec file `{path}`: {e}"))?;
+            serde_json::from_str::<ExperimentSpec>(&text)
+                .map_err(|e| format!("cannot parse spec file `{path}`: {e}"))
+        }
+        None => match default_preset {
+            Some(name) => Ok(ExperimentSpec::preset(name).expect("shipped preset resolves")),
+            None => Err("`bneck run` needs `--preset NAME` or a spec file".to_string()),
+        },
+    }
+}
+
+/// Applies the CLI overrides to the loaded spec.
+fn apply_overrides(spec: &mut ExperimentSpec, args: &[String]) -> Result<(), String> {
+    if let Some(list) = value_of(args, "--sessions") {
+        let sessions: Vec<usize> = parse_list(&list, "--sessions")?;
+        match &mut spec.experiment {
+            ExperimentKind::Joins(joins) => joins.sessions = sessions,
+            ExperimentKind::Scale(scale) => scale.sessions = sessions,
+            other => {
+                return Err(format!(
+                    "--sessions applies to joins/scale specs, not `{}`",
+                    other.label()
+                ))
+            }
+        }
+    }
+    if let Some(value) = value_of(args, "--repeats") {
+        let repeats: usize = value
+            .parse()
+            .map_err(|_| "--repeats takes an integer".to_string())?;
+        match &mut spec.experiment {
+            ExperimentKind::Churn(churn) => churn.repeats = repeats,
+            other => {
+                return Err(format!(
+                    "--repeats applies to churn specs, not `{}`",
+                    other.label()
+                ))
+            }
+        }
+    }
+    if let Some(list) = value_of(args, "--baselines") {
+        let baselines: Vec<String> = list.split(',').map(|s| s.trim().to_string()).collect();
+        match &mut spec.experiment {
+            ExperimentKind::Accuracy(accuracy) => accuracy.baselines = baselines,
+            other => {
+                return Err(format!(
+                    "--baselines applies to accuracy specs, not `{}`",
+                    other.label()
+                ))
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--no-validate") {
+        match &mut spec.experiment {
+            ExperimentKind::Scale(scale) => scale.validate = false,
+            other => {
+                return Err(format!(
+                    "--no-validate applies to scale specs, not `{}`",
+                    other.label()
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String], default_preset: Option<&str>) -> i32 {
+    let options = match parse_run_options(args, default_preset) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("[bneck] {message}");
+            return 2;
+        }
+    };
+    execute(options)
+}
+
+fn parse_run_options(args: &[String], default_preset: Option<&str>) -> Result<RunOptions, String> {
+    let mut spec = load_spec(args, default_preset)?;
+    apply_overrides(&mut spec, args)?;
+    let json_flag = args.iter().any(|a| a == "--json");
+    let out = value_of(args, "--out");
+    if json_flag || out.is_some() {
+        spec.output.json = true;
+    }
+    if args.iter().any(|a| a == "--no-tables") {
+        spec.output.tables = false;
+    }
+    if args.iter().any(|a| a == "--no-csv") {
+        spec.output.csv = false;
+    }
+    Ok(RunOptions {
+        json: json_flag,
+        out,
+        tables: spec.output.tables,
+        csv: spec.output.csv,
+        spec,
+    })
+}
+
+fn execute(options: RunOptions) -> i32 {
+    let topologies = TopologyRegistry::builtin();
+    let protocols = default_protocols();
+    let runner = SweepRunner::from_env();
+    eprintln!(
+        "[bneck] running spec `{}` ({}) on {} worker thread(s)",
+        options.spec.name,
+        options.spec.experiment.label(),
+        runner.threads()
+    );
+    let SpecOutcome { report, notes } =
+        match run_spec(&options.spec, &topologies, &protocols, &runner) {
+            Ok(outcome) => outcome,
+            Err(error) => {
+                eprintln!("[bneck] spec does not resolve: {error}");
+                return 2;
+            }
+        };
+    for note in &notes {
+        eprintln!("[bneck] {note}");
+    }
+
+    let tables = render_tables(&report);
+    if options.tables {
+        for table in &tables {
+            println!("{table}");
+        }
+    }
+    if options.csv {
+        for table in &tables {
+            println!("{}", table.to_csv());
+        }
+    }
+    if options.spec.output.json {
+        let document = json_report(&options.spec, &report);
+        if options.json || options.out.is_none() {
+            println!("{}", document.to_json_pretty());
+        }
+        if let Some(path) = &options.out {
+            if let Err(error) = std::fs::write(path, document.to_json_pretty()) {
+                eprintln!("[bneck] cannot write report to `{path}`: {error}");
+                return 2;
+            }
+            eprintln!("[bneck] JSON report written to {path}");
+        }
+    }
+
+    let failures = report.failures();
+    if failures > 0 {
+        eprintln!("[bneck] FAILURES: {failures} failing runs or mismatching sessions");
+        return 1;
+    }
+    if matches!(report, crate::report::ExperimentReport::Validation(_)) {
+        println!("all runs converged to the exact max-min fair rates");
+    }
+    0
+}
+
+/// The machine-readable document `--json` / `--out` emit: the spec that ran
+/// (overrides applied) next to its report.
+fn json_report(
+    spec: &ExperimentSpec,
+    report: &crate::report::ExperimentReport,
+) -> serde_json::Value {
+    serde_json::Value::record(vec![
+        (
+            "spec",
+            serde_json::to_value(spec).expect("infallible in the shim"),
+        ),
+        (
+            "report",
+            serde_json::to_value(report).expect("infallible in the shim"),
+        ),
+    ])
+}
+
+fn cmd_validate(args: &[String]) -> i32 {
+    let topologies = TopologyRegistry::builtin();
+    let protocols = default_protocols();
+    let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let mut failures = 0usize;
+    if paths.is_empty() {
+        // No files: check every shipped preset (round-trip included, so a
+        // preset that cannot survive its own serialization fails here).
+        for spec in ExperimentSpec::presets() {
+            match check_round_trip(&spec, &topologies, &protocols) {
+                Ok(()) => println!("ok preset {}", spec.name),
+                Err(message) => {
+                    println!("FAIL preset {}: {message}", spec.name);
+                    failures += 1;
+                }
+            }
+        }
+    }
+    for path in paths {
+        match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| {
+                serde_json::from_str::<ExperimentSpec>(&text).map_err(|e| e.to_string())
+            })
+            .and_then(|spec| {
+                spec.check(&topologies, &protocols)
+                    .map_err(|e| e.to_string())
+                    .map(|()| spec)
+            }) {
+            Ok(spec) => println!("ok {path} ({} · {})", spec.name, spec.experiment.label()),
+            Err(message) => {
+                println!("FAIL {path}: {message}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("[bneck] {failures} invalid spec(s)");
+        1
+    } else {
+        0
+    }
+}
+
+fn check_round_trip(
+    spec: &ExperimentSpec,
+    topologies: &TopologyRegistry,
+    protocols: &ProtocolRegistry,
+) -> Result<(), String> {
+    spec.check(topologies, protocols)
+        .map_err(|e| e.to_string())?;
+    let text = serde_json::to_string_pretty(spec).map_err(|e| e.to_string())?;
+    let back: ExperimentSpec = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    if back != *spec {
+        return Err("serialization round-trip changed the spec".to_string());
+    }
+    Ok(())
+}
+
+fn cmd_bench_presets(args: &[String]) -> i32 {
+    if args.iter().any(|a| a == "--json") {
+        let specs = ExperimentSpec::presets();
+        println!(
+            "{}",
+            serde_json::to_value(&specs)
+                .expect("infallible in the shim")
+                .to_json_pretty()
+        );
+        return 0;
+    }
+    let mut table = Table::new(
+        "shipped experiment presets (run with `bneck run --preset NAME`)",
+        &["preset", "kind", "reproduces"],
+    );
+    for name in PRESET_NAMES.iter().chain(std::iter::once(&PAPER_FULL)) {
+        let spec = ExperimentSpec::preset(name).expect("shipped preset resolves");
+        table.add_row(&[
+            name.to_string(),
+            spec.experiment.label().to_string(),
+            ExperimentSpec::preset_summary(name)
+                .expect("every preset has a summary")
+                .to_string(),
+        ]);
+    }
+    println!("{table}");
+    0
+}

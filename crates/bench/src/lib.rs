@@ -2,32 +2,42 @@
 //!
 //! The experiment harness of the B-Neck reproduction. The [`runner`] module
 //! contains the code that regenerates every figure of the paper's evaluation
-//! section; the binaries in `src/bin/` print the corresponding series as
-//! text tables, and the Criterion benchmarks in `benches/` time the key
+//! section; the [`report`] module executes declarative
+//! [`ExperimentSpec`](bneck_workload::spec::ExperimentSpec)s into typed,
+//! serializable [`report::ExperimentReport`]s; and the [`cli`] module is the
+//! one `bneck` binary that drives it all (`run`, `sweep`, `validate`,
+//! `bench-presets`). The Criterion benchmarks in `benches/` time the key
 //! building blocks.
 //!
-//! | Paper figure | Runner | Binary |
+//! | Paper figure | Runner | Spec preset |
 //! |---|---|---|
-//! | Figure 5 (left, right) | [`runner::run_experiment1_point`] / [`runner::run_experiment1_sweep`] | `experiment1` |
-//! | Figure 6 | [`runner::run_experiment2`] / [`runner::run_experiment2_repeats`] | `experiment2` |
-//! | Figures 7 and 8 | [`runner::run_experiment3_with`] | `experiment3` |
+//! | Figure 5 (left, right) | [`runner::run_experiment1_point`] / [`runner::run_experiment1_sweep`] | `exp1`, `exp1_full` |
+//! | Figure 6 | [`runner::run_experiment2`] / [`runner::run_experiment2_repeats`] | `exp2`, `exp2_full` |
+//! | Figures 7 and 8 | [`runner::run_experiment3_registry`] | `exp3`, `exp3_full` |
 //! | Correctness validation (Section IV) | [`runner::run_validation_sweep`] | `validate` |
+//! | 300k-session scale points (Figure 5) | [`runner::run_scale_sweep`] | `paper_scale`, `paper_full` |
 //!
 //! Every runner drives its protocols through the unified
-//! `ProtocolWorld`/`Simulation` traits, and the sweep-level entry points fan
-//! independent points across worker threads with [`sweep::SweepRunner`]
+//! `ProtocolWorld`/`Simulation` traits (names resolved by the
+//! [`runner::default_protocols`] registry), and the sweep-level entry points
+//! fan independent points across worker threads with [`sweep::SweepRunner`]
 //! (thread count from `BNECK_THREADS`, bit-identical reports at any count).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "serde")]
+pub mod cli;
+pub mod report;
 pub mod runner;
 pub mod sweep;
 
+pub use report::{render_tables, run_spec, ExperimentReport, SpecOutcome};
 pub use runner::{
-    build_protocol, run_experiment1_point, run_experiment1_sweep, run_experiment2,
-    run_experiment2_repeats, run_experiment3, run_experiment3_with, run_validation_sweep,
+    build_protocol, default_protocols, run_experiment1_point, run_experiment1_sweep,
+    run_experiment2, run_experiment2_repeats, run_experiment3, run_experiment3_registry,
+    run_experiment3_with, run_scale_point, run_scale_sweep, run_validation_sweep,
     validate_scenario, Experiment1Point, Experiment2PhaseResult, Experiment2Run, Experiment3Result,
-    Experiment3Sample, ValidationPoint, ValidationReport,
+    Experiment3Sample, ScaleReport, ScaleRun, ValidationPoint, ValidationReport,
 };
 pub use sweep::SweepRunner;

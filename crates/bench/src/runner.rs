@@ -10,7 +10,6 @@
 //! thread count.
 
 use crate::sweep::SweepRunner;
-use bneck_baselines::{baseline_by_name, BaselineConfig};
 use bneck_core::prelude::*;
 use bneck_maxmin::prelude::*;
 use bneck_metrics::prelude::*;
@@ -19,6 +18,15 @@ use bneck_sim::SimTime;
 use bneck_workload::prelude::*;
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
+
+/// The fully-populated protocol registry of this workspace: B-Neck plus the
+/// three baselines (BFYZ, CG, RCP), all with default parameters. The `bneck`
+/// CLI and the spec driver resolve protocol names through this.
+pub fn default_protocols() -> ProtocolRegistry {
+    let mut registry = ProtocolRegistry::with_bneck();
+    bneck_baselines::register_baselines(&mut registry);
+    registry
+}
 
 /// One point of Figure 5: a session count on one scenario.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,7 +95,7 @@ pub fn run_experiment1_sweep(
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct Experiment2PhaseResult {
     /// Phase name (`join`, `leave`, `change`, `join-2`, `mixed`).
-    pub name: &'static str,
+    pub name: String,
     /// Time the phase started at (when its churn was injected).
     pub started_at_us: u64,
     /// Time the network needed to become quiescent again, in microseconds.
@@ -149,7 +157,9 @@ pub fn run_experiment2(
             validated,
         });
     }
-    let series = PacketTimeSeries::from_log(sim.packet_log(), Delay::from_millis(5));
+    // Borrow the log in place: at paper scale it holds tens of millions of
+    // entries, and a snapshot clone would momentarily double that memory.
+    let series = sim.with_packet_log(|log| PacketTimeSeries::from_log(log, Delay::from_millis(5)));
     (results, series)
 }
 
@@ -220,19 +230,15 @@ pub struct Experiment3Result {
     pub quiescent_at_us: Option<u64>,
 }
 
-/// Builds a protocol-under-test by display name: `B-Neck` itself, or one of
-/// the baselines through `bneck_baselines::baseline_by_name`. This is the
-/// single dispatch point of the experiment drivers — the runner below only
-/// ever sees `&mut dyn ProtocolWorld`.
+/// Builds a protocol-under-test by display name from the
+/// [`default_protocols`] registry: `B-Neck` itself or one of the baselines.
+///
+/// Kept as a convenience over the registry — drivers that accept a caller
+/// registry (the CLI, [`run_experiment3_registry`]) should take a
+/// [`ProtocolRegistry`] instead, so embedders can add protocols without
+/// touching this crate.
 pub fn build_protocol<'a>(name: &str, network: &'a Network) -> Option<Box<dyn ProtocolWorld + 'a>> {
-    if name == "B-Neck" {
-        Some(Box::new(BneckSimulation::new(
-            network,
-            BneckConfig::default(),
-        )))
-    } else {
-        baseline_by_name(name, network, BaselineConfig::default())
-    }
+    default_protocols().build(name, network)
 }
 
 /// Drives one protocol through the Experiment 3 measurement loop: apply the
@@ -298,6 +304,22 @@ pub fn run_experiment3_with(
     baselines: &[&str],
     runner: &SweepRunner,
 ) -> Vec<Experiment3Result> {
+    run_experiment3_registry(config, baselines, &default_protocols(), runner)
+}
+
+/// [`run_experiment3_with`], resolving protocol names through a caller
+/// registry — the entry point of the spec-driven CLI, and the way to run the
+/// accuracy experiment over protocols this workspace does not know about.
+///
+/// # Panics
+///
+/// Panics if a requested protocol name is not registered.
+pub fn run_experiment3_registry(
+    config: &Experiment3Config,
+    baselines: &[&str],
+    registry: &ProtocolRegistry,
+    runner: &SweepRunner,
+) -> Vec<Experiment3Result> {
     let network = config.scenario.build();
     let schedule = config.schedule(&network);
     let sample_times = config.sample_times();
@@ -312,8 +334,9 @@ pub fn run_experiment3_with(
     let mut protocols = vec!["B-Neck"];
     protocols.extend(baselines);
     runner.run(protocols, |_, name| {
-        let mut sim = build_protocol(name, &network)
-            .unwrap_or_else(|| panic!("unknown baseline {name}; expected BFYZ, CG or RCP"));
+        let mut sim = registry
+            .build(name, &network)
+            .unwrap_or_else(|| panic!("protocol {name} is not in the registry"));
         run_protocol(sim.as_mut(), &schedule, &sample_times, &solution)
     })
 }
@@ -324,6 +347,10 @@ pub fn run_experiment3_with(
 pub struct ValidationReport {
     /// Scenario label.
     pub scenario: String,
+    /// The scenario's topology seed (the former `validate` binary printed it
+    /// from its point list; carrying it in the report makes the report
+    /// self-describing).
+    pub topology_seed: u64,
     /// Number of sessions checked.
     pub sessions: usize,
     /// Time to quiescence in microseconds.
@@ -375,6 +402,7 @@ pub fn validate_scenario(
         .unwrap_or(0);
     ValidationReport {
         scenario: scenario.label(),
+        topology_seed: scenario.seed,
         sessions: session_set.len(),
         time_to_quiescence_us: report.quiescent_at.as_micros(),
         mismatches,
@@ -404,6 +432,143 @@ pub fn run_validation_sweep(
     runner.run(points, |_, point| {
         validate_scenario(&point.scenario, point.sessions, point.seed)
     })
+}
+
+/// The deterministic outcome of one paper-scale join-to-quiescence point
+/// (the wall-clock timings live in [`ScaleRun::detail`], outside the report,
+/// so reports stay bit-identical at any thread count and across machines).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ScaleReport {
+    /// Number of sessions the point planned.
+    pub sessions: usize,
+    /// Number of join events the harness accepted.
+    pub joins_applied: usize,
+    /// Whether the run reached quiescence.
+    pub quiescent: bool,
+    /// Simulated time of quiescence, in microseconds.
+    pub quiescent_at_us: u64,
+    /// Events processed during the run.
+    pub events_processed: u64,
+    /// Packets transmitted over links.
+    pub packets_sent: u64,
+    /// Average packets per session.
+    pub packets_per_session: f64,
+    /// Sessions disagreeing with the centralized oracle; `None` when
+    /// validation was skipped.
+    pub mismatches: Option<usize>,
+}
+
+impl ScaleReport {
+    /// `true` when the run reached quiescence, every planned session joined,
+    /// and — if validated — the rates agreed with the oracle.
+    pub fn ok(&self) -> bool {
+        self.quiescent && self.joins_applied == self.sessions && self.mismatches.unwrap_or(0) == 0
+    }
+}
+
+/// One paper-scale run: the deterministic report plus human-oriented detail
+/// lines (network dimensions, wall-clock timings).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleRun {
+    /// The deterministic outcome.
+    pub report: ScaleReport,
+    /// Multi-line progress/timing detail for operators (not part of the
+    /// machine-readable report: wall-clock times are not reproducible).
+    pub detail: String,
+}
+
+/// Runs one paper-scale point: builds the network, applies the join
+/// schedule, drives to quiescence, and — unless `validate` is off —
+/// cross-checks the final rates against the centralized oracle.
+pub fn run_scale_point(config: &Experiment1Config, validate: bool) -> ScaleRun {
+    use std::fmt::Write as _;
+    use std::time::Instant;
+
+    let sessions = config.sessions;
+    let t0 = Instant::now();
+    let network = config.scenario.build();
+    let t_build = t0.elapsed();
+    let mut detail = format!(
+        "[scale] network: {} routers, {} hosts, {} links ({:.2?})\n",
+        network.router_count(),
+        network.host_count(),
+        network.link_count(),
+        t_build
+    );
+
+    let t1 = Instant::now();
+    let schedule = config.schedule(&network);
+    let t_plan = t1.elapsed();
+
+    let mut sim = BneckSimulation::new(&network, BneckConfig::default());
+    let t2 = Instant::now();
+    let stats = schedule.apply(&mut sim);
+    let report = sim.run_to_quiescence();
+    let t_run = t2.elapsed();
+    let _ = write!(
+        detail,
+        "[scale] {} joins applied, quiescent={} at {}us after {} events / {} packets ({:.2?})",
+        stats.joins,
+        report.quiescent,
+        report.quiescent_at.as_micros(),
+        report.events_processed,
+        report.packets_sent,
+        t_run
+    );
+
+    let mut mismatches = None;
+    let mut t_oracle = std::time::Duration::ZERO;
+    if validate {
+        let t3 = Instant::now();
+        let session_set = sim.session_set();
+        let oracle = CentralizedBneck::new(&network, &session_set).solve();
+        mismatches = Some(
+            compare_allocations(
+                &session_set,
+                &sim.allocation(),
+                &oracle,
+                Tolerance::new(1e-6, 10.0),
+            )
+            .err()
+            .map(|v| v.len())
+            .unwrap_or(0),
+        );
+        t_oracle = t3.elapsed();
+    }
+    let _ = write!(
+        detail,
+        "\n[scale] build_s={:.3} plan_s={:.3} run_s={:.3} oracle_s={:.3} total_s={:.3}",
+        t_build.as_secs_f64(),
+        t_plan.as_secs_f64(),
+        t_run.as_secs_f64(),
+        t_oracle.as_secs_f64(),
+        t0.elapsed().as_secs_f64(),
+    );
+
+    ScaleRun {
+        report: ScaleReport {
+            sessions,
+            joins_applied: stats.joins,
+            quiescent: report.quiescent,
+            quiescent_at_us: report.quiescent_at.as_micros(),
+            events_processed: report.events_processed,
+            packets_sent: report.packets_sent,
+            packets_per_session: report.packets_sent as f64 / sessions.max(1) as f64,
+            mismatches,
+        },
+        detail,
+    }
+}
+
+/// Runs every paper-scale point, fanned across the runner's worker threads;
+/// reports come back in point order, bit-identical at any thread count.
+pub fn run_scale_sweep(
+    configs: Vec<Experiment1Config>,
+    validate: bool,
+    runner: &SweepRunner,
+) -> Vec<ScaleRun> {
+    runner.run(configs, |_, config| run_scale_point(&config, validate))
 }
 
 #[cfg(test)]

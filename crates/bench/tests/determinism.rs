@@ -94,3 +94,108 @@ fn validation_sweep_is_bit_identical_at_any_thread_count() {
         .iter()
         .all(|r| r.mismatches == 0 && r.violations == 0));
 }
+
+// ---------------------------------------------------------------------------
+// Spec-path equivalence: `bneck run` on the preset specs must produce reports
+// bit-identical to the direct PR 4 runner entry points (the specs are a
+// declarative frontend over the same engine, not a parallel implementation).
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "serde")]
+mod spec_equivalence {
+    use super::*;
+    use bneck_bench::{default_protocols, run_spec, ExperimentReport};
+    use bneck_workload::registry::TopologyRegistry;
+    use bneck_workload::spec::{ExperimentKind, ExperimentSpec};
+
+    /// The exp1 preset runs the same simulations as the former `experiment1`
+    /// binary's construction loop fed to `run_experiment1_sweep`. The session
+    /// sweep is trimmed to keep the test fast; the trim goes through the same
+    /// `--sessions` override path the CLI exposes.
+    #[test]
+    fn exp1_preset_report_matches_the_direct_runner() {
+        let mut spec = ExperimentSpec::preset("exp1").unwrap();
+        let ExperimentKind::Joins(joins) = &mut spec.experiment else {
+            panic!("exp1 is a joins sweep");
+        };
+        joins.sessions = vec![10, 25];
+
+        // What the former binary built for this sweep: seed = position + 1,
+        // hosts = (2 * sessions).max(20), over the same three scenarios.
+        let mut configs = Vec::new();
+        let scenarios: Vec<fn(usize) -> NetworkScenario> = vec![
+            NetworkScenario::small_lan,
+            NetworkScenario::small_wan,
+            NetworkScenario::medium_lan,
+        ];
+        for make_scenario in &scenarios {
+            for &sessions in &[10usize, 25] {
+                let hosts = (2 * sessions).max(20);
+                let mut config = Experiment1Config::scaled(make_scenario(hosts), sessions);
+                config.seed = configs.len() as u64 + 1;
+                configs.push(config);
+            }
+        }
+        let direct = run_experiment1_sweep(configs, &SweepRunner::new(1));
+
+        let topologies = TopologyRegistry::builtin();
+        let protocols = default_protocols();
+        for threads in [1, 4] {
+            let outcome =
+                run_spec(&spec, &topologies, &protocols, &SweepRunner::new(threads)).unwrap();
+            let ExperimentReport::Joins(points) = outcome.report else {
+                panic!("joins spec produces a joins report");
+            };
+            assert_eq!(
+                points, direct,
+                "spec path diverged from the direct runner at {threads} thread(s)"
+            );
+        }
+    }
+
+    /// The validate preset runs the same points as the former `validate`
+    /// binary (sessions trimmed via the spec, as `--sessions` would).
+    #[test]
+    fn validate_preset_report_matches_the_direct_runner() {
+        let mut spec = ExperimentSpec::preset("validate").unwrap();
+        let ExperimentKind::Validation(validation) = &mut spec.experiment else {
+            panic!("validate is a validation spec");
+        };
+        validation.sessions = 25;
+        validation.runs = 2;
+
+        // What the former binary built: scenario seeds 1..=runs, workload
+        // seeds 100.., hosts = 2 * sessions, over four scenario flavours.
+        let sessions = 25;
+        let mut points = Vec::new();
+        for scenario in [
+            NetworkScenario::small_lan(2 * sessions),
+            NetworkScenario::small_wan(2 * sessions),
+            NetworkScenario::medium_lan(2 * sessions),
+            NetworkScenario::medium_wan(2 * sessions),
+        ] {
+            for seed in 0..2u64 {
+                points.push(ValidationPoint {
+                    scenario: scenario.with_seed(seed + 1),
+                    sessions,
+                    seed: seed + 100,
+                });
+            }
+        }
+        let direct = run_validation_sweep(points, &SweepRunner::new(1));
+
+        let topologies = TopologyRegistry::builtin();
+        let protocols = default_protocols();
+        for threads in [1, 4] {
+            let outcome =
+                run_spec(&spec, &topologies, &protocols, &SweepRunner::new(threads)).unwrap();
+            let ExperimentReport::Validation(reports) = outcome.report else {
+                panic!("validation spec produces a validation report");
+            };
+            assert_eq!(
+                reports, direct,
+                "spec path diverged from the direct runner at {threads} thread(s)"
+            );
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! Quickstart: run the distributed B-Neck protocol on a small dumbbell
-//! network, watch it converge to the max-min fair rates, go quiescent, and
-//! react to a rate change and a departure.
+//! network, subscribe to its push-based `API.Rate` event stream, watch it
+//! converge to the max-min fair rates, go quiescent (the stream falls
+//! silent), and react to a rate change and a departure.
 //!
 //! Run with:
 //!
@@ -9,6 +10,19 @@
 //! ```
 
 use bneck::prelude::*;
+
+fn print_events(label: &str, events: &RateEvents) {
+    println!("{label}");
+    for event in events.drain() {
+        println!(
+            "  t={:>6} us  {}  {:?} -> {:.1} Mbps",
+            event.at.as_micros(),
+            event.session,
+            event.cause,
+            event.rate / 1e6
+        );
+    }
+}
 
 fn print_rates(label: &str, sim: &BneckSimulation<'_>) {
     println!("{label}");
@@ -30,6 +44,10 @@ fn main() {
     let hosts: Vec<_> = network.hosts().map(|h| h.id()).collect();
 
     let mut sim = BneckSimulation::new(&network, BneckConfig::default());
+
+    // The paper's API is push-based: subscribe to the API.Rate stream
+    // instead of polling a history vector.
+    let events = sim.rate_events();
 
     // Session 0 caps itself at 10 Mbps; the others are greedy.
     sim.join(
@@ -67,6 +85,7 @@ fn main() {
         "max-min fair rates (10 Mbps cap + even split of the rest):",
         &sim,
     );
+    print_events("API.Rate notifications of the convergence:", &events);
 
     // The allocation matches the centralized Water-Filling oracle.
     let oracle = CentralizedBneck::new(&network, &sim.session_set()).solve();
@@ -91,6 +110,7 @@ fn main() {
         "rates after session 0 lifted its cap (even three-way split):",
         &sim,
     );
+    print_events("API.Rate notifications of the re-convergence:", &events);
 
     // Session 1 leaves: the survivors re-converge to a larger share.
     let t = sim.now() + Delay::from_millis(1);
@@ -102,9 +122,13 @@ fn main() {
     );
     print_rates("rates after session 1 left (45 Mbps each):", &sim);
 
-    // Quiescence: with no further changes, not a single packet is generated.
+    print_events("API.Rate notifications of the departure:", &events);
+
+    // Quiescence: with no further changes, not a single packet is generated
+    // and the event stream stays silent.
     let packets_before = sim.packet_stats().total();
     sim.run_to_quiescence();
     assert_eq!(sim.packet_stats().total(), packets_before);
-    println!("\nno further control traffic is generated while the sessions are stable");
+    assert!(events.is_empty(), "the API.Rate stream is silent");
+    println!("\nno further control traffic or rate events while the sessions are stable");
 }

@@ -20,6 +20,11 @@
 //!
 //! ## Quickstart
 //!
+//! The paper's interface is push-based: `API.Join`/`API.Leave`/`API.Change`
+//! go in, asynchronous `API.Rate` notifications come out — and, B-Neck being
+//! quiescent, the notifications *stop* once the allocation has converged.
+//! Subscribe to the [`core::RateEvent`] stream instead of polling:
+//!
 //! ```
 //! use bneck::prelude::*;
 //!
@@ -28,16 +33,32 @@
 //!                               Capacity::from_mbps(90.0), Delay::from_micros(1));
 //! let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
 //! let mut sim = BneckSimulation::new(&net, BneckConfig::default());
-//! sim.join(SimTime::ZERO, SessionId(0), hosts[0], hosts[1], RateLimit::finite(10e6)).unwrap();
+//! let events = sim.rate_events();     // drainable API.Rate stream
+//!
+//! let s0 = sim.join(SimTime::ZERO, SessionId(0), hosts[0], hosts[1],
+//!                   RateLimit::finite(10e6)).unwrap();
 //! sim.join(SimTime::ZERO, SessionId(1), hosts[2], hosts[3], RateLimit::unlimited()).unwrap();
 //! sim.join(SimTime::ZERO, SessionId(2), hosts[4], hosts[5], RateLimit::unlimited()).unwrap();
 //! let report = sim.run_to_quiescence();
 //! assert!(report.quiescent);
+//!
+//! // The stream delivered each session's convergence, tagged with its cause.
+//! let converged = events.drain();
+//! assert!(converged.iter().any(|e|
+//!     e.session == s0.id() && e.cause == RateCause::Joined && (e.rate - 10e6).abs() < 1.0));
+//! assert!(converged.iter().any(|e|
+//!     e.session == SessionId(1) && (e.rate - 40e6).abs() < 1.0));
+//!
+//! // Quiescent means *silent*: running further produces no traffic and no
+//! // further notifications.
+//! sim.run_to_quiescence();
+//! assert!(events.is_empty());
 //! let rates = sim.allocation();
-//! assert!((rates.rate(SessionId(0)).unwrap() - 10e6).abs() < 1.0);
-//! assert!((rates.rate(SessionId(1)).unwrap() - 40e6).abs() < 1.0);
 //! assert!((rates.rate(SessionId(2)).unwrap() - 40e6).abs() < 1.0);
 //! ```
+//!
+//! Experiments are driven declaratively through the `bneck` CLI of
+//! `bneck-bench` (`bneck run --preset exp1`, `bneck bench-presets`, ...).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

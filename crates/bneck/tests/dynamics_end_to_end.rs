@@ -60,7 +60,7 @@ fn five_phase_churn_converges_and_validates_each_phase() {
 
     // The packet log covers the whole run and ends when the last phase ends:
     // after the final quiescence instant there is no packet at all.
-    let series = PacketTimeSeries::from_log(sim.packet_log(), Delay::from_millis(5));
+    let series = PacketTimeSeries::from_log(&sim.packet_log(), Delay::from_millis(5));
     assert!(series.total() > 0);
     let last_active = series.last_active_bin().unwrap();
     let quiescent_bin =

@@ -25,6 +25,10 @@
 
 use crate::config::BneckConfig;
 use crate::destination::DestinationNode;
+use crate::events::{
+    snapshot, PacketLogRecorder, RateCause, RateEvent, RateEvents, RateHistoryRecorder, Recording,
+    Subscriber, SubscriberSet,
+};
 use crate::packet::{Packet, PacketKind};
 use crate::router_link::RouterLink;
 use crate::source::SourceNode;
@@ -79,7 +83,11 @@ enum Payload {
     Protocol(Packet),
 }
 
-/// Error returned when a session cannot be created or manipulated.
+/// Error returned when `API.Join` cannot create a session.
+///
+/// This enum is join-specific: `API.Leave` and `API.Change` can only fail
+/// with [`UnknownSession`], which is its own type — callers match exactly the
+/// failures an operation can produce instead of a shared catch-all.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub enum JoinError {
@@ -92,8 +100,6 @@ pub enum JoinError {
     },
     /// A session with the same identifier is already active.
     DuplicateSession(SessionId),
-    /// The session is not active.
-    UnknownSession(SessionId),
     /// Another active session already starts at the requested source host.
     ///
     /// The paper's system model assumes every host is the source of at most
@@ -116,7 +122,6 @@ impl fmt::Display for JoinError {
                 destination,
             } => write!(f, "no path from {source} to {destination}"),
             JoinError::DuplicateSession(s) => write!(f, "session {s} is already active"),
-            JoinError::UnknownSession(s) => write!(f, "session {s} is not active"),
             JoinError::SourceHostBusy { host, existing } => write!(
                 f,
                 "host {host} is already the source of active session {existing}"
@@ -126,6 +131,50 @@ impl fmt::Display for JoinError {
 }
 
 impl std::error::Error for JoinError {}
+
+/// Error returned by `API.Leave` and `API.Change`: the session is not active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct UnknownSession(pub SessionId);
+
+impl fmt::Display for UnknownSession {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session {} is not active", self.0)
+    }
+}
+
+impl std::error::Error for UnknownSession {}
+
+/// A live session, returned by `API.Join`.
+///
+/// The handle pairs the caller's [`SessionId`] with the dense per-simulation
+/// slot the harness assigned, so handle-based queries skip the id → slot
+/// lookup. Handles are plain copyable tokens — they do not keep the session
+/// alive, and a handle of a departed session simply names an inactive one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionHandle {
+    session: SessionId,
+    slot: u32,
+}
+
+impl SessionHandle {
+    /// The session's identifier.
+    pub fn id(&self) -> SessionId {
+        self.session
+    }
+
+    /// The dense slot the harness assigned (stable for the lifetime of the
+    /// simulation; reused if the identifier rejoins after a leave).
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+}
+
+impl From<SessionHandle> for SessionId {
+    fn from(handle: SessionHandle) -> SessionId {
+        handle.session
+    }
+}
 
 /// Summary of a run to quiescence.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -174,11 +223,16 @@ struct BneckWorld {
     /// The shared session-slot arena: id ↔ slot, paths, limits, active set
     /// and the cached oracle snapshot.
     arena: SessionArena,
+    /// What a slot's *next* `API.Rate` notification means: `Joined` after a
+    /// join, `Changed` after a change, `Converged` once the first
+    /// notification of the incarnation went out. Indexed by slot.
+    causes: Vec<RateCause>,
     /// Reusable buffer the task handlers emit into.
     scratch: ActionBuffer,
     stats: PacketStats,
-    packet_log: Vec<(SimTime, PacketKind)>,
-    rate_history: Vec<(SimTime, RateNotification)>,
+    /// The registered observers ([`RateEvents`] writers, recorders, user
+    /// callbacks).
+    subscribers: SubscriberSet,
 }
 
 impl BneckWorld {
@@ -194,12 +248,31 @@ impl BneckWorld {
                     self.scratch = actions;
                     return;
                 };
+                let session = source.session();
                 match call {
                     ApiCall::Join { limit } => source.api_join(limit, &mut actions),
-                    ApiCall::Leave => source.api_leave(&mut actions),
-                    ApiCall::Change { limit } => source.api_change(limit, &mut actions),
+                    ApiCall::Leave => {
+                        // The `Left` marker carries the last rate the source
+                        // was using before the departure tore it down.
+                        let final_rate = source.current_rate();
+                        source.api_leave(&mut actions);
+                        self.subscribers.emit_rate(&RateEvent {
+                            at: ctx.now(),
+                            session,
+                            rate: final_rate,
+                            cause: RateCause::Left,
+                        });
+                    }
+                    ApiCall::Change { limit } => {
+                        // Tag the cause when the change is *processed* (at
+                        // simulated time), not when it was scheduled — a
+                        // re-convergence notification that fires before the
+                        // change takes effect must stay `Converged`.
+                        self.causes[slot as usize] = RateCause::Changed;
+                        source.api_change(limit, &mut actions);
+                    }
                 }
-                source.session()
+                session
             }
             (Target::Source(slot), Payload::Protocol(packet)) => {
                 if let Some(source) = self.sources.get_mut(slot as usize) {
@@ -244,12 +317,20 @@ impl BneckWorld {
     ) {
         match action {
             Action::NotifyRate { session, rate } => {
-                if let Some(slot) = self.arena.slot_of(session) {
-                    self.notified[slot as usize] = rate;
-                }
-                if self.config.record_rate_history {
-                    self.rate_history
-                        .push((ctx.now(), RateNotification { session, rate }));
+                let cause = match self.arena.slot_of(session) {
+                    Some(slot) => {
+                        self.notified[slot as usize] = rate;
+                        std::mem::replace(&mut self.causes[slot as usize], RateCause::Converged)
+                    }
+                    None => RateCause::Converged,
+                };
+                if !self.subscribers.is_empty() {
+                    self.subscribers.emit_rate(&RateEvent {
+                        at: ctx.now(),
+                        session,
+                        rate,
+                        cause,
+                    });
                 }
             }
             Action::SendDownstream(packet) => {
@@ -377,9 +458,7 @@ impl BneckWorld {
         packet: Packet,
     ) {
         self.stats.record(packet.kind());
-        if self.config.record_packet_log {
-            self.packet_log.push((ctx.now(), packet.kind()));
-        }
+        self.subscribers.note_packet(ctx.now(), packet.kind());
         ctx.send(
             self.links.channel(over),
             Address(0),
@@ -408,6 +487,10 @@ pub struct BneckSimulation<'a> {
     network: &'a Network,
     router: Router<'a>,
     source_hosts: BTreeMap<NodeId, SessionId>,
+    /// Reading end of the opt-in `API.Rate` history recorder.
+    rate_history: Option<Recording<(SimTime, RateNotification)>>,
+    /// Reading end of the opt-in per-packet log recorder.
+    packet_log: Option<Recording<(SimTime, PacketKind)>>,
 }
 
 impl<'a> fmt::Debug for BneckSimulation<'a> {
@@ -430,7 +513,7 @@ impl<'a> BneckSimulation<'a> {
         let links = LinkTable::new(network, &mut engine, config.packet_bits);
         let mut router_links = Vec::new();
         router_links.resize_with(network.link_count(), || None);
-        BneckSimulation {
+        let mut sim = BneckSimulation {
             engine,
             world: BneckWorld {
                 config,
@@ -440,15 +523,59 @@ impl<'a> BneckSimulation<'a> {
                 destinations: Vec::new(),
                 notified: Vec::new(),
                 arena: SessionArena::new(),
+                causes: Vec::new(),
                 scratch: ActionBuffer::new(),
                 stats: PacketStats::new(),
-                packet_log: Vec::new(),
-                rate_history: Vec::new(),
+                subscribers: SubscriberSet::new(),
             },
             network,
             router: Router::new(network),
             source_hosts: BTreeMap::new(),
+            rate_history: None,
+            packet_log: None,
+        };
+        // The optional recorders are ordinary subscribers over the same
+        // observer surface user code registers on.
+        if config.record_rate_history {
+            let log = Recording::default();
+            sim.rate_history = Some(Arc::clone(&log));
+            sim.world
+                .subscribers
+                .subscribe(Box::new(RateHistoryRecorder { log }));
         }
+        if config.record_packet_log {
+            let log = Recording::default();
+            sim.packet_log = Some(Arc::clone(&log));
+            sim.world
+                .subscribers
+                .subscribe(Box::new(PacketLogRecorder { log }));
+        }
+        sim
+    }
+
+    /// Registers an observer of this simulation: it sees every `API.Rate`
+    /// notification (as a [`RateEvent`]), quiescence, and — when it opts in —
+    /// every transmitted packet. Closures `FnMut(&RateEvent)` are
+    /// subscribers.
+    pub fn subscribe<S: Subscriber + 'static>(&mut self, subscriber: S) {
+        self.world.subscribers.subscribe(Box::new(subscriber));
+    }
+
+    /// Registers a boxed observer (the object-safe form used behind
+    /// `dyn ProtocolWorld`).
+    pub fn subscribe_boxed(&mut self, subscriber: Box<dyn Subscriber>) {
+        self.world.subscribers.subscribe(subscriber);
+    }
+
+    /// Opens a drainable stream of this simulation's [`RateEvent`]s.
+    ///
+    /// Each call opens an independent stream (events from registration
+    /// onward). Once the network is quiescent the stream goes silent: a drain
+    /// returns the convergence's events, and running further adds nothing.
+    pub fn rate_events(&mut self) -> RateEvents {
+        let (events, writer) = RateEvents::channel();
+        self.world.subscribers.subscribe(writer);
+        events
     }
 
     /// `true` if `host` is currently the source of an active session (and thus
@@ -464,7 +591,8 @@ impl<'a> BneckSimulation<'a> {
     }
 
     /// `API.Join(s, r)` at time `at`, routing the session along a shortest
-    /// path from `source` to `destination`.
+    /// path from `source` to `destination`. Returns the session's
+    /// [`SessionHandle`].
     ///
     /// # Errors
     ///
@@ -477,7 +605,7 @@ impl<'a> BneckSimulation<'a> {
         source: NodeId,
         destination: NodeId,
         limit: RateLimit,
-    ) -> Result<(), JoinError> {
+    ) -> Result<SessionHandle, JoinError> {
         let path = self
             .router
             .shortest_path(source, destination)
@@ -488,7 +616,8 @@ impl<'a> BneckSimulation<'a> {
         self.join_with_path(at, session, path, limit)
     }
 
-    /// `API.Join(s, r)` at time `at` along an explicit path.
+    /// `API.Join(s, r)` at time `at` along an explicit path. Returns the
+    /// session's [`SessionHandle`].
     ///
     /// # Errors
     ///
@@ -501,7 +630,7 @@ impl<'a> BneckSimulation<'a> {
         session: SessionId,
         path: Path,
         limit: RateLimit,
-    ) -> Result<(), JoinError> {
+    ) -> Result<SessionHandle, JoinError> {
         if self.world.arena.is_active(session) {
             return Err(JoinError::DuplicateSession(session));
         }
@@ -531,10 +660,12 @@ impl<'a> BneckSimulation<'a> {
             self.world.sources[i] = source_task;
             self.world.destinations[i] = DestinationNode::new(session);
             self.world.notified[i] = f64::NAN;
+            self.world.causes[i] = RateCause::Joined;
         } else {
             self.world.sources.push(source_task);
             self.world.destinations.push(DestinationNode::new(session));
             self.world.notified.push(f64::NAN);
+            self.world.causes.push(RateCause::Joined);
         }
         self.engine.inject(
             at,
@@ -544,17 +675,18 @@ impl<'a> BneckSimulation<'a> {
                 payload: Payload::Api(ApiCall::Join { limit }),
             },
         );
-        Ok(())
+        Ok(SessionHandle { session, slot })
     }
 
-    /// `API.Leave(s)` at time `at`.
+    /// `API.Leave(s)` at time `at`. Subscribers receive a
+    /// [`RateCause::Left`] event when the departure is processed.
     ///
     /// # Errors
     ///
-    /// Returns [`JoinError::UnknownSession`] if the session is not active.
-    pub fn leave(&mut self, at: SimTime, session: SessionId) -> Result<(), JoinError> {
+    /// Returns [`UnknownSession`] if the session is not active.
+    pub fn leave(&mut self, at: SimTime, session: SessionId) -> Result<(), UnknownSession> {
         let Some(slot) = self.world.arena.leave(session) else {
-            return Err(JoinError::UnknownSession(session));
+            return Err(UnknownSession(session));
         };
         self.source_hosts.retain(|_, s| *s != session);
         self.world.notified[slot as usize] = f64::NAN;
@@ -569,19 +701,20 @@ impl<'a> BneckSimulation<'a> {
         Ok(())
     }
 
-    /// `API.Change(s, r)` at time `at`.
+    /// `API.Change(s, r)` at time `at`. The next `API.Rate` delivered to the
+    /// session carries [`RateCause::Changed`].
     ///
     /// # Errors
     ///
-    /// Returns [`JoinError::UnknownSession`] if the session is not active.
+    /// Returns [`UnknownSession`] if the session is not active.
     pub fn change(
         &mut self,
         at: SimTime,
         session: SessionId,
         limit: RateLimit,
-    ) -> Result<(), JoinError> {
+    ) -> Result<(), UnknownSession> {
         let Some(slot) = self.world.arena.change(session, limit) else {
-            return Err(JoinError::UnknownSession(session));
+            return Err(UnknownSession(session));
         };
         self.engine.inject(
             at,
@@ -595,14 +728,31 @@ impl<'a> BneckSimulation<'a> {
     }
 
     /// Runs the simulation until no protocol event remains (quiescence).
+    /// Subscribers receive [`Subscriber::on_quiescent`] when the queue
+    /// drains.
     pub fn run_to_quiescence(&mut self) -> QuiescenceReport {
-        self.engine.run(&mut self.world).into()
+        let report = self.engine.run(&mut self.world);
+        self.announce_quiescence(&report);
+        report.into()
     }
 
     /// Runs the simulation until `horizon` (inclusive) or quiescence,
     /// whichever comes first.
     pub fn run_until(&mut self, horizon: SimTime) -> QuiescenceReport {
-        self.engine.run_until(&mut self.world, horizon).into()
+        let report = self.engine.run_until(&mut self.world, horizon);
+        self.announce_quiescence(&report);
+        report.into()
+    }
+
+    /// Tells the subscribers the event queue drained during a run (only when
+    /// the run actually processed something — repeated runs on an already
+    /// quiescent network stay silent, like the protocol itself).
+    fn announce_quiescence(&mut self, report: &RunReport) {
+        if report.quiescent && report.events_processed > 0 {
+            self.world
+                .subscribers
+                .announce_quiescent(report.quiescent_at);
+        }
     }
 
     /// The current simulated time.
@@ -661,16 +811,43 @@ impl<'a> BneckSimulation<'a> {
         &self.world.stats
     }
 
-    /// The timestamped log of transmitted packets (empty unless
-    /// [`BneckConfig::record_packet_log`] is enabled).
-    pub fn packet_log(&self) -> &[(SimTime, PacketKind)] {
-        &self.world.packet_log
+    /// A snapshot of the timestamped log of transmitted packets (empty unless
+    /// [`BneckConfig::record_packet_log`] is enabled; the recorder is a
+    /// [`Subscriber`] registered at construction).
+    ///
+    /// This clones the log; at paper scale prefer
+    /// [`BneckSimulation::with_packet_log`], which borrows it in place.
+    pub fn packet_log(&self) -> Vec<(SimTime, PacketKind)> {
+        self.packet_log.as_ref().map(snapshot).unwrap_or_default()
     }
 
-    /// The timestamped `API.Rate` history (empty unless
-    /// [`BneckConfig::record_rate_history`] is enabled).
-    pub fn rate_history(&self) -> &[(SimTime, RateNotification)] {
-        &self.world.rate_history
+    /// Runs `f` over the recorded packet log without copying it (an empty
+    /// slice when recording is off). The log is locked for the duration of
+    /// `f`; aggregate in place, don't re-enter the simulation.
+    pub fn with_packet_log<R>(&self, f: impl FnOnce(&[(SimTime, PacketKind)]) -> R) -> R {
+        match &self.packet_log {
+            Some(log) => f(&log.lock().expect("recorder buffer poisoned")),
+            None => f(&[]),
+        }
+    }
+
+    /// A snapshot of the timestamped `API.Rate` history (empty unless
+    /// [`BneckConfig::record_rate_history`] is enabled; the recorder is a
+    /// [`Subscriber`] registered at construction).
+    ///
+    /// This clones the history; prefer
+    /// [`BneckSimulation::with_rate_history`] for large runs.
+    pub fn rate_history(&self) -> Vec<(SimTime, RateNotification)> {
+        self.rate_history.as_ref().map(snapshot).unwrap_or_default()
+    }
+
+    /// Runs `f` over the recorded `API.Rate` history without copying it (an
+    /// empty slice when recording is off).
+    pub fn with_rate_history<R>(&self, f: impl FnOnce(&[(SimTime, RateNotification)]) -> R) -> R {
+        match &self.rate_history {
+            Some(log) => f(&log.lock().expect("recorder buffer poisoned")),
+            None => f(&[]),
+        }
     }
 
     /// `true` when every router-link task satisfies the per-link stability
@@ -722,7 +899,9 @@ impl<'a> Simulation for BneckSimulation<'a> {
     }
 
     fn run_to(&mut self, horizon: SimTime) -> RunReport {
-        self.engine.run_until(&mut self.world, horizon)
+        let report = self.engine.run_until(&mut self.world, horizon);
+        self.announce_quiescence(&report);
+        report
     }
 
     fn events_processed(&self) -> u64 {
@@ -993,11 +1172,11 @@ mod tests {
         );
         assert_eq!(
             sim.leave(SimTime::ZERO, SessionId(9)),
-            Err(JoinError::UnknownSession(SessionId(9)))
+            Err(UnknownSession(SessionId(9)))
         );
         assert_eq!(
             sim.change(SimTime::ZERO, SessionId(9), RateLimit::unlimited()),
-            Err(JoinError::UnknownSession(SessionId(9)))
+            Err(UnknownSession(SessionId(9)))
         );
     }
 
@@ -1027,9 +1206,187 @@ mod tests {
         // Every packet kind count in the log matches the aggregate stats.
         let mut recount = PacketStats::new();
         for (_, kind) in sim.packet_log() {
-            recount.record(*kind);
+            recount.record(kind);
         }
         assert_eq!(&recount, sim.packet_stats());
+    }
+
+    #[test]
+    fn rate_events_stream_tags_causes_and_goes_silent_at_quiescence() {
+        let net = synthetic::dumbbell(2, mbps(100.0), mbps(60.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        let events = sim.rate_events();
+        let handle = sim
+            .join(
+                SimTime::ZERO,
+                SessionId(0),
+                hosts[0],
+                hosts[1],
+                RateLimit::unlimited(),
+            )
+            .unwrap();
+        assert_eq!(handle.id(), SessionId(0));
+        assert_eq!(SessionId::from(handle), SessionId(0));
+        sim.join(
+            SimTime::ZERO,
+            SessionId(1),
+            hosts[2],
+            hosts[3],
+            RateLimit::unlimited(),
+        )
+        .unwrap();
+        sim.run_to_quiescence();
+
+        let converged = events.drain();
+        assert!(!converged.is_empty());
+        // The first event of each session is its post-join notification.
+        let first_of_0 = converged
+            .iter()
+            .find(|e| e.session == SessionId(0))
+            .unwrap();
+        assert_eq!(first_of_0.cause, RateCause::Joined);
+        // Final rates appear in the stream.
+        assert!(converged
+            .iter()
+            .any(|e| e.session == SessionId(0) && (e.rate - 30e6).abs() < 1.0));
+        // Quiescent network: the stream is silent.
+        sim.run_to_quiescence();
+        assert!(events.is_empty(), "no events after quiescence");
+
+        // A change re-notifies with the Changed cause...
+        let t = sim.now() + bneck_net::Delay::from_millis(1);
+        sim.change(t, SessionId(0), RateLimit::finite(10e6))
+            .unwrap();
+        sim.run_to_quiescence();
+        let after_change = events.drain();
+        let own = after_change
+            .iter()
+            .find(|e| e.session == SessionId(0))
+            .unwrap();
+        assert_eq!(own.cause, RateCause::Changed);
+        assert!((own.rate - 10e6).abs() < 1.0);
+        // ...and the neighbour re-converges.
+        assert!(after_change
+            .iter()
+            .any(|e| e.session == SessionId(1) && e.cause == RateCause::Converged));
+
+        // A leave emits a final Left marker carrying the last used rate.
+        let t = sim.now() + bneck_net::Delay::from_millis(1);
+        sim.leave(t, SessionId(0)).unwrap();
+        sim.run_to_quiescence();
+        let after_leave = events.drain();
+        let left = after_leave
+            .iter()
+            .find(|e| e.cause == RateCause::Left)
+            .unwrap();
+        assert_eq!(left.session, SessionId(0));
+        assert!((left.rate - 10e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn change_cause_is_tagged_when_the_change_is_processed_not_scheduled() {
+        // Two sessions converge; then a third join (at t+1ms) and a change of
+        // session 0 (at t+10ms) are both scheduled *before* running — the
+        // order Schedule::apply produces for churn workloads. The
+        // join-triggered re-notification of session 0 fires long before the
+        // change takes effect and must be tagged Converged; only the
+        // notification after the change processes is Changed.
+        let net = synthetic::dumbbell(3, mbps(100.0), mbps(90.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        for i in 0..2u64 {
+            sim.join(
+                SimTime::ZERO,
+                SessionId(i),
+                hosts[2 * i as usize],
+                hosts[2 * i as usize + 1],
+                RateLimit::unlimited(),
+            )
+            .unwrap();
+        }
+        sim.run_to_quiescence();
+        let events = sim.rate_events();
+        let t0 = sim.now();
+        sim.join(
+            t0 + bneck_net::Delay::from_millis(1),
+            SessionId(2),
+            hosts[4],
+            hosts[5],
+            RateLimit::unlimited(),
+        )
+        .unwrap();
+        sim.change(
+            t0 + bneck_net::Delay::from_millis(10),
+            SessionId(0),
+            RateLimit::finite(10e6),
+        )
+        .unwrap();
+        sim.run_to_quiescence();
+        let causes: Vec<RateCause> = events
+            .drain()
+            .into_iter()
+            .filter(|e| e.session == SessionId(0))
+            .map(|e| e.cause)
+            .collect();
+        assert_eq!(
+            causes.first(),
+            Some(&RateCause::Converged),
+            "the join-triggered re-notification precedes the change"
+        );
+        assert!(
+            causes.contains(&RateCause::Changed),
+            "the post-change notification carries Changed"
+        );
+        assert_eq!(
+            causes.last(),
+            Some(&RateCause::Changed),
+            "nothing re-notifies session 0 after its own change settles"
+        );
+    }
+
+    #[test]
+    fn closure_subscribers_and_quiescence_callbacks_fire() {
+        use std::sync::{Arc, Mutex};
+        let net = synthetic::dumbbell(2, mbps(100.0), mbps(60.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        let seen: Arc<Mutex<Vec<(SessionId, RateCause)>>> = Arc::default();
+        let sink = Arc::clone(&seen);
+        sim.subscribe(move |e: &RateEvent| {
+            sink.lock().unwrap().push((e.session, e.cause));
+        });
+
+        struct QuiescenceProbe(Arc<Mutex<Vec<SimTime>>>);
+        impl Subscriber for QuiescenceProbe {
+            fn on_rate(&mut self, _event: &RateEvent) {}
+            fn on_quiescent(&mut self, at: SimTime) {
+                self.0.lock().unwrap().push(at);
+            }
+        }
+        let quiet: Arc<Mutex<Vec<SimTime>>> = Arc::default();
+        sim.subscribe(QuiescenceProbe(Arc::clone(&quiet)));
+
+        for i in 0..2u64 {
+            sim.join(
+                SimTime::ZERO,
+                SessionId(i),
+                hosts[2 * i as usize],
+                hosts[2 * i as usize + 1],
+                RateLimit::unlimited(),
+            )
+            .unwrap();
+        }
+        let report = sim.run_to_quiescence();
+        assert!(seen
+            .lock()
+            .unwrap()
+            .iter()
+            .any(|(s, c)| *s == SessionId(1) && *c == RateCause::Joined));
+        assert_eq!(quiet.lock().unwrap().as_slice(), &[report.quiescent_at]);
+        // An idle re-run announces nothing new.
+        sim.run_to_quiescence();
+        assert_eq!(quiet.lock().unwrap().len(), 1);
     }
 
     #[test]

@@ -64,6 +64,7 @@
 
 pub mod config;
 pub mod destination;
+pub mod events;
 pub mod harness;
 pub mod packet;
 pub mod router_link;
@@ -73,7 +74,8 @@ pub mod task;
 pub mod world;
 
 pub use config::BneckConfig;
-pub use harness::{BneckSimulation, JoinError, QuiescenceReport};
+pub use events::{RateCause, RateEvent, RateEvents, Subscriber, SubscriberSet};
+pub use harness::{BneckSimulation, JoinError, QuiescenceReport, SessionHandle, UnknownSession};
 pub use packet::{Packet, PacketKind, ResponseKind};
 pub use stats::PacketStats;
 pub use task::{Action, ActionBuffer, RateNotification};
@@ -82,7 +84,10 @@ pub use world::{LinkTable, SessionArena, SlotJoin};
 /// Commonly used items, suitable for glob import.
 pub mod prelude {
     pub use crate::config::BneckConfig;
-    pub use crate::harness::{BneckSimulation, JoinError, QuiescenceReport};
+    pub use crate::events::{RateCause, RateEvent, RateEvents, Subscriber, SubscriberSet};
+    pub use crate::harness::{
+        BneckSimulation, JoinError, QuiescenceReport, SessionHandle, UnknownSession,
+    };
     pub use crate::packet::{Packet, PacketKind, ResponseKind};
     pub use crate::stats::PacketStats;
     pub use crate::task::{Action, ActionBuffer, RateNotification};

@@ -103,11 +103,11 @@ impl Experiment1Config {
 }
 
 /// One phase of Experiment 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
 pub struct PhaseSpec {
     /// Human-readable phase name (as used in Figure 6).
-    pub name: &'static str,
+    pub name: String,
     /// Sessions joining in this phase.
     pub joins: usize,
     /// Sessions leaving in this phase.
@@ -166,31 +166,31 @@ impl Experiment2Config {
     pub fn phases(&self) -> Vec<PhaseSpec> {
         vec![
             PhaseSpec {
-                name: "join",
+                name: "join".to_string(),
                 joins: self.initial_sessions,
                 leaves: 0,
                 changes: 0,
             },
             PhaseSpec {
-                name: "leave",
+                name: "leave".to_string(),
                 joins: 0,
                 leaves: self.churn,
                 changes: 0,
             },
             PhaseSpec {
-                name: "change",
+                name: "change".to_string(),
                 joins: 0,
                 leaves: 0,
                 changes: self.churn,
             },
             PhaseSpec {
-                name: "join-2",
+                name: "join-2".to_string(),
                 joins: self.churn,
                 leaves: 0,
                 changes: 0,
             },
             PhaseSpec {
-                name: "mixed",
+                name: "mixed".to_string(),
                 joins: self.churn,
                 leaves: self.churn,
                 changes: self.churn,

@@ -15,14 +15,15 @@
 //! runner).
 
 use crate::schedule::ScheduleTarget;
-use bneck_core::BneckSimulation;
+use bneck_core::{BneckSimulation, RateEvents, Subscriber};
 use bneck_maxmin::{Allocation, SessionSet};
 use bneck_sim::Simulation;
 use std::sync::Arc;
 
 /// A protocol-under-test: a fully-built simulation that accepts workload
-/// events, runs on the unified engine interface, and exposes the rates the
-/// experiments compare against the centralized oracle.
+/// events, runs on the unified engine interface, exposes the rates the
+/// experiments compare against the centralized oracle, and fans its
+/// `API.Rate` notifications out to registered [`Subscriber`]s.
 pub trait ProtocolWorld: Simulation + ScheduleTarget {
     /// The protocol's display name (`B-Neck`, `BFYZ`, `CG`, `RCP`).
     fn protocol_name(&self) -> &'static str;
@@ -33,6 +34,19 @@ pub trait ProtocolWorld: Simulation + ScheduleTarget {
     /// The active sessions (paths plus requested limits), for feeding the
     /// centralized oracle.
     fn session_set(&self) -> Arc<SessionSet>;
+
+    /// Registers an observer of this protocol's `API.Rate` notifications
+    /// (and, for subscribers that opt in, its packet transmissions).
+    fn subscribe(&mut self, subscriber: Box<dyn Subscriber>);
+
+    /// Opens a drainable stream of this protocol's
+    /// [`RateEvent`](bneck_core::RateEvent)s. Each call opens an independent
+    /// stream carrying events from registration onward.
+    fn rate_events(&mut self) -> RateEvents {
+        let (events, writer) = RateEvents::channel();
+        self.subscribe(writer);
+        events
+    }
 
     /// Whether the protocol stops generating control traffic once converged.
     /// `true` only for B-Neck — the probing baselines never go quiescent
@@ -61,6 +75,10 @@ impl ProtocolWorld for BneckSimulation<'_> {
 
     fn session_set(&self) -> Arc<SessionSet> {
         BneckSimulation::session_set(self)
+    }
+
+    fn subscribe(&mut self, subscriber: Box<dyn Subscriber>) {
+        self.subscribe_boxed(subscriber);
     }
 
     fn goes_quiescent(&self) -> bool {

@@ -1,0 +1,229 @@
+//! By-name factories for protocols and topology presets.
+//!
+//! The declarative experiment specs ([`crate::spec`]) refer to protocols and
+//! networks by *name*; these registries turn the names into live objects.
+//! Both start from built-in entries (B-Neck itself, the paper's transit–stub
+//! scenarios) and accept additional registrations, so an embedding crate can
+//! plug a new protocol harness or topology family into every experiment
+//! driver without touching the drivers:
+//!
+//! * [`ProtocolRegistry`] — name → `Box<dyn ProtocolWorld>` factory over a
+//!   network. `bneck-baselines` registers BFYZ/CG/RCP on top, and
+//!   `bneck-bench` exposes the fully-populated registry the `bneck` CLI uses.
+//! * [`TopologyRegistry`] — preset name (`small/lan`, `medium/wan`, ...) →
+//!   [`NetworkScenario`] constructor, keyed by the labels the reports already
+//!   use.
+
+use crate::protocol::ProtocolWorld;
+use crate::scenario::NetworkScenario;
+use bneck_core::{BneckConfig, BneckSimulation};
+use bneck_net::Network;
+
+/// A by-name protocol factory: builds a fresh simulation of the named
+/// protocol over a borrowed network.
+pub type ProtocolFactory =
+    Box<dyn for<'n> Fn(&'n Network) -> Box<dyn ProtocolWorld + 'n> + Send + Sync>;
+
+/// Name → protocol factory registry.
+///
+/// Entries keep registration order; [`ProtocolRegistry::names`] reports it
+/// (the experiment drivers run protocols in this order).
+pub struct ProtocolRegistry {
+    entries: Vec<(String, ProtocolFactory)>,
+}
+
+impl ProtocolRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ProtocolRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// A registry with the distributed B-Neck protocol registered under its
+    /// display name `B-Neck` (built with [`BneckConfig::default`]).
+    pub fn with_bneck() -> Self {
+        let mut registry = Self::new();
+        registry.register("B-Neck", |network| {
+            Box::new(BneckSimulation::new(network, BneckConfig::default()))
+        });
+        registry
+    }
+
+    /// Registers (or replaces) a protocol factory under `name`.
+    pub fn register<F>(&mut self, name: impl Into<String>, factory: F)
+    where
+        F: for<'n> Fn(&'n Network) -> Box<dyn ProtocolWorld + 'n> + Send + Sync + 'static,
+    {
+        let name = name.into();
+        self.entries.retain(|(existing, _)| *existing != name);
+        self.entries.push((name, Box::new(factory)));
+    }
+
+    /// Builds a fresh simulation of protocol `name` over `network`, or `None`
+    /// for unregistered names.
+    pub fn build<'n>(
+        &self,
+        name: &str,
+        network: &'n Network,
+    ) -> Option<Box<dyn ProtocolWorld + 'n>> {
+        self.entries
+            .iter()
+            .find(|(entry, _)| entry == name)
+            .map(|(_, factory)| factory(network))
+    }
+
+    /// `true` when `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(entry, _)| entry == name)
+    }
+
+    /// The registered protocol names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(name, _)| name.as_str())
+    }
+
+    /// Number of registered protocols.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Default for ProtocolRegistry {
+    fn default() -> Self {
+        Self::with_bneck()
+    }
+}
+
+impl std::fmt::Debug for ProtocolRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProtocolRegistry")
+            .field("names", &self.names().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// A topology preset: number of hosts → [`NetworkScenario`].
+pub type TopologyPreset = fn(usize) -> NetworkScenario;
+
+/// Name → topology preset registry, keyed by the `size/delay` labels the
+/// reports use (`small/lan`, `medium/wan`, ...).
+#[derive(Clone)]
+pub struct TopologyRegistry {
+    entries: Vec<(String, TopologyPreset)>,
+}
+
+impl TopologyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        TopologyRegistry {
+            entries: Vec::new(),
+        }
+    }
+
+    /// The paper's evaluation networks: `small/lan`, `small/wan`,
+    /// `medium/lan`, `medium/wan` and `big/lan` (§IV).
+    pub fn builtin() -> Self {
+        let mut registry = Self::new();
+        registry.register("small/lan", NetworkScenario::small_lan as TopologyPreset);
+        registry.register("small/wan", NetworkScenario::small_wan as TopologyPreset);
+        registry.register("medium/lan", NetworkScenario::medium_lan as TopologyPreset);
+        registry.register("medium/wan", NetworkScenario::medium_wan as TopologyPreset);
+        registry.register("big/lan", NetworkScenario::big_lan as TopologyPreset);
+        registry
+    }
+
+    /// Registers (or replaces) a preset under `name`.
+    pub fn register(&mut self, name: impl Into<String>, preset: TopologyPreset) {
+        let name = name.into();
+        self.entries.retain(|(existing, _)| *existing != name);
+        self.entries.push((name, preset));
+    }
+
+    /// Builds the scenario of preset `name` with the given number of hosts,
+    /// or `None` for unregistered names. The scenario keeps the preset's
+    /// default topology seed; override it with
+    /// [`NetworkScenario::with_seed`].
+    pub fn resolve(&self, name: &str, hosts: usize) -> Option<NetworkScenario> {
+        self.entries
+            .iter()
+            .find(|(entry, _)| entry == name)
+            .map(|(_, preset)| preset(hosts))
+    }
+
+    /// `true` when `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(entry, _)| entry == name)
+    }
+
+    /// The registered preset names, in registration order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(name, _)| name.as_str())
+    }
+}
+
+impl Default for TopologyRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+impl std::fmt::Debug for TopologyRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopologyRegistry")
+            .field("names", &self.names().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bneck_net::topology::transit_stub::NetworkSize;
+
+    #[test]
+    fn bneck_is_registered_by_default() {
+        let registry = ProtocolRegistry::default();
+        assert!(registry.contains("B-Neck"));
+        assert_eq!(registry.names().collect::<Vec<_>>(), vec!["B-Neck"]);
+        let network = NetworkScenario::small_lan(20).build();
+        let world = registry.build("B-Neck", &network).unwrap();
+        assert_eq!(world.protocol_name(), "B-Neck");
+        assert!(registry.build("XCP", &network).is_none());
+        assert_eq!(registry.len(), 1);
+        assert!(!registry.is_empty());
+    }
+
+    #[test]
+    fn registration_replaces_and_keeps_order() {
+        let mut registry = ProtocolRegistry::with_bneck();
+        registry.register("B-Neck", |network| {
+            Box::new(BneckSimulation::new(
+                network,
+                BneckConfig::default().with_packet_bits(512),
+            ))
+        });
+        assert_eq!(registry.len(), 1, "re-registration replaces");
+    }
+
+    #[test]
+    fn builtin_topologies_resolve_by_label() {
+        let registry = TopologyRegistry::builtin();
+        let scenario = registry.resolve("medium/wan", 50).unwrap();
+        assert_eq!(scenario.size, NetworkSize::Medium);
+        assert_eq!(scenario.hosts, 50);
+        assert_eq!(scenario.label(), "medium/wan");
+        assert!(registry.resolve("huge/lan", 10).is_none());
+        assert!(registry.contains("big/lan"));
+        // Every registered preset produces a scenario whose label round-trips
+        // to its registry name.
+        for name in registry.names() {
+            assert_eq!(registry.resolve(name, 7).unwrap().label(), name);
+        }
+    }
+}

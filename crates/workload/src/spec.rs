@@ -1,0 +1,709 @@
+//! Declarative experiment specifications.
+//!
+//! The paper's evaluation is a small matrix of scenarios — topology ×
+//! workload × protocol × seeds (§IV). [`ExperimentSpec`] captures one cell
+//! family of that matrix as plain *data*: a serializable document naming the
+//! topology presets (resolved through a
+//! [`TopologyRegistry`](crate::registry::TopologyRegistry)), the workload
+//! parameters, the protocols under test (resolved through a
+//! [`ProtocolRegistry`](crate::registry::ProtocolRegistry)), the seeds and
+//! repeats, and the output selection. The `bneck` CLI in `bneck-bench` runs
+//! specs from JSON files; the shipped presets ([`ExperimentSpec::preset`])
+//! reproduce the defaults of the former one-off experiment binaries
+//! parameter for parameter, so reports are bit-identical across the
+//! redesign.
+//!
+//! Lowering: each spec kind converts to the existing experiment
+//! configurations (`Experiment1Config` and friends) via its `configs`/
+//! `config` method — the specs are a *frontend* over the engine of PR 4, not
+//! a parallel implementation.
+
+use crate::experiments::{Experiment1Config, Experiment2Config, Experiment3Config};
+use crate::registry::TopologyRegistry;
+use crate::scenario::NetworkScenario;
+use crate::sessions::LimitPolicy;
+use bneck_net::Delay;
+use std::fmt;
+
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+
+/// Error produced when a spec cannot be resolved against the registries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// A topology preset name is not in the [`TopologyRegistry`].
+    UnknownTopology(String),
+    /// A protocol name is not in the
+    /// [`ProtocolRegistry`](crate::registry::ProtocolRegistry).
+    UnknownProtocol(String),
+    /// A list that must be non-empty (session counts, topologies, ...) is
+    /// empty.
+    Empty(&'static str),
+    /// A parameter value is out of its domain.
+    Invalid(&'static str),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::UnknownTopology(name) => write!(f, "unknown topology preset `{name}`"),
+            SpecError::UnknownProtocol(name) => write!(f, "unknown protocol `{name}`"),
+            SpecError::Empty(what) => write!(f, "`{what}` must not be empty"),
+            SpecError::Invalid(what) => write!(f, "invalid value for `{what}`"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// A topology reference: a registry preset name plus the host count and
+/// topology seed to instantiate it with.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ScenarioSpec {
+    /// Registry preset name (`small/lan`, `medium/wan`, ...).
+    pub preset: String,
+    /// Number of hosts attached to random stub routers.
+    pub hosts: usize,
+    /// Topology generator seed.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// A reference to `preset` with the given host count (topology seed 1,
+    /// the presets' default).
+    pub fn new(preset: impl Into<String>, hosts: usize) -> Self {
+        ScenarioSpec {
+            preset: preset.into(),
+            hosts,
+            seed: 1,
+        }
+    }
+
+    /// Builds the scenario through the registry.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownTopology`] when the preset is not registered.
+    pub fn resolve(&self, topologies: &TopologyRegistry) -> Result<NetworkScenario, SpecError> {
+        topologies
+            .resolve(&self.preset, self.hosts)
+            .map(|scenario| scenario.with_seed(self.seed))
+            .ok_or_else(|| SpecError::UnknownTopology(self.preset.clone()))
+    }
+}
+
+/// What the driver should emit for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct OutputSpec {
+    /// Print the human-readable text tables.
+    pub tables: bool,
+    /// Print the CSV renderings of the tables.
+    pub csv: bool,
+    /// Print the machine-readable JSON report.
+    pub json: bool,
+}
+
+impl Default for OutputSpec {
+    /// Tables and CSV on (what the former binaries printed), JSON off.
+    fn default() -> Self {
+        OutputSpec {
+            tables: true,
+            csv: true,
+            json: false,
+        }
+    }
+}
+
+/// One declarative experiment: a name, the experiment kind with its
+/// parameters, and the output selection.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ExperimentSpec {
+    /// Display name (also the preset name for shipped specs).
+    pub name: String,
+    /// The experiment kind and its parameters.
+    pub experiment: ExperimentKind,
+    /// Output selection (overridable from the CLI).
+    pub output: OutputSpec,
+}
+
+/// The workload families of the paper's evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum ExperimentKind {
+    /// Experiment 1 (Figure 5): simultaneous joins, time to quiescence and
+    /// control traffic over a (topology × session-count) sweep.
+    Joins(JoinsSpec),
+    /// Experiment 2 (Figure 6): five phases of churn, per-phase convergence
+    /// and a packet time series.
+    Churn(ChurnSpec),
+    /// Experiment 3 (Figures 7 and 8): accuracy over time against the
+    /// non-quiescent baselines.
+    Accuracy(AccuracySpec),
+    /// The §IV validation methodology: randomized workloads cross-checked
+    /// against the centralized oracle and the max-min conditions.
+    Validation(ValidationSpec),
+    /// Paper-scale join-to-quiescence points (up to the 300,000 sessions of
+    /// Figure 5) with oracle validation.
+    Scale(ScaleSpec),
+}
+
+impl ExperimentKind {
+    /// A short kind label for listings.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExperimentKind::Joins(_) => "joins",
+            ExperimentKind::Churn(_) => "churn",
+            ExperimentKind::Accuracy(_) => "accuracy",
+            ExperimentKind::Validation(_) => "validation",
+            ExperimentKind::Scale(_) => "scale",
+        }
+    }
+}
+
+/// Experiment 1 as data: a (topology preset × session count) sweep of
+/// simultaneous-join runs.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct JoinsSpec {
+    /// Topology preset names (resolved through the [`TopologyRegistry`]).
+    pub topologies: Vec<String>,
+    /// Topology generator seed.
+    pub topology_seed: u64,
+    /// The session counts of the sweep.
+    pub sessions: Vec<usize>,
+    /// Hosts instantiated per session (sources plus destination headroom).
+    pub hosts_per_session: usize,
+    /// Lower bound on the instantiated host count.
+    pub min_hosts: usize,
+    /// Window in which all joins happen, in microseconds.
+    pub join_window_us: u64,
+    /// Maximum-rate request policy.
+    pub limits: LimitPolicy,
+    /// Workload seed of the sweep's first point; point `i` uses
+    /// `base_seed + i` (in topology-major order), so every point owns a
+    /// distinct, position-derived RNG.
+    pub base_seed: u64,
+}
+
+impl JoinsSpec {
+    /// Lowers the sweep to one [`Experiment1Config`] per
+    /// (topology, session count) cell, in topology-major order.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownTopology`] / [`SpecError::Empty`] on unresolvable
+    /// or empty inputs.
+    pub fn configs(
+        &self,
+        topologies: &TopologyRegistry,
+    ) -> Result<Vec<Experiment1Config>, SpecError> {
+        if self.topologies.is_empty() {
+            return Err(SpecError::Empty("topologies"));
+        }
+        if self.sessions.is_empty() {
+            return Err(SpecError::Empty("sessions"));
+        }
+        let mut configs = Vec::with_capacity(self.topologies.len() * self.sessions.len());
+        for preset in &self.topologies {
+            for &sessions in &self.sessions {
+                let hosts = (self.hosts_per_session * sessions).max(self.min_hosts);
+                let scenario = ScenarioSpec {
+                    preset: preset.clone(),
+                    hosts,
+                    seed: self.topology_seed,
+                }
+                .resolve(topologies)?;
+                configs.push(Experiment1Config {
+                    scenario,
+                    sessions,
+                    join_window: Delay::from_micros(self.join_window_us),
+                    limits: self.limits,
+                    seed: self.base_seed + configs.len() as u64,
+                });
+            }
+        }
+        Ok(configs)
+    }
+}
+
+/// Experiment 2 as data: the five-phase churn workload, with repeats.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ChurnSpec {
+    /// The network to run on.
+    pub topology: ScenarioSpec,
+    /// Sessions joining in the initial phase.
+    pub initial_sessions: usize,
+    /// Sessions affected in each churn phase.
+    pub churn: usize,
+    /// Window in which each phase's changes happen, in microseconds.
+    pub change_window_us: u64,
+    /// Maximum-rate request policy.
+    pub limits: LimitPolicy,
+    /// Workload seed of the first repeat; repeat `i` uses `seed + i`.
+    pub seed: u64,
+    /// Number of independent repeats.
+    pub repeats: usize,
+}
+
+impl ChurnSpec {
+    /// Lowers to the base [`Experiment2Config`] (repeat seeds are derived by
+    /// the driver, as before).
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownTopology`] / [`SpecError::Invalid`] on
+    /// unresolvable or degenerate inputs.
+    pub fn config(&self, topologies: &TopologyRegistry) -> Result<Experiment2Config, SpecError> {
+        if self.repeats == 0 {
+            return Err(SpecError::Invalid("repeats"));
+        }
+        Ok(Experiment2Config {
+            scenario: self.topology.resolve(topologies)?,
+            initial_sessions: self.initial_sessions,
+            churn: self.churn,
+            change_window: Delay::from_micros(self.change_window_us),
+            limits: self.limits,
+            seed: self.seed,
+        })
+    }
+}
+
+/// Experiment 3 as data: joins plus early leaves, sampled against the
+/// oracle's rates, for B-Neck and the named baselines.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct AccuracySpec {
+    /// The network to run on.
+    pub topology: ScenarioSpec,
+    /// Sessions joining.
+    pub joins: usize,
+    /// Sessions leaving shortly after joining.
+    pub leaves: usize,
+    /// Window in which all joins and leaves happen, in microseconds.
+    pub change_window_us: u64,
+    /// Sampling interval, in microseconds.
+    pub sample_interval_us: u64,
+    /// Observation horizon, in microseconds.
+    pub horizon_us: u64,
+    /// Maximum-rate request policy.
+    pub limits: LimitPolicy,
+    /// Workload seed.
+    pub seed: u64,
+    /// The baseline protocols to run next to B-Neck (registry names; B-Neck
+    /// itself always runs first).
+    pub baselines: Vec<String>,
+}
+
+impl AccuracySpec {
+    /// Lowers to the [`Experiment3Config`] the driver consumes.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownTopology`] when the topology does not resolve.
+    pub fn config(&self, topologies: &TopologyRegistry) -> Result<Experiment3Config, SpecError> {
+        Ok(Experiment3Config {
+            scenario: self.topology.resolve(topologies)?,
+            joins: self.joins,
+            leaves: self.leaves,
+            change_window: Delay::from_micros(self.change_window_us),
+            sample_interval: Delay::from_micros(self.sample_interval_us),
+            horizon: Delay::from_micros(self.horizon_us),
+            limits: self.limits,
+            seed: self.seed,
+        })
+    }
+}
+
+/// One lowered validation run (scenario, session count, workload seed).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationRun {
+    /// The instantiated scenario.
+    pub scenario: NetworkScenario,
+    /// Number of sessions to plan.
+    pub sessions: usize,
+    /// Seed of the randomized workload.
+    pub seed: u64,
+}
+
+/// The §IV validation methodology as data: every named topology × `runs`
+/// seeds, each with a randomized rate-limited workload.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ValidationSpec {
+    /// Topology preset names.
+    pub topologies: Vec<String>,
+    /// Sessions per run.
+    pub sessions: usize,
+    /// Hosts instantiated per session.
+    pub hosts_per_session: usize,
+    /// Randomized runs per topology.
+    pub runs: usize,
+    /// Topology seed of a topology's first run; run `i` uses
+    /// `topo_seed_base + i`.
+    pub topo_seed_base: u64,
+    /// Workload seed of a topology's first run; run `i` uses
+    /// `workload_seed_base + i`.
+    pub workload_seed_base: u64,
+}
+
+impl ValidationSpec {
+    /// Lowers to the list of validation runs, in topology-major order.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::UnknownTopology`] / [`SpecError::Empty`] /
+    /// [`SpecError::Invalid`] on unresolvable or degenerate inputs.
+    pub fn runs(&self, topologies: &TopologyRegistry) -> Result<Vec<ValidationRun>, SpecError> {
+        if self.topologies.is_empty() {
+            return Err(SpecError::Empty("topologies"));
+        }
+        if self.runs == 0 {
+            return Err(SpecError::Invalid("runs"));
+        }
+        let hosts = self.hosts_per_session * self.sessions;
+        let mut out = Vec::with_capacity(self.topologies.len() * self.runs);
+        for preset in &self.topologies {
+            let base = topologies
+                .resolve(preset, hosts)
+                .ok_or_else(|| SpecError::UnknownTopology(preset.clone()))?;
+            for i in 0..self.runs as u64 {
+                out.push(ValidationRun {
+                    scenario: base.with_seed(self.topo_seed_base + i),
+                    sessions: self.sessions,
+                    seed: self.workload_seed_base + i,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Paper-scale runs as data: a list of session counts, each lowered through
+/// [`Experiment1Config::paper_scale`] (Medium LAN with one source host per
+/// session plus headroom).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ScaleSpec {
+    /// The session counts to run.
+    pub sessions: Vec<usize>,
+    /// Cross-check the final rates against the centralized oracle.
+    pub validate: bool,
+}
+
+impl ScaleSpec {
+    /// Lowers to one [`Experiment1Config`] per session count.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Empty`] when no session count is given.
+    pub fn configs(&self) -> Result<Vec<Experiment1Config>, SpecError> {
+        if self.sessions.is_empty() {
+            return Err(SpecError::Empty("sessions"));
+        }
+        Ok(self
+            .sessions
+            .iter()
+            .map(|&sessions| Experiment1Config::paper_scale(sessions))
+            .collect())
+    }
+}
+
+/// The names of the shipped presets, in listing order.
+pub const PRESET_NAMES: [&str; 8] = [
+    "exp1",
+    "exp1_full",
+    "exp2",
+    "exp2_full",
+    "exp3",
+    "exp3_full",
+    "validate",
+    "paper_scale",
+];
+
+/// `paper_full` is an alias preset: the 300,000-session point of Figure 5.
+pub const PAPER_FULL: &str = "paper_full";
+
+impl ExperimentSpec {
+    /// One-line description of what a preset reproduces (for listings).
+    pub fn preset_summary(name: &str) -> Option<&'static str> {
+        Some(match name {
+            "exp1" => "Figure 5 scaled down: join sweeps on small/medium networks",
+            "exp1_full" => "Figure 5 at paper scale: 10..300k joins, five networks",
+            "exp2" => "Figure 6 scaled down: five churn phases",
+            "exp2_full" => "Figure 6 at paper scale: 100k sessions, 20k churn",
+            "exp3" => "Figures 7-8 scaled down: accuracy vs BFYZ over time",
+            "exp3_full" => "Figures 7-8 at paper scale: 100k joins, 10k leaves",
+            "validate" => "SS-IV validation: randomized workloads vs the oracle",
+            "paper_scale" => "50k-session join-to-quiescence run with oracle check",
+            PAPER_FULL => "the full 300k-session point of Figure 5",
+            _ => return None,
+        })
+    }
+
+    /// The shipped preset of the given name, reproducing the defaults of the
+    /// former per-experiment binaries parameter for parameter.
+    pub fn preset(name: &str) -> Option<ExperimentSpec> {
+        let experiment = match name {
+            "exp1" => ExperimentKind::Joins(JoinsSpec {
+                topologies: vec![
+                    "small/lan".to_string(),
+                    "small/wan".to_string(),
+                    "medium/lan".to_string(),
+                ],
+                topology_seed: 1,
+                sessions: Experiment1Config::scaled_sweep(),
+                hosts_per_session: 2,
+                min_hosts: 20,
+                join_window_us: 1_000,
+                limits: LimitPolicy::Unlimited,
+                base_seed: 1,
+            }),
+            "exp1_full" => ExperimentKind::Joins(JoinsSpec {
+                topologies: vec![
+                    "small/lan".to_string(),
+                    "small/wan".to_string(),
+                    "medium/lan".to_string(),
+                    "medium/wan".to_string(),
+                    "big/lan".to_string(),
+                ],
+                topology_seed: 1,
+                sessions: Experiment1Config::paper_sweep(),
+                hosts_per_session: 2,
+                min_hosts: 20,
+                join_window_us: 1_000,
+                limits: LimitPolicy::Unlimited,
+                base_seed: 1,
+            }),
+            "exp2" | "exp2_full" => {
+                let base = if name == "exp2" {
+                    Experiment2Config::scaled()
+                } else {
+                    Experiment2Config::paper()
+                };
+                ExperimentKind::Churn(ChurnSpec {
+                    topology: ScenarioSpec {
+                        preset: base.scenario.label(),
+                        hosts: base.scenario.hosts,
+                        seed: base.scenario.seed,
+                    },
+                    initial_sessions: base.initial_sessions,
+                    churn: base.churn,
+                    change_window_us: base.change_window.as_micros(),
+                    limits: base.limits,
+                    seed: base.seed,
+                    repeats: 1,
+                })
+            }
+            "exp3" | "exp3_full" => {
+                let base = if name == "exp3" {
+                    Experiment3Config::scaled()
+                } else {
+                    Experiment3Config::paper()
+                };
+                ExperimentKind::Accuracy(AccuracySpec {
+                    topology: ScenarioSpec {
+                        preset: base.scenario.label(),
+                        hosts: base.scenario.hosts,
+                        seed: base.scenario.seed,
+                    },
+                    joins: base.joins,
+                    leaves: base.leaves,
+                    change_window_us: base.change_window.as_micros(),
+                    sample_interval_us: base.sample_interval.as_micros(),
+                    horizon_us: base.horizon.as_micros(),
+                    limits: base.limits,
+                    seed: base.seed,
+                    baselines: vec!["BFYZ".to_string()],
+                })
+            }
+            "validate" => ExperimentKind::Validation(ValidationSpec {
+                topologies: vec![
+                    "small/lan".to_string(),
+                    "small/wan".to_string(),
+                    "medium/lan".to_string(),
+                    "medium/wan".to_string(),
+                ],
+                sessions: 60,
+                hosts_per_session: 2,
+                runs: 3,
+                topo_seed_base: 1,
+                workload_seed_base: 100,
+            }),
+            "paper_scale" => ExperimentKind::Scale(ScaleSpec {
+                sessions: vec![50_000],
+                validate: true,
+            }),
+            PAPER_FULL => ExperimentKind::Scale(ScaleSpec {
+                sessions: vec![300_000],
+                validate: true,
+            }),
+            _ => return None,
+        };
+        Some(ExperimentSpec {
+            name: name.to_string(),
+            experiment,
+            output: OutputSpec::default(),
+        })
+    }
+
+    /// Every shipped preset (including the `paper_full` alias).
+    pub fn presets() -> Vec<ExperimentSpec> {
+        PRESET_NAMES
+            .iter()
+            .chain(std::iter::once(&PAPER_FULL))
+            .map(|name| Self::preset(name).expect("every shipped preset resolves"))
+            .collect()
+    }
+
+    /// Checks the spec against the registries without running anything: all
+    /// topology presets resolve, all protocol names are registered, and no
+    /// required list is empty.
+    ///
+    /// # Errors
+    ///
+    /// The first [`SpecError`] encountered.
+    pub fn check(
+        &self,
+        topologies: &TopologyRegistry,
+        protocols: &crate::registry::ProtocolRegistry,
+    ) -> Result<(), SpecError> {
+        match &self.experiment {
+            ExperimentKind::Joins(spec) => {
+                spec.configs(topologies)?;
+            }
+            ExperimentKind::Churn(spec) => {
+                spec.config(topologies)?;
+            }
+            ExperimentKind::Accuracy(spec) => {
+                spec.config(topologies)?;
+                for baseline in &spec.baselines {
+                    if !protocols.contains(baseline) {
+                        return Err(SpecError::UnknownProtocol(baseline.clone()));
+                    }
+                }
+            }
+            ExperimentKind::Validation(spec) => {
+                spec.runs(topologies)?;
+            }
+            ExperimentKind::Scale(spec) => {
+                spec.configs()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::ProtocolRegistry;
+
+    #[test]
+    fn every_preset_resolves_and_checks() {
+        let topologies = TopologyRegistry::builtin();
+        let mut protocols = ProtocolRegistry::with_bneck();
+        // The baselines live a layer up; a stand-in BFYZ entry keeps this
+        // check registry-complete (bneck-bench's tests check the real one).
+        protocols.register("BFYZ", |network| {
+            Box::new(bneck_core::BneckSimulation::new(
+                network,
+                bneck_core::BneckConfig::default(),
+            ))
+        });
+        for spec in ExperimentSpec::presets() {
+            spec.check(&topologies, &protocols)
+                .unwrap_or_else(|e| panic!("preset {} does not check: {e}", spec.name));
+            assert!(ExperimentSpec::preset_summary(&spec.name).is_some());
+        }
+        assert!(ExperimentSpec::preset("nope").is_none());
+        assert!(ExperimentSpec::preset_summary("nope").is_none());
+    }
+
+    #[test]
+    fn exp1_preset_lowers_to_the_former_binary_defaults() {
+        let topologies = TopologyRegistry::builtin();
+        let spec = ExperimentSpec::preset("exp1").unwrap();
+        let ExperimentKind::Joins(joins) = &spec.experiment else {
+            panic!("exp1 is a joins sweep");
+        };
+        let configs = joins.configs(&topologies).unwrap();
+        // Mirror of the former experiment1 binary's construction loop.
+        let mut expected = Vec::new();
+        let scenarios: Vec<fn(usize) -> NetworkScenario> = vec![
+            NetworkScenario::small_lan,
+            NetworkScenario::small_wan,
+            NetworkScenario::medium_lan,
+        ];
+        for make_scenario in &scenarios {
+            for &sessions in &Experiment1Config::scaled_sweep() {
+                let hosts = (2 * sessions).max(20);
+                let mut config = Experiment1Config::scaled(make_scenario(hosts), sessions);
+                config.seed = expected.len() as u64 + 1;
+                expected.push(config);
+            }
+        }
+        assert_eq!(configs, expected);
+    }
+
+    #[test]
+    fn validate_preset_lowers_to_the_former_binary_points() {
+        let topologies = TopologyRegistry::builtin();
+        let spec = ExperimentSpec::preset("validate").unwrap();
+        let ExperimentKind::Validation(validation) = &spec.experiment else {
+            panic!("validate is a validation spec");
+        };
+        let runs = validation.runs(&topologies).unwrap();
+        assert_eq!(runs.len(), 4 * 3);
+        // Mirror of the former validate binary's point loop.
+        let sessions = 60;
+        let scenarios = [
+            NetworkScenario::small_lan(2 * sessions),
+            NetworkScenario::small_wan(2 * sessions),
+            NetworkScenario::medium_lan(2 * sessions),
+            NetworkScenario::medium_wan(2 * sessions),
+        ];
+        let mut i = 0;
+        for scenario in &scenarios {
+            for seed in 0..3u64 {
+                assert_eq!(runs[i].scenario, scenario.with_seed(seed + 1));
+                assert_eq!(runs[i].sessions, sessions);
+                assert_eq!(runs[i].seed, seed + 100);
+                i += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn scale_specs_reject_empty_sweeps() {
+        let spec = ScaleSpec {
+            sessions: vec![],
+            validate: true,
+        };
+        assert_eq!(spec.configs(), Err(SpecError::Empty("sessions")));
+        let spec = ScaleSpec {
+            sessions: vec![1_000, 2_000],
+            validate: false,
+        };
+        let configs = spec.configs().unwrap();
+        assert_eq!(configs.len(), 2);
+        assert_eq!(configs[0], Experiment1Config::paper_scale(1_000));
+    }
+
+    #[test]
+    fn unknown_topologies_are_reported_by_name() {
+        let topologies = TopologyRegistry::builtin();
+        let spec = ScenarioSpec::new("moon/lan", 10);
+        assert_eq!(
+            spec.resolve(&topologies),
+            Err(SpecError::UnknownTopology("moon/lan".to_string()))
+        );
+        assert_eq!(
+            SpecError::UnknownTopology("moon/lan".to_string()).to_string(),
+            "unknown topology preset `moon/lan`"
+        );
+    }
+}

@@ -21,10 +21,22 @@
 # The convergence_at_scale suite runs whole multi-thousand-session
 # simulations per iteration, so even at a tiny budget each of its benchmarks
 # costs a couple of wall-clock seconds (one warm-up + one measured run); the
-# 50k-session presets live in the `paper_scale` binary (CI job scale-smoke),
-# not here.
+# 50k-session presets live in the `bneck` CLI's scale specs
+# (`bneck sweep --sessions 50000`, CI job scale-smoke), not here.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# The collapsed binary list: every src/bin/*.rs must be a declared [[bin]]
+# target (the CLI plus the experiment1/2/3 deprecation wrappers — an
+# undeclared file would silently never build).
+bins="$(sed -n '/^\[\[bin\]\]/,/^$/{s/^name = "\(.*\)"$/\1/p}' crates/bench/Cargo.toml)"
+for f in crates/bench/src/bin/*.rs; do
+  base="$(basename "$f" .rs)"
+  if ! printf '%s\n' "$bins" | grep -qx "$base"; then
+    echo "bench smoke FAILED: $f has no [[bin]] entry in crates/bench/Cargo.toml" >&2
+    exit 1
+  fi
+done
 
 budget="${BNECK_BENCH_BUDGET_MS:-25}"
 out="$(mktemp)"

@@ -1,21 +1,443 @@
-//! No-op derive macros for the offline `serde` stand-in crate.
+//! Functional derive macros for the offline `serde` stand-in crate.
 //!
-//! The real `serde_derive` generates `Serialize`/`Deserialize` impls; this
-//! shim accepts the same derive syntax (including `#[serde(...)]` helper
-//! attributes) and expands to nothing, which is sufficient because nothing in
-//! the workspace serializes values yet — the derives only declare intent for
-//! downstream users with the real `serde` enabled.
+//! The real `serde_derive` generates visitor-based `Serialize`/`Deserialize`
+//! impls; this shim generates implementations of the stand-in's value-tree
+//! traits (`to_shim_value` / `from_shim_value`) with the same external shape
+//! as serde's defaults: named-field structs become objects, newtype structs
+//! are transparent, tuple structs become arrays, unit structs become `null`,
+//! and enums are externally tagged (`"Variant"` or `{"Variant": payload}`).
+//!
+//! The parser is deliberately small: it handles the plain (non-generic)
+//! structs and enums this workspace derives on, skipping attributes and doc
+//! comments. `#[serde(...)]` helper attributes are accepted and ignored.
+//! Deriving on a generic type is a compile error with a clear message.
 
-use proc_macro::TokenStream;
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Accepts `#[derive(Serialize)]` and expands to nothing.
+/// Derives the shim's `Serialize` (value-tree construction).
 #[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    expand(item, Mode::Serialize)
 }
 
-/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+/// Derives the shim's `Deserialize` (value-tree destructuring).
 #[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    expand(item, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+/// The shape of the deriving type.
+enum Shape {
+    UnitStruct,
+    /// Struct with named fields, in declaration order.
+    NamedStruct(Vec<String>),
+    /// Tuple struct with the given number of fields.
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn expand(item: TokenStream, mode: Mode) -> TokenStream {
+    let (name, shape) = match parse_item(item) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            return format!("compile_error!({message:?});")
+                .parse()
+                .expect("a compile_error! invocation always parses")
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&name, &shape),
+        Mode::Deserialize => gen_deserialize(&name, &shape),
+    };
+    code.parse().expect("generated impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(item: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    // Skip visibility and any other modifiers until `struct` / `enum`.
+    let keyword = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => {
+                let text = ident.to_string();
+                i += 1;
+                if text == "struct" || text == "enum" {
+                    break text;
+                }
+            }
+            Some(TokenTree::Group(_)) => i += 1, // e.g. the `(crate)` of `pub(crate)`
+            Some(_) => i += 1,
+            None => return Err("expected `struct` or `enum`".to_string()),
+        }
+    };
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("expected a type name".to_string()),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "the serde shim derive does not support generic type `{name}`"
+        ));
+    }
+
+    if keyword == "struct" {
+        match tokens.get(i) {
+            None => Ok((name, Shape::UnitStruct)),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok((name, Shape::UnitStruct)),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::NamedStruct(parse_named_fields(g.stream())?)))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok((name, Shape::TupleStruct(count_tuple_fields(g.stream()))))
+            }
+            _ => Err(format!("unsupported struct body for `{name}`")),
+        }
+    } else {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok((name, Shape::Enum(parse_variants(g.stream())?)))
+            }
+            _ => Err(format!("expected an enum body for `{name}`")),
+        }
+    }
+}
+
+/// Skips `#[...]` attributes (including doc comments) starting at `*i`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match (tokens.get(*i), tokens.get(*i + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                *i += 2;
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Skips a visibility modifier (`pub`, `pub(crate)`, ...) starting at `*i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(&tokens.get(*i), Some(TokenTree::Ident(ident)) if ident.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            &tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Parses `field: Type, ...`, returning the field names in order.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            _ => return Err("expected a field name".to_string()),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advances past one type, stopping at a top-level `,` (commas nested in
+/// `<...>` generics are part of the type; bracketed groups are atomic).
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0usize;
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            _ => return Err("expected a variant name".to_string()),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}, ::serde::Serialize::to_shim_value(&self.{f}))"))
+                .collect();
+            format!(
+                "::serde::value::Value::record(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_shim_value(&self.0)".to_string(),
+        Shape::TupleStruct(len) => {
+            let items: Vec<String> = (0..*len)
+                .map(|i| format!("::serde::Serialize::to_shim_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::value::Value::Seq(::std::vec![{}])",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => \
+                             ::serde::value::Value::Str({vn:?}.to_string()),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::value::Value::variant({vn:?}, \
+                             ::serde::Serialize::to_shim_value(__f0)),"
+                        ),
+                        VariantKind::Tuple(len) => {
+                            let binders: Vec<String> =
+                                (0..*len).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_shim_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::value::Value::variant({vn:?}, \
+                                 ::serde::value::Value::Seq(::std::vec![{}])),",
+                                binders.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| format!("({f:?}, ::serde::Serialize::to_shim_value({f}))"))
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {} }} => ::serde::value::Value::variant({vn:?}, \
+                                 ::serde::value::Value::record(::std::vec![{}])),",
+                                fields.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_shim_value(&self) -> ::serde::value::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    let body = match shape {
+        Shape::UnitStruct => format!("let _ = __v; ::core::result::Result::Ok({name})"),
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_shim_value(\
+                         __v.get_field({name:?}, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::core::result::Result::Ok({name}(::serde::Deserialize::from_shim_value(__v)?))"
+        ),
+        Shape::TupleStruct(len) => {
+            let inits: Vec<String> = (0..*len)
+                .map(|i| format!("::serde::Deserialize::from_shim_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.get_seq({name:?}, {len})?; \
+                 ::core::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("{vn:?} => ::core::result::Result::Ok({name}::{vn}),")
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "{vn:?} => {{ \
+                               let __p = __payload.ok_or_else(|| ::serde::value::Error::msg(\
+                                 ::std::format!(\"variant {{}}::{{}} expects a payload\", \
+                                 {name:?}, {vn:?})))?; \
+                               ::core::result::Result::Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_shim_value(__p)?)) \
+                             }},"
+                        ),
+                        VariantKind::Tuple(len) => {
+                            let inits: Vec<String> = (0..*len)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_shim_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{vn:?} => {{ \
+                                   let __p = __payload.ok_or_else(|| ::serde::value::Error::msg(\
+                                     ::std::format!(\"variant {{}}::{{}} expects a payload\", \
+                                     {name:?}, {vn:?})))?; \
+                                   let __items = __p.get_seq({name:?}, {len})?; \
+                                   ::core::result::Result::Ok({name}::{vn}({})) \
+                                 }},",
+                                inits.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_shim_value(\
+                                         __p.get_field({name:?}, {f:?})?)?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{vn:?} => {{ \
+                                   let __p = __payload.ok_or_else(|| ::serde::value::Error::msg(\
+                                     ::std::format!(\"variant {{}}::{{}} expects a payload\", \
+                                     {name:?}, {vn:?})))?; \
+                                   ::core::result::Result::Ok({name}::{vn} {{ {} }}) \
+                                 }},",
+                                inits.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "let (__tag, __payload) = __v.get_variant({name:?})?; \
+                 let _ = &__payload; \
+                 match __tag {{ \
+                   {} \
+                   __other => ::core::result::Result::Err(::serde::value::Error::msg(\
+                     ::std::format!(\"unknown variant `{{}}` of enum {{}}\", __other, {name:?}))) \
+                 }}",
+                arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{ \
+           fn from_shim_value(__v: &::serde::value::Value) \
+             -> ::core::result::Result<Self, ::serde::value::Error> {{ {body} }} \
+         }}"
+    )
 }

@@ -1,0 +1,136 @@
+//! Offline API-subset stand-in for `serde_json`: the `to_string`,
+//! `to_string_pretty`, `from_str`, `to_value` and `from_value` entry points
+//! over the `serde` shim's value tree.
+//!
+//! The call signatures match the real crate's, so application code written
+//! against this shim keeps compiling when the workspace swaps the real
+//! `serde` + `serde_json` pair in (a `[workspace.dependencies]` edit in the
+//! root manifest). Divergences inherited from the `serde` shim's data model:
+//! object keys keep insertion order (real `serde_json` sorts them), and
+//! non-finite floats are encoded as the strings `"inf"` / `"-inf"` / `"nan"`
+//! instead of erroring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde::value::{Error, Value};
+
+use serde::{Deserialize, Serialize};
+
+/// Serializes `value` as compact JSON text.
+///
+/// # Errors
+///
+/// Infallible in the shim (the signature matches real `serde_json`, whose
+/// serializers can fail).
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_shim_value().to_json())
+}
+
+/// Serializes `value` as indented multi-line JSON text (trailing newline
+/// included).
+///
+/// # Errors
+///
+/// Infallible in the shim (the signature matches real `serde_json`).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_shim_value().to_json_pretty())
+}
+
+/// Deserializes a `T` from JSON text.
+///
+/// # Errors
+///
+/// Errors on malformed JSON or on a document whose shape does not match `T`.
+pub fn from_str<T: for<'de> Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    T::from_shim_value(&Value::parse_json(text)?)
+}
+
+/// Converts any serializable value to a [`Value`] tree.
+///
+/// # Errors
+///
+/// Infallible in the shim (the signature matches real `serde_json`).
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_shim_value())
+}
+
+/// Reads a `T` out of a [`Value`] tree.
+///
+/// # Errors
+///
+/// Errors when the tree's shape does not match `T`.
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: &Value) -> Result<T, Error> {
+    T::from_shim_value(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Point {
+        x: u32,
+        y: f64,
+        label: String,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Shape {
+        Empty,
+        Dot(Point),
+        Pair(u32, u32),
+        Rect { w: f64, h: f64 },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Id(u64);
+
+    #[test]
+    fn derived_struct_round_trips() {
+        let p = Point {
+            x: 7,
+            y: -1.25,
+            label: "a \"b\"".to_string(),
+        };
+        let text = to_string(&p).unwrap();
+        assert_eq!(text, "{\"x\":7,\"y\":-1.25,\"label\":\"a \\\"b\\\"\"}");
+        assert_eq!(from_str::<Point>(&text).unwrap(), p);
+        let pretty = to_string_pretty(&p).unwrap();
+        assert_eq!(from_str::<Point>(&pretty).unwrap(), p);
+    }
+
+    #[test]
+    fn derived_enum_variants_are_externally_tagged() {
+        assert_eq!(to_string(&Shape::Empty).unwrap(), "\"Empty\"");
+        let rect = Shape::Rect { w: 2.0, h: 3.5 };
+        let text = to_string(&rect).unwrap();
+        assert_eq!(text, "{\"Rect\":{\"w\":2,\"h\":3.5}}");
+        assert_eq!(from_str::<Shape>(&text).unwrap(), rect);
+        let pair = Shape::Pair(1, 2);
+        assert_eq!(to_string(&pair).unwrap(), "{\"Pair\":[1,2]}");
+        assert_eq!(from_str::<Shape>("{\"Pair\":[1,2]}").unwrap(), pair);
+        let dot = Shape::Dot(Point {
+            x: 0,
+            y: 0.0,
+            label: String::new(),
+        });
+        assert_eq!(from_str::<Shape>(&to_string(&dot).unwrap()).unwrap(), dot);
+        assert!(from_str::<Shape>("\"Nope\"").is_err());
+        assert!(from_str::<Shape>("\"Dot\"").is_err());
+    }
+
+    #[test]
+    fn newtype_structs_are_transparent() {
+        assert_eq!(to_string(&Id(9)).unwrap(), "9");
+        assert_eq!(from_str::<Id>("9").unwrap(), Id(9));
+    }
+
+    #[test]
+    fn vectors_and_options_round_trip() {
+        let items = vec![Some(Id(1)), None, Some(Id(3))];
+        let text = to_string(&items).unwrap();
+        assert_eq!(text, "[1,null,3]");
+        assert_eq!(from_str::<Vec<Option<Id>>>(&text).unwrap(), items);
+    }
+}

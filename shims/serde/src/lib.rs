@@ -1,19 +1,64 @@
-//! Offline stand-in for the `serde` crate: the two marker traits plus the
-//! derive macros, so `#[derive(Serialize, Deserialize)]` and
-//! `use serde::{Deserialize, Serialize}` compile without crates.io access.
+//! Offline stand-in for the `serde` crate: the two traits plus functional
+//! derive macros, so `#[derive(Serialize, Deserialize)]` produces *working*
+//! implementations without crates.io access.
 //!
-//! The derives are no-ops (see the sibling `serde-derive` shim); they exist so
-//! the protocol types carry serialization intent for the day the workspace can
-//! depend on the real `serde`. Swapping the real crate in is a one-line change
-//! in the root manifest's `[workspace.dependencies]`.
+//! Unlike real serde's visitor-based streaming data model, this shim funnels
+//! everything through an owned [`value::Value`] tree (roughly a JSON
+//! document). The derives (see the sibling `serde-derive` shim) generate
+//! `to_shim_value` / `from_shim_value` implementations that mirror serde's
+//! *externally tagged* defaults, so JSON produced here matches what the real
+//! `serde` + `serde_json` pair would produce for the same types:
+//!
+//! * structs with named fields become objects (fields in declaration order);
+//! * newtype structs serialize as their inner value;
+//! * tuple structs become arrays, unit structs become `null`;
+//! * unit enum variants become `"VariantName"`, data-carrying variants become
+//!   `{"VariantName": payload}`.
+//!
+//! Known divergences from real serde, chosen for an offline shim:
+//!
+//! * non-finite floats serialize as the strings `"inf"`, `"-inf"` and
+//!   `"nan"` (real `serde_json` errors on them); deserialization accepts the
+//!   same strings back, so `f64::INFINITY` round-trips;
+//! * map keys that are not strings or integers are stringified as their
+//!   compact JSON text (real `serde_json` errors on them).
+//!
+//! Swapping the real crates in is a `[workspace.dependencies]` edit in the
+//! root manifest: real `serde_derive` regenerates the impls and the
+//! `serde_json` shim's entry points (`to_string`, `to_string_pretty`,
+//! `from_str`, `to_value`, `from_value`) have the same call signatures as the
+//! real crate's.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use serde_derive::{Deserialize, Serialize};
 
-/// Marker trait mirroring `serde::Serialize`.
-pub trait Serialize {}
+pub mod value;
 
-/// Marker trait mirroring `serde::Deserialize`.
-pub trait Deserialize<'de>: Sized {}
+/// Serialization into the shim's [`value::Value`] tree.
+///
+/// Mirrors `serde::Serialize` in role; the method is shim-specific (real
+/// serde drives a `Serializer` instead). Application code should go through
+/// the `serde_json` shim's `to_string`/`to_value` rather than calling
+/// [`Serialize::to_shim_value`] directly, so that swapping the real crates in
+/// stays source compatible.
+pub trait Serialize {
+    /// Converts `self` to a value tree.
+    fn to_shim_value(&self) -> value::Value;
+}
+
+/// Deserialization from the shim's [`value::Value`] tree.
+///
+/// Mirrors `serde::Deserialize` in role (the unused `'de` lifetime keeps
+/// bounds such as `for<'de> Deserialize<'de>` source compatible with real
+/// serde).
+pub trait Deserialize<'de>: Sized {
+    /// Reads `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`value::Error`] describing the first shape or type mismatch
+    /// encountered.
+    fn from_shim_value(v: &value::Value) -> Result<Self, value::Error>;
+}
