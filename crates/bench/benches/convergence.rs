@@ -1,8 +1,16 @@
 //! Criterion benchmark behind Figure 5 (Experiment 1): wall-clock cost of
 //! driving the distributed B-Neck protocol to quiescence as the number of
 //! simultaneously joining sessions grows, on Small LAN and WAN networks.
+//!
+//! Two variants per point: the original end-to-end cells (topology build,
+//! planning, protocol run and oracle check all inside the measurement) and
+//! `_proto`-suffixed cells that hoist everything except the protocol run out
+//! of `b.iter`, so regressions in the engine hot path are not diluted by
+//! setup cost.
 
 use bneck_bench::run_experiment1_point;
+use bneck_core::{BneckConfig, BneckSimulation};
+use bneck_maxmin::{compare_allocations, CentralizedBneck, Tolerance};
 use bneck_workload::{Experiment1Config, NetworkScenario};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -37,5 +45,57 @@ fn bench_convergence(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_convergence);
+/// The `_proto` variants: topology, schedule and oracle are built once per
+/// cell; only the protocol simulation (schedule application, run to
+/// quiescence, oracle comparison) is measured.
+fn bench_convergence_proto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("experiment1_convergence");
+    group.sample_size(10);
+    for &sessions in &[10usize, 50, 200] {
+        for (label, scenario) in [
+            (
+                "small_lan_proto",
+                NetworkScenario::small_lan(2 * sessions.max(10)),
+            ),
+            (
+                "small_wan_proto",
+                NetworkScenario::small_wan(2 * sessions.max(10)),
+            ),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, sessions),
+                &sessions,
+                |b, &sessions| {
+                    let config = Experiment1Config::scaled(scenario, sessions);
+                    let network = config.scenario.build();
+                    let schedule = config.schedule(&network);
+                    // The oracle of the joined sessions, solved once: a
+                    // bookkeeping-only pass yields the session set.
+                    let mut reference = BneckSimulation::new(&network, BneckConfig::default());
+                    schedule.apply(&mut reference);
+                    let session_set = reference.session_set();
+                    let oracle = CentralizedBneck::new(&network, &session_set).solve();
+                    b.iter(|| {
+                        let mut sim = BneckSimulation::new(&network, BneckConfig::default());
+                        schedule.apply(&mut sim);
+                        let report = sim.run_to_quiescence();
+                        assert!(report.quiescent);
+                        let sessions = sim.session_set();
+                        assert!(compare_allocations(
+                            &sessions,
+                            &sim.allocation(),
+                            &oracle,
+                            Tolerance::new(1e-6, 10.0),
+                        )
+                        .is_ok());
+                        report.packets_sent
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_convergence, bench_convergence_proto);
 criterion_main!(benches);

@@ -42,6 +42,9 @@ RUN OPTIONS:
     --repeats N           override the repeat count (churn specs)
     --baselines A[,B...]  override the baselines (accuracy specs)
     --no-validate         skip the oracle cross-check (scale specs)
+    --scale-curve         write the per-point performance curve — ns/event,
+                          phase timings, peak RSS — as JSON (scale specs)
+    --curve-out PATH      scale-curve output path (default: BENCH_SCALE.json)
     --json                print the JSON report to stdout
     --out PATH            write the JSON report to PATH
     --no-tables           suppress the text tables
@@ -82,6 +85,8 @@ struct RunOptions {
     out: Option<String>,
     tables: bool,
     csv: bool,
+    /// `--scale-curve`: path to write the performance-curve JSON to.
+    scale_curve: Option<String>,
 }
 
 fn value_of(args: &[String], name: &str) -> Option<String> {
@@ -114,7 +119,7 @@ fn load_spec(args: &[String], default_preset: Option<&str>) -> Result<Experiment
         let arg = &args[i];
         if matches!(
             arg.as_str(),
-            "--sessions" | "--repeats" | "--baselines" | "--out" | "--preset"
+            "--sessions" | "--repeats" | "--baselines" | "--out" | "--preset" | "--curve-out"
         ) {
             i += 2; // skip the flag and its value
         } else if arg.starts_with("--") {
@@ -218,11 +223,23 @@ fn parse_run_options(args: &[String], default_preset: Option<&str>) -> Result<Ru
     if args.iter().any(|a| a == "--no-csv") {
         spec.output.csv = false;
     }
+    let scale_curve = if args.iter().any(|a| a == "--scale-curve") {
+        if !matches!(spec.experiment, ExperimentKind::Scale(_)) {
+            return Err(format!(
+                "--scale-curve applies to scale specs, not `{}`",
+                spec.experiment.label()
+            ));
+        }
+        Some(value_of(args, "--curve-out").unwrap_or_else(|| "BENCH_SCALE.json".to_string()))
+    } else {
+        None
+    };
     Ok(RunOptions {
         json: json_flag,
         out,
         tables: spec.output.tables,
         csv: spec.output.csv,
+        scale_curve,
         spec,
     })
 }
@@ -237,16 +254,36 @@ fn execute(options: RunOptions) -> i32 {
         options.spec.experiment.label(),
         runner.threads()
     );
-    let SpecOutcome { report, notes } =
-        match run_spec(&options.spec, &topologies, &protocols, &runner) {
-            Ok(outcome) => outcome,
-            Err(error) => {
-                eprintln!("[bneck] spec does not resolve: {error}");
-                return 2;
-            }
-        };
+    let SpecOutcome {
+        report,
+        notes,
+        timings,
+    } = match run_spec(&options.spec, &topologies, &protocols, &runner) {
+        Ok(outcome) => outcome,
+        Err(error) => {
+            eprintln!("[bneck] spec does not resolve: {error}");
+            return 2;
+        }
+    };
     for note in &notes {
         eprintln!("[bneck] {note}");
+    }
+
+    if let Some(path) = &options.scale_curve {
+        let crate::report::ExperimentReport::Scale(reports) = &report else {
+            unreachable!("--scale-curve is rejected for non-scale specs at parse time");
+        };
+        let points: Vec<crate::runner::ScaleCurvePoint> = reports
+            .iter()
+            .zip(&timings)
+            .map(|(report, timings)| crate::runner::ScaleCurvePoint::new(report, timings))
+            .collect();
+        let document = serde_json::to_value(&points).expect("infallible in the shim");
+        if let Err(error) = std::fs::write(path, document.to_json_pretty()) {
+            eprintln!("[bneck] cannot write scale curve to `{path}`: {error}");
+            return 2;
+        }
+        eprintln!("[bneck] scale curve written to {path}");
     }
 
     let tables = render_tables(&report);

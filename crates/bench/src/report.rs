@@ -17,7 +17,7 @@
 use crate::runner::{
     run_experiment1_sweep, run_experiment2_repeats, run_experiment3_registry, run_scale_sweep,
     run_validation_sweep, Experiment1Point, Experiment2Run, Experiment3Result, ScaleReport,
-    ValidationPoint, ValidationReport,
+    ScaleTimings, ValidationPoint, ValidationReport,
 };
 use crate::sweep::SweepRunner;
 use bneck_core::PacketKind;
@@ -70,6 +70,11 @@ pub struct SpecOutcome {
     pub report: ExperimentReport,
     /// Operator-facing progress/detail lines (printed to stderr by the CLI).
     pub notes: Vec<String>,
+    /// Per-point wall-clock phase breakdowns — populated for scale specs
+    /// (one entry per point, in report order), empty otherwise. Like
+    /// `notes`, timings are machine-dependent and therefore live outside
+    /// the report.
+    pub timings: Vec<ScaleTimings>,
 }
 
 /// Runs a declarative experiment spec: checks it against the registries,
@@ -108,6 +113,7 @@ pub fn run_spec(
             Ok(SpecOutcome {
                 report: ExperimentReport::Joins(points),
                 notes,
+                timings: Vec::new(),
             })
         }
         ExperimentKind::Churn(churn) => {
@@ -116,6 +122,7 @@ pub fn run_spec(
             Ok(SpecOutcome {
                 report: ExperimentReport::Churn(runs),
                 notes: Vec::new(),
+                timings: Vec::new(),
             })
         }
         ExperimentKind::Accuracy(accuracy) => {
@@ -138,6 +145,7 @@ pub fn run_spec(
             Ok(SpecOutcome {
                 report: ExperimentReport::Accuracy(results),
                 notes,
+                timings: Vec::new(),
             })
         }
         ExperimentKind::Validation(validation) => {
@@ -154,6 +162,7 @@ pub fn run_spec(
             Ok(SpecOutcome {
                 report: ExperimentReport::Validation(reports),
                 notes: Vec::new(),
+                timings: Vec::new(),
             })
         }
         ExperimentKind::Scale(scale) => {
@@ -161,13 +170,16 @@ pub fn run_spec(
             let runs = run_scale_sweep(configs, scale.validate, runner);
             let mut reports = Vec::with_capacity(runs.len());
             let mut notes = Vec::with_capacity(runs.len());
+            let mut timings = Vec::with_capacity(runs.len());
             for run in runs {
                 notes.push(run.detail);
+                timings.push(run.timings);
                 reports.push(run.report);
             }
             Ok(SpecOutcome {
                 report: ExperimentReport::Scale(reports),
                 notes,
+                timings,
             })
         }
     }

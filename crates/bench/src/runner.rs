@@ -467,12 +467,53 @@ impl ScaleReport {
     }
 }
 
+/// Wall-clock phase breakdown of one paper-scale run, plus the process peak
+/// RSS sampled after the run. Not part of [`ScaleReport`] — wall-clock times
+/// and memory footprints are machine-dependent, and scale reports must stay
+/// bit-identical across thread counts and hosts — but carried next to it so
+/// performance tooling (`bneck sweep --scale-curve`) can emit them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ScaleTimings {
+    /// Seconds spent building the network.
+    pub build_s: f64,
+    /// Seconds spent planning sessions and schedules (routing included).
+    pub plan_s: f64,
+    /// Seconds spent applying the schedule and running to quiescence.
+    pub run_s: f64,
+    /// Seconds spent on the centralized-oracle cross-check (0 when skipped).
+    pub oracle_s: f64,
+    /// Seconds for the whole point, end to end.
+    pub total_s: f64,
+    /// Peak resident set size of the process in bytes (`VmHWM`), 0 when the
+    /// platform does not expose it. Cumulative across points run in the same
+    /// process: a high-water mark never goes back down.
+    pub peak_rss_bytes: u64,
+}
+
+/// Peak resident set size (`VmHWM`) of the current process in bytes, or 0
+/// when `/proc/self/status` is unavailable (non-Linux platforms).
+pub fn peak_rss_bytes() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|status| {
+            status.lines().find_map(|line| {
+                let rest = line.strip_prefix("VmHWM:")?;
+                rest.trim().strip_suffix("kB")?.trim().parse::<u64>().ok()
+            })
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
 /// One paper-scale run: the deterministic report plus human-oriented detail
 /// lines (network dimensions, wall-clock timings).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScaleRun {
     /// The deterministic outcome.
     pub report: ScaleReport,
+    /// The wall-clock phase breakdown and peak RSS of this point.
+    pub timings: ScaleTimings,
     /// Multi-line progress/timing detail for operators (not part of the
     /// machine-readable report: wall-clock times are not reproducible).
     pub detail: String,
@@ -536,14 +577,23 @@ pub fn run_scale_point(config: &Experiment1Config, validate: bool) -> ScaleRun {
         );
         t_oracle = t3.elapsed();
     }
+    let timings = ScaleTimings {
+        build_s: t_build.as_secs_f64(),
+        plan_s: t_plan.as_secs_f64(),
+        run_s: t_run.as_secs_f64(),
+        oracle_s: t_oracle.as_secs_f64(),
+        total_s: t0.elapsed().as_secs_f64(),
+        peak_rss_bytes: peak_rss_bytes(),
+    };
     let _ = write!(
         detail,
-        "\n[scale] build_s={:.3} plan_s={:.3} run_s={:.3} oracle_s={:.3} total_s={:.3}",
-        t_build.as_secs_f64(),
-        t_plan.as_secs_f64(),
-        t_run.as_secs_f64(),
-        t_oracle.as_secs_f64(),
-        t0.elapsed().as_secs_f64(),
+        "\n[scale] build_s={:.3} plan_s={:.3} run_s={:.3} oracle_s={:.3} total_s={:.3} peak_rss_mib={:.1}",
+        timings.build_s,
+        timings.plan_s,
+        timings.run_s,
+        timings.oracle_s,
+        timings.total_s,
+        timings.peak_rss_bytes as f64 / (1024.0 * 1024.0),
     );
 
     ScaleRun {
@@ -557,7 +607,67 @@ pub fn run_scale_point(config: &Experiment1Config, validate: bool) -> ScaleRun {
             packets_per_session: report.packets_sent as f64 / sessions.max(1) as f64,
             mismatches,
         },
+        timings,
         detail,
+    }
+}
+
+/// One point of the machine-readable scale curve (`BENCH_SCALE.json`): the
+/// deterministic outcome of a paper-scale run joined with its wall-clock
+/// phase breakdown, per-event cost and peak RSS.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ScaleCurvePoint {
+    /// Number of sessions the point planned.
+    pub sessions: usize,
+    /// Events processed during the run.
+    pub events_processed: u64,
+    /// Packets transmitted over links.
+    pub packets_sent: u64,
+    /// Average packets per session.
+    pub packets_per_session: f64,
+    /// Engine cost per event in nanoseconds (`run_s / events_processed`).
+    pub ns_per_event: f64,
+    /// Seconds spent building the network.
+    pub build_s: f64,
+    /// Seconds spent planning sessions and schedules.
+    pub plan_s: f64,
+    /// Seconds spent running to quiescence.
+    pub run_s: f64,
+    /// Seconds spent on the oracle cross-check (0 when skipped).
+    pub oracle_s: f64,
+    /// Seconds for the whole point.
+    pub total_s: f64,
+    /// Peak resident set size in MiB at the end of the point.
+    pub peak_rss_mib: f64,
+    /// Whether the run reached quiescence.
+    pub quiescent: bool,
+    /// Oracle mismatches (`None` when validation was skipped).
+    pub mismatches: Option<usize>,
+}
+
+impl ScaleCurvePoint {
+    /// Joins a scale report with its timings into one curve point.
+    pub fn new(report: &ScaleReport, timings: &ScaleTimings) -> Self {
+        ScaleCurvePoint {
+            sessions: report.sessions,
+            events_processed: report.events_processed,
+            packets_sent: report.packets_sent,
+            packets_per_session: report.packets_per_session,
+            ns_per_event: if report.events_processed > 0 {
+                timings.run_s * 1e9 / report.events_processed as f64
+            } else {
+                0.0
+            },
+            build_s: timings.build_s,
+            plan_s: timings.plan_s,
+            run_s: timings.run_s,
+            oracle_s: timings.oracle_s,
+            total_s: timings.total_s,
+            peak_rss_mib: timings.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            quiescent: report.quiescent,
+            mismatches: report.mismatches,
+        }
     }
 }
 

@@ -153,6 +153,61 @@ mod spec_equivalence {
         }
     }
 
+    /// Scale reports must come out byte-identical with session planning at
+    /// 1, 2 and 4 worker threads — through the direct sweep runner and the
+    /// spec path alike, with same-link event batching active in the engine
+    /// (it always is in `run_until`). The planner reads `BNECK_THREADS`, the
+    /// sweep runner takes its count explicitly; both are varied together.
+    #[test]
+    fn scale_reports_are_byte_identical_at_planner_threads_1_2_4() {
+        let mut spec = ExperimentSpec::preset("paper_scale").unwrap();
+        let ExperimentKind::Scale(scale) = &mut spec.experiment else {
+            panic!("paper_scale is a scale spec");
+        };
+        scale.sessions = vec![300, 500];
+
+        let topologies = TopologyRegistry::builtin();
+        let protocols = default_protocols();
+        let mut sweep_bytes = Vec::new();
+        let mut spec_bytes = Vec::new();
+        for threads in [1usize, 2, 4] {
+            std::env::set_var("BNECK_THREADS", threads.to_string());
+            let configs = vec![
+                Experiment1Config::paper_scale(300),
+                Experiment1Config::paper_scale(500),
+            ];
+            let runs = bneck_bench::run_scale_sweep(configs, true, &SweepRunner::new(threads));
+            assert!(runs.iter().all(|r| r.report.ok()));
+            let reports: Vec<_> = runs.into_iter().map(|r| r.report).collect();
+            sweep_bytes.push(
+                serde_json::to_value(&reports)
+                    .expect("infallible in the shim")
+                    .to_json_pretty(),
+            );
+
+            let outcome =
+                run_spec(&spec, &topologies, &protocols, &SweepRunner::new(threads)).unwrap();
+            let ExperimentReport::Scale(spec_reports) = &outcome.report else {
+                panic!("scale spec produces a scale report");
+            };
+            assert_eq!(spec_reports, &reports, "spec path diverged at {threads}");
+            spec_bytes.push(
+                serde_json::to_value(&outcome.report)
+                    .expect("infallible in the shim")
+                    .to_json_pretty(),
+            );
+        }
+        std::env::remove_var("BNECK_THREADS");
+        assert!(
+            sweep_bytes.iter().all(|b| b == &sweep_bytes[0]),
+            "sweep-path report bytes differ across planner thread counts"
+        );
+        assert!(
+            spec_bytes.iter().all(|b| b == &spec_bytes[0]),
+            "spec-path report bytes differ across planner thread counts"
+        );
+    }
+
     /// The validate preset runs the same points as the former `validate`
     /// binary (sessions trimmed via the spec, as `--sessions` would).
     #[test]

@@ -49,6 +49,47 @@ fn paper_scale_10k_matches_oracle() {
     }
 }
 
+/// Join → quiescence at 250,000 sessions on the Medium transit–stub network,
+/// planned once with a sequential planner and once with routing-tree
+/// construction fanned across 4 worker threads. Both runs must be quiescent
+/// and oracle-exact, and their serialized scale reports must be
+/// byte-identical — parallel planning is a wall-clock optimization only.
+#[test]
+#[ignore = "paper-scale run: execute in release with -- --ignored"]
+fn paper_scale_250k_parallel_planning_matches_sequential_report() {
+    use bneck_bench::run_scale_point;
+
+    let config = Experiment1Config::paper_scale(250_000);
+    // The planner reads its worker-thread count from BNECK_THREADS. Thread
+    // counts are invisible in every deterministic output by design, so
+    // flipping the variable here cannot disturb concurrently running tests.
+    std::env::set_var("BNECK_THREADS", "1");
+    let sequential = run_scale_point(&config, true);
+    std::env::set_var("BNECK_THREADS", "4");
+    let parallel = run_scale_point(&config, true);
+    std::env::remove_var("BNECK_THREADS");
+
+    assert!(parallel.report.quiescent);
+    assert_eq!(parallel.report.joins_applied, 250_000);
+    assert_eq!(
+        parallel.report.mismatches,
+        Some(0),
+        "distributed rates must match the oracle exactly at 250k"
+    );
+    assert!(parallel.report.ok());
+
+    let sequential_bytes = serde_json::to_value(&sequential.report)
+        .expect("infallible in the shim")
+        .to_json_pretty();
+    let parallel_bytes = serde_json::to_value(&parallel.report)
+        .expect("infallible in the shim")
+        .to_json_pretty();
+    assert_eq!(
+        sequential_bytes, parallel_bytes,
+        "parallel planning changed the report bytes"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 

@@ -476,6 +476,96 @@ impl World for BneckWorld {
     fn handle(&mut self, ctx: &mut Context<'_, Envelope>, _to: Address, msg: Envelope) {
         self.dispatch(ctx, msg);
     }
+
+    /// Protocol packets are keyed by their destination link, so the engine
+    /// drains a same-instant burst through one [`World::handle_batch`] call
+    /// with the link task's state hot. API calls and end-host deliveries are
+    /// not batched — they are rare and carry per-session state anyway.
+    fn batch_key(&self, msg: &Envelope) -> Option<u64> {
+        match (msg.target, msg.payload) {
+            (Target::Link { link, .. }, Payload::Protocol(_)) => Some(link.index() as u64),
+            _ => None,
+        }
+    }
+
+    /// Touches the state the next delivery will need: the link task record
+    /// (plus its id → slot entry and member line) for link-targeted packets,
+    /// the per-session task for end-host deliveries. At paper scale these
+    /// records live far apart in a multi-hundred-megabyte working set, so
+    /// starting their loads one event early overlaps part of the miss
+    /// latency with the current handler. (A shallower variant that touched
+    /// only the first line of each chain measured *worse* than this on the
+    /// 50k preset — the member line is the one that matters.)
+    fn warm(&self, msg: &Envelope) {
+        match msg.target {
+            Target::Link { link: e, hop, slot } => {
+                if let Some(Some(task)) = self.router_links.get(e.index()) {
+                    if let Payload::Protocol(packet) = msg.payload {
+                        task.warm(packet.session());
+                    }
+                }
+                // The forwarding side of the delivery: the session's path
+                // record (next-hop lookup) and the reverse-link entry
+                // (upstream responses) — independent lines, loaded in
+                // parallel with the task chain above.
+                if (slot as usize) < self.arena.slot_count() {
+                    std::hint::black_box(self.arena.link_at(slot, hop));
+                }
+                std::hint::black_box(self.links.reverse(e));
+            }
+            Target::Source(slot) => {
+                if let Some(source) = self.sources.get(slot as usize) {
+                    std::hint::black_box(source.session());
+                }
+            }
+            Target::Destination(slot) => {
+                if let Some(destination) = self.destinations.get(slot as usize) {
+                    std::hint::black_box(destination);
+                }
+            }
+        }
+    }
+
+    /// Delivers a same-instant run of packets to one link: the link task is
+    /// resolved once per packet from an already-hot cache line, and the
+    /// *next* packet's member record is touched before the current one is
+    /// handled, so its id → slot probe and member line are in flight while
+    /// the handler works (a software prefetch by early load).
+    fn handle_batch(
+        &mut self,
+        ctx: &mut Context<'_, Envelope>,
+        batch: &mut Vec<(Address, Envelope)>,
+    ) {
+        for i in 0..batch.len() {
+            let envelope = batch[i].1;
+            let (Target::Link { link: e, .. }, Payload::Protocol(packet)) =
+                (envelope.target, envelope.payload)
+            else {
+                // `batch_key` only groups link-targeted protocol packets;
+                // anything else would be an engine bug, but dispatching it
+                // keeps the harness honest.
+                self.dispatch(ctx, envelope);
+                continue;
+            };
+            let mut actions = std::mem::take(&mut self.scratch);
+            actions.clear();
+            let capacity = self.links.capacity(e);
+            let entry = &mut self.router_links[e.index()];
+            let link =
+                entry.get_or_insert_with(|| RouterLink::new(e, capacity, self.config.tolerance));
+            if let Some((_, next)) = batch.get(i + 1) {
+                if let Payload::Protocol(next_packet) = next.payload {
+                    link.warm(next_packet.session());
+                }
+            }
+            link.handle(packet, &mut actions);
+            for action in actions.drain() {
+                self.perform(ctx, envelope.target, packet.session(), action);
+            }
+            self.scratch = actions;
+        }
+        batch.clear();
+    }
 }
 
 /// A complete B-Neck simulation over a network.

@@ -15,13 +15,19 @@
 
 use crate::packet::{Packet, ResponseKind};
 use crate::task::{Action, ActionBuffer, ProbeState};
-use bneck_maxmin::{FastMap, Rate, SessionId, Tolerance};
+use bneck_maxmin::{IdSlotMap, Rate, SessionId, Tolerance};
 use bneck_net::LinkId;
 
 /// Per-session state kept by a [`RouterLink`]: identifier, assigned rate
 /// `λ_e^s` (`NaN` while unknown), probe state `μ_e^s` and the `R_e`/`F_e`
 /// membership bit, packed into one small record.
+///
+/// `repr(C)` pins the layout to 24 bytes with every per-packet field (`id`,
+/// `lambda`, `mu`, `in_r`) inside the same cache line as the record itself —
+/// the set scans walk `members` linearly, so each line the prefetcher pulls
+/// carries two-and-a-bit complete records and no cold padding.
 #[derive(Debug, Clone, Copy)]
+#[repr(C)]
 struct Member {
     id: SessionId,
     lambda: Rate,
@@ -44,8 +50,11 @@ pub struct RouterLink {
     /// sessions spread the working set far beyond the caches. Slot order is
     /// unspecified: removals swap the last slot in.
     members: Vec<Member>,
-    /// Session id → slot in `members`.
-    index: FastMap<SessionId, u32>,
+    /// Session id → slot in `members`, as an open-addressing table inlined
+    /// into the task (16-byte entries, no second heap indirection): resolving
+    /// a packet touches the link's own entry line and then the member record,
+    /// one or two predictable cache lines in total.
+    index: IdSlotMap,
     /// `|R_e|`, maintained incrementally.
     restricted_len: usize,
     /// Number of `R_e` members whose probe state is not `Idle`, maintained
@@ -89,7 +98,7 @@ impl RouterLink {
             capacity,
             tol,
             members: Vec::new(),
-            index: FastMap::default(),
+            index: IdSlotMap::new(),
             restricted_len: 0,
             restricted_not_idle: 0,
             f_assigned: 0.0,
@@ -176,8 +185,42 @@ impl RouterLink {
         true
     }
 
+    /// Below this many members, id → slot resolution scans the member records
+    /// directly: the scan walks the same one or two cache lines the handler
+    /// is about to touch anyway, where a table probe would chase a separate
+    /// line first. Access and stub links — the long, cache-cold tail of a
+    /// paper-scale topology — carry a handful of sessions each, so this is
+    /// the common case; the table still indexes every member and takes over
+    /// on the heavily shared backbone links.
+    const SCAN_MEMBERS: usize = 8;
+
     fn slot(&self, session: SessionId) -> Option<usize> {
-        self.index.get(&session).map(|i| *i as usize)
+        if self.members.len() <= Self::SCAN_MEMBERS {
+            return self.members.iter().position(|m| m.id == session);
+        }
+        self.index.get(session).map(|i| i as usize)
+    }
+
+    /// Touches the id → slot entry and member record of `session` without
+    /// acting on them: a software prefetch by early load. The engine's batch
+    /// loop calls this for packet *i + 1* before handling packet *i*, so the
+    /// next packet's two dependent cache lines are already in flight while
+    /// the current handler runs. Unknown sessions cost one probe and warm
+    /// the table all the same.
+    pub fn warm(&self, session: SessionId) {
+        if self.members.len() <= Self::SCAN_MEMBERS {
+            // Small link: the lookup is a scan of the member records, so
+            // loading the first record warms the line(s) the scan will walk.
+            if let Some(m) = self.members.first() {
+                std::hint::black_box(m.in_r);
+            }
+            return;
+        }
+        if let Some(i) = self.index.get(session) {
+            if let Some(m) = self.members.get(i as usize) {
+                std::hint::black_box(m.in_r);
+            }
+        }
     }
 
     /// Ensures a slot for `session`, creating it in `F_e` with no probe state
@@ -318,7 +361,7 @@ impl RouterLink {
                 self.f_assigned -= m.lambda;
             }
         }
-        self.index.remove(&m.id);
+        self.index.remove(m.id);
         self.members.swap_remove(i);
         if i < self.members.len() {
             self.index.insert(self.members[i].id, i as u32);

@@ -13,7 +13,9 @@
 //! * [`verify`] — checks that an allocation satisfies the max-min fairness
 //!   conditions and compares allocations produced by different algorithms;
 //! * [`fastmap`] — the fast non-cryptographic hash maps the simulation
-//!   engines use for their id → dense-slot lookups.
+//!   engines use for their id → dense-slot lookups;
+//! * [`idmap`] — an inline open-addressing id → slot table for the per-link
+//!   hot path, where even a fast `HashMap`'s extra indirection shows up.
 //!
 //! Both centralized algorithms serve as the correctness oracle against which
 //! the distributed protocol (crate `bneck-core`) is validated, exactly as the
@@ -47,6 +49,7 @@
 
 pub mod centralized;
 pub mod fastmap;
+pub mod idmap;
 #[cfg(test)]
 pub(crate) mod naive;
 pub mod rate;
@@ -57,6 +60,7 @@ pub mod workspace;
 
 pub use centralized::{CentralizedBneck, CentralizedSolution, LinkBottleneck};
 pub use fastmap::{FastBuildHasher, FastHasher, FastMap, FastSet};
+pub use idmap::IdSlotMap;
 pub use rate::{Rate, RateLimit, Tolerance};
 pub use session::{Allocation, Session, SessionId, SessionSet};
 pub use verify::{compare_allocations, verify_max_min, Violation};

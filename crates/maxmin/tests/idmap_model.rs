@@ -1,0 +1,65 @@
+//! Cross-validation of the inline open-addressing [`IdSlotMap`] against a
+//! naive `BTreeMap` model: random insert/remove/lookup/iteration churn over a
+//! small key space (so probe chains collide, tombstones accumulate and the
+//! table rehashes), plus the dense-slot swap-remove pattern `RouterLink`
+//! drives it with (a leave moves the last member into the freed slot and
+//! re-points its index entry).
+
+use bneck_maxmin::{IdSlotMap, SessionId};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn matches_a_btreemap_model_under_churn(
+        ops in prop::collection::vec((0u8..3, 0u64..48, 0u32..1000), 1..400),
+    ) {
+        let mut map = IdSlotMap::new();
+        let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+        for (op, key, val) in ops {
+            match op {
+                0 => prop_assert_eq!(map.insert(SessionId(key), val), model.insert(key, val)),
+                1 => prop_assert_eq!(map.remove(SessionId(key)), model.remove(&key)),
+                _ => prop_assert_eq!(map.get(SessionId(key)), model.get(&key).copied()),
+            }
+            prop_assert_eq!(map.len(), model.len());
+            prop_assert!(map.is_empty() == model.is_empty());
+        }
+        let mut got: Vec<(u64, u32)> = map.iter().map(|(k, v)| (k.0, v)).collect();
+        got.sort_unstable();
+        let want: Vec<(u64, u32)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn tracks_dense_slots_across_swap_remove_churn(
+        ops in prop::collection::vec((0u8..2, 0u64..32), 1..300),
+    ) {
+        // The RouterLink usage pattern: `members` is a dense vector, the map
+        // resolves id → position, and a removal swap-removes so the moved
+        // last id must be re-pointed. After every op the map must agree with
+        // a linear scan of the dense vector (slot reuse included).
+        let mut members: Vec<u64> = Vec::new();
+        let mut map = IdSlotMap::new();
+        for (op, id) in ops {
+            let present = map.get(SessionId(id)).is_some();
+            if op == 0 && !present {
+                map.insert(SessionId(id), members.len() as u32);
+                members.push(id);
+            } else if op == 1 && present {
+                let i = map.get(SessionId(id)).unwrap() as usize;
+                map.remove(SessionId(id));
+                members.swap_remove(i);
+                if i < members.len() {
+                    map.insert(SessionId(members[i]), i as u32);
+                }
+            }
+            prop_assert_eq!(map.len(), members.len());
+            for (pos, &m) in members.iter().enumerate() {
+                prop_assert_eq!(map.get(SessionId(m)), Some(pos as u32));
+            }
+        }
+    }
+}

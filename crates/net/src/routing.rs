@@ -7,7 +7,7 @@
 
 use crate::graph::{LinkId, Network, NodeId};
 use crate::path::Path;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Shortest-path (minimum hop) router over a [`Network`].
 ///
@@ -215,13 +215,7 @@ impl<'a> Router<'a> {
         if src_router == dst_router {
             return Some(Path::from_links(self.network, vec![src_access, dst_access]));
         }
-        if self.router_index.is_empty() {
-            self.router_index = vec![u32::MAX; self.network.node_count()];
-            for node in self.network.routers() {
-                self.router_index[node.id().index()] = self.router_nodes.len() as u32;
-                self.router_nodes.push(node.id());
-            }
-        }
+        self.ensure_router_index();
         if !self.router_trees.contains_key(&src_router) {
             let tree = self.build_router_tree(src_router);
             self.router_trees.insert(src_router, tree);
@@ -247,29 +241,110 @@ impl<'a> Router<'a> {
         Some(Path::from_links(self.network, links))
     }
 
+    /// Builds the dense router index on first use.
+    fn ensure_router_index(&mut self) {
+        if !self.router_index.is_empty() {
+            return;
+        }
+        self.router_index = vec![u32::MAX; self.network.node_count()];
+        for node in self.network.routers() {
+            self.router_index[node.id().index()] = self.router_nodes.len() as u32;
+            self.router_nodes.push(node.id());
+        }
+    }
+
     /// Runs a BFS from `root` over the router-only subgraph, recording for
     /// every router the link leading back toward `root`.
     fn build_router_tree(&mut self, root: NodeId) -> Box<[LinkId]> {
-        let mut tree = vec![NO_LINK; self.router_nodes.len()].into_boxed_slice();
-        self.generation += 1;
-        let generation = self.generation;
-        self.visited_mark[root.index()] = generation;
-        self.queue.clear();
-        self.queue.push_back(root);
-        while let Some(node) = self.queue.pop_front() {
-            for &link_id in self.network.out_links(node) {
-                let next = self.network.link(link_id).dst();
-                if self.visited_mark[next.index()] == generation
-                    || self.network.node(next).kind().is_host()
-                {
-                    continue;
-                }
-                self.visited_mark[next.index()] = generation;
-                tree[self.router_index[next.index()] as usize] = link_id;
-                self.queue.push_back(next);
+        build_router_tree_with_scratch(
+            self.network,
+            &self.router_index,
+            self.router_nodes.len(),
+            root,
+            &mut self.visited_mark,
+            &mut self.generation,
+            &mut self.queue,
+        )
+    }
+
+    /// Pre-builds the router-tree cache entries serving the access routers of
+    /// `hosts`, splitting construction across up to `threads` scoped worker
+    /// threads. Roots already cached are skipped; non-host nodes and hosts
+    /// without an access link are ignored. Returns the number of trees built.
+    ///
+    /// Each tree is a pure function of the network (see
+    /// [`Router::host_path_cached`]), so the cache contents — and every path
+    /// later served from them — are bit-identical at any thread count; only
+    /// wall-clock time changes.
+    pub fn warm_router_trees(&mut self, hosts: &[NodeId], threads: usize) -> usize {
+        self.ensure_router_index();
+        let mut seen = HashSet::new();
+        let mut roots: Vec<NodeId> = Vec::new();
+        for &host in hosts {
+            if !self.network.node(host).kind().is_host() {
+                continue;
+            }
+            let Some(&access) = self.network.out_links(host).first() else {
+                continue;
+            };
+            let root = self.network.link(access).dst();
+            if !self.router_trees.contains_key(&root) && seen.insert(root) {
+                roots.push(root);
             }
         }
-        tree
+        let built = roots.len();
+        if roots.is_empty() {
+            return 0;
+        }
+        let threads = threads.clamp(1, roots.len());
+        if threads == 1 {
+            for root in roots {
+                let tree = self.build_router_tree(root);
+                self.router_trees.insert(root, tree);
+            }
+            return built;
+        }
+        let network = self.network;
+        let router_index: &[u32] = &self.router_index;
+        let tree_len = self.router_nodes.len();
+        let shards: Vec<Vec<(NodeId, Box<[LinkId]>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let shard: Vec<NodeId> =
+                        roots.iter().copied().skip(t).step_by(threads).collect();
+                    scope.spawn(move || {
+                        let mut mark = vec![0u64; network.node_count()];
+                        let mut generation = 0u64;
+                        let mut queue = VecDeque::new();
+                        shard
+                            .into_iter()
+                            .map(|root| {
+                                let tree = build_router_tree_with_scratch(
+                                    network,
+                                    router_index,
+                                    tree_len,
+                                    root,
+                                    &mut mark,
+                                    &mut generation,
+                                    &mut queue,
+                                );
+                                (root, tree)
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("router-tree worker panicked"))
+                .collect()
+        });
+        for shard in shards {
+            for (root, tree) in shard {
+                self.router_trees.insert(root, tree);
+            }
+        }
+        built
     }
 
     /// Builds the path from `src` to `dst` out of a parent-link tree.
@@ -310,6 +385,41 @@ impl<'a> Router<'a> {
         }
         dist
     }
+}
+
+/// BFS from `root` over the router-only subgraph using caller-provided
+/// scratch, recording for every router the link leading back toward `root`.
+/// A free function (rather than a method) so parallel tree warming can run it
+/// on worker threads against a shared `&Network`; the single-threaded path
+/// goes through the same code, which makes "identical trees at any thread
+/// count" true by construction.
+fn build_router_tree_with_scratch(
+    network: &Network,
+    router_index: &[u32],
+    tree_len: usize,
+    root: NodeId,
+    mark: &mut [u64],
+    generation: &mut u64,
+    queue: &mut VecDeque<NodeId>,
+) -> Box<[LinkId]> {
+    let mut tree = vec![NO_LINK; tree_len].into_boxed_slice();
+    *generation += 1;
+    let generation = *generation;
+    mark[root.index()] = generation;
+    queue.clear();
+    queue.push_back(root);
+    while let Some(node) = queue.pop_front() {
+        for &link_id in network.out_links(node) {
+            let next = network.link(link_id).dst();
+            if mark[next.index()] == generation || network.node(next).kind().is_host() {
+                continue;
+            }
+            mark[next.index()] = generation;
+            tree[router_index[next.index()] as usize] = link_id;
+            queue.push_back(next);
+        }
+    }
+    tree
 }
 
 #[cfg(test)]
@@ -514,6 +624,51 @@ mod tests {
         let net = b.build();
         let mut router = Router::new(&net);
         assert!(router.host_path_cached(h0, h1).is_none());
+    }
+
+    #[test]
+    fn warmed_trees_serve_identical_paths_at_any_thread_count() {
+        let net = crate::topology::transit_stub::paper_network(
+            crate::topology::transit_stub::NetworkSize::Small,
+            40,
+            crate::topology::DelayModel::Lan,
+            23,
+        );
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut lazy = Router::new(&net);
+        let mut warmed: Vec<(usize, Router<'_>)> = [1usize, 2, 4]
+            .into_iter()
+            .map(|threads| {
+                let mut r = Router::new(&net);
+                let built = r.warm_router_trees(&hosts, threads);
+                assert!(built > 0, "warming must build at least one tree");
+                // A second warm finds everything cached.
+                assert_eq!(r.warm_router_trees(&hosts, threads), 0);
+                (threads, r)
+            })
+            .collect();
+        for i in 0..hosts.len() {
+            let a = hosts[i];
+            let b = hosts[(i * 7 + 3) % hosts.len()];
+            let want = lazy.host_path_cached(a, b);
+            for (threads, r) in warmed.iter_mut() {
+                assert_eq!(
+                    r.host_path_cached(a, b),
+                    want,
+                    "warmed path ({threads} threads) diverges for {a} -> {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn warming_skips_non_hosts_and_empty_input() {
+        let (net, h0, _) = diamond();
+        let mut router = Router::new(&net);
+        assert_eq!(router.warm_router_trees(&[], 4), 0);
+        let r0 = net.routers().next().unwrap().id();
+        assert_eq!(router.warm_router_trees(&[r0], 4), 0);
+        assert_eq!(router.warm_router_trees(&[h0, h0], 4), 1);
     }
 
     #[test]

@@ -31,6 +31,27 @@ fn key(at: SimTime, seq: u64) -> u128 {
     ((at.as_nanos() as u128) << 64) | seq as u128
 }
 
+/// Which tier of the queue holds the head event (see [`EventQueue::head`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HeadSource {
+    /// Front of the same-instant FIFO bucket.
+    Fifo,
+    /// Back of the sorted cursor bucket of the calendar ring.
+    Ring,
+    /// Head of the far-future overflow heap (only while the ring is empty).
+    Far,
+}
+
+impl HeadSource {
+    fn calendar(in_ring: bool) -> Self {
+        if in_ring {
+            HeadSource::Ring
+        } else {
+            HeadSource::Far
+        }
+    }
+}
+
 /// log2 of the bucket width in nanoseconds (512 ns buckets).
 const BUCKET_BITS: u32 = 9;
 /// log2 of the ring length (8192 buckets → a ~4.2 ms horizon).
@@ -80,6 +101,12 @@ pub(crate) struct EventQueue<M> {
     slab: Vec<Option<(Address, M)>>,
     /// Vacant slab slots.
     free: Vec<u32>,
+    /// Memoized result of [`EventQueue::head`]: `Some(answer)` while no
+    /// mutation happened since it was computed, `None` when it must be
+    /// recomputed. The engine locates the head up to three times per
+    /// delivery (pop, batch probe, prefetch peek); the memo makes every
+    /// repeat after the last mutation free.
+    head_cache: Option<Option<(u128, HeadSource)>>,
     /// FIFO bucket of events at `now_time`.
     now: VecDeque<Event<M>>,
     /// The current instant: timestamp of the last event popped from the
@@ -103,6 +130,7 @@ impl<M> Default for EventQueue<M> {
             overflow: BinaryHeap::new(),
             slab: Vec::new(),
             free: Vec::new(),
+            head_cache: None,
             now: VecDeque::new(),
             now_time: SimTime::ZERO,
             next_seq: 0,
@@ -113,6 +141,13 @@ impl<M> Default for EventQueue<M> {
 
 impl<M> EventQueue<M> {
     pub(crate) fn push(&mut self, at: SimTime, to: Address, msg: M) {
+        // A push can only change the head when it lands *before* it; handler
+        // sends — future deliveries behind the imminent next event — leave
+        // the memo valid, so steady state recomputes the head once per pop.
+        match self.head_cache {
+            Some(Some((k, _))) if key(at, self.next_seq) >= k => {}
+            _ => self.head_cache = None,
+        }
         let seq = self.next_seq;
         self.next_seq += 1;
         self.len += 1;
@@ -269,57 +304,135 @@ impl<M> EventQueue<M> {
         self.pop_at_most(SimTime::MAX)
     }
 
+    /// Locates the globally next event: its packed `(at, seq)` key and which
+    /// tier holds it. Migrates due overflow events as a side effect (via
+    /// [`EventQueue::calendar_peek`]); the returned source stays valid until
+    /// the next mutation.
+    fn head(&mut self) -> Option<(u128, HeadSource)> {
+        if let Some(cached) = self.head_cache {
+            return cached;
+        }
+        let calendar = self.calendar_peek();
+        let answer = match (self.now.front(), calendar) {
+            (Some(f), None) => Some((f.key(), HeadSource::Fifo)),
+            (None, Some((k, in_ring))) => Some((k, HeadSource::calendar(in_ring))),
+            (Some(f), Some((k, in_ring))) => {
+                let fk = f.key();
+                if fk < k {
+                    Some((fk, HeadSource::Fifo))
+                } else {
+                    Some((k, HeadSource::calendar(in_ring)))
+                }
+            }
+            (None, None) => None,
+        };
+        self.head_cache = Some(answer);
+        answer
+    }
+
+    /// Removes and returns the head event located by [`EventQueue::head`].
+    fn take(&mut self, src: HeadSource) -> Event<M> {
+        self.head_cache = None;
+        self.len -= 1;
+        match src {
+            HeadSource::Fifo => self.now.pop_front().expect("peeked FIFO head"),
+            HeadSource::Ring => {
+                // The sorted cursor bucket's back holds the next event.
+                let slot = (self.cursor & (RING_LEN as u64 - 1)) as usize;
+                let event = self.ring[slot].pop().expect("peeked ring head");
+                if self.ring[slot].is_empty() {
+                    self.occupied[slot / 64] &= !(1 << (slot % 64));
+                }
+                self.ring_len -= 1;
+                self.now_time = event.at;
+                event
+            }
+            HeadSource::Far => {
+                // Far-future overflow head with an empty ring: serve it
+                // directly.
+                let Reverse((k, idx)) = self.overflow.pop().expect("peeked overflow head");
+                let (to, msg) = self.slab[idx as usize].take().expect("slab slot occupied");
+                self.free.push(idx);
+                let at = SimTime::from_nanos((k >> 64) as u64);
+                self.now_time = at;
+                // The cursor trails the clock so future near pushes re-anchor
+                // it.
+                self.cursor = at.as_nanos() >> BUCKET_BITS;
+                self.cursor_sorted = true;
+                Event {
+                    at,
+                    seq: k as u64,
+                    to,
+                    msg,
+                }
+            }
+        }
+    }
+
     /// Pops the next event if its timestamp is at or before `horizon`; the
     /// head is located once and taken directly.
     pub(crate) fn pop_at_most(&mut self, horizon: SimTime) -> Option<Event<M>> {
-        let calendar = self.calendar_peek();
-        let (head_key, from_now) = match (self.now.front(), calendar) {
-            (Some(f), None) => (f.key(), true),
-            (None, Some((k, _))) => (k, false),
-            (Some(f), Some((k, _))) => {
-                let fk = f.key();
-                if fk < k {
-                    (fk, true)
-                } else {
-                    (k, false)
-                }
-            }
-            (None, None) => return None,
-        };
+        let (head_key, src) = self.head()?;
         if (head_key >> 64) as u64 > horizon.as_nanos() {
             return None;
         }
-        self.len -= 1;
-        if from_now {
-            self.now.pop_front()
-        } else if let Some((k, true)) = calendar {
-            // The sorted cursor bucket's back holds the next event.
-            let slot = (self.cursor & (RING_LEN as u64 - 1)) as usize;
-            let event = self.ring[slot].pop().expect("peeked ring head");
-            debug_assert_eq!(event.key(), k);
-            if self.ring[slot].is_empty() {
-                self.occupied[slot / 64] &= !(1 << (slot % 64));
-            }
-            self.ring_len -= 1;
-            self.now_time = event.at;
-            Some(event)
-        } else {
-            // Far-future overflow head with an empty ring: serve it directly.
-            let Reverse((k, idx)) = self.overflow.pop().expect("peeked overflow head");
-            let (to, msg) = self.slab[idx as usize].take().expect("slab slot occupied");
-            self.free.push(idx);
-            let at = SimTime::from_nanos((k >> 64) as u64);
-            self.now_time = at;
-            // The cursor trails the clock so future near pushes re-anchor it.
-            self.cursor = at.as_nanos() >> BUCKET_BITS;
-            self.cursor_sorted = true;
-            Some(Event {
-                at,
-                seq: k as u64,
-                to,
-                msg,
-            })
+        Some(self.take(src))
+    }
+
+    /// Pops the next event only when it is scheduled at exactly `at` (the
+    /// current instant) *and* its message satisfies `matches` — the engine's
+    /// same-destination batch collector. One head location serves both the
+    /// peek and the take, so a declined event costs one key comparison.
+    pub(crate) fn pop_if_at(
+        &mut self,
+        at: SimTime,
+        matches: impl FnOnce(Address, &M) -> bool,
+    ) -> Option<Event<M>> {
+        let (head_key, src) = self.head()?;
+        if (head_key >> 64) as u64 != at.as_nanos() {
+            return None;
         }
+        let ok = match src {
+            HeadSource::Fifo => {
+                let f = self.now.front().expect("peeked FIFO head");
+                matches(f.to, &f.msg)
+            }
+            HeadSource::Ring => {
+                let slot = (self.cursor & (RING_LEN as u64 - 1)) as usize;
+                let e = self.ring[slot].last().expect("peeked ring head");
+                matches(e.to, &e.msg)
+            }
+            // A far head due at the current instant would have been migrated
+            // into the ring by `calendar_peek`; never batch across it.
+            HeadSource::Far => false,
+        };
+        if ok {
+            Some(self.take(src))
+        } else {
+            None
+        }
+    }
+
+    /// The message of the globally next event, without popping it. Used by
+    /// the engine to warm the next event's destination state while the
+    /// current handler runs; like every peek, it may sort the cursor bucket
+    /// and migrate due overflow events as a side effect.
+    pub(crate) fn peek_msg(&mut self) -> Option<&M> {
+        let (_, src) = self.head()?;
+        Some(match src {
+            HeadSource::Fifo => &self.now.front().expect("peeked FIFO head").msg,
+            HeadSource::Ring => {
+                let slot = (self.cursor & (RING_LEN as u64 - 1)) as usize;
+                &self.ring[slot].last().expect("peeked ring head").msg
+            }
+            HeadSource::Far => {
+                let &Reverse((_, idx)) = self.overflow.peek().expect("peeked overflow head");
+                &self.slab[idx as usize]
+                    .as_ref()
+                    .expect("slab slot occupied")
+                    .1
+            }
+        })
     }
 
     #[cfg(test)]

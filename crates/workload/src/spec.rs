@@ -413,7 +413,7 @@ impl ScaleSpec {
 }
 
 /// The names of the shipped presets, in listing order.
-pub const PRESET_NAMES: [&str; 8] = [
+pub const PRESET_NAMES: [&str; 9] = [
     "exp1",
     "exp1_full",
     "exp2",
@@ -422,6 +422,7 @@ pub const PRESET_NAMES: [&str; 8] = [
     "exp3_full",
     "validate",
     "paper_scale",
+    "paper_1m",
 ];
 
 /// `paper_full` is an alias preset: the 300,000-session point of Figure 5.
@@ -439,6 +440,7 @@ impl ExperimentSpec {
             "exp3_full" => "Figures 7-8 at paper scale: 100k joins, 10k leaves",
             "validate" => "SS-IV validation: randomized workloads vs the oracle",
             "paper_scale" => "50k-session join-to-quiescence run with oracle check",
+            "paper_1m" => "one million sessions on Medium LAN, oracle-checked",
             PAPER_FULL => "the full 300k-session point of Figure 5",
             _ => return None,
         })
@@ -535,6 +537,13 @@ impl ExperimentSpec {
             }),
             "paper_scale" => ExperimentKind::Scale(ScaleSpec {
                 sessions: vec![50_000],
+                validate: true,
+            }),
+            // Beyond the paper's largest point (300k): one million sessions
+            // on the Medium LAN network, exercising the cache-local hot path,
+            // batched delivery and parallel planning end to end.
+            "paper_1m" => ExperimentKind::Scale(ScaleSpec {
+                sessions: vec![1_000_000],
                 validate: true,
             }),
             PAPER_FULL => ExperimentKind::Scale(ScaleSpec {
