@@ -20,7 +20,7 @@
 
 use bneck_core::events::SubscriberSet;
 use bneck_core::world::{LinkTable, SessionArena};
-use bneck_core::{PacketKind, RateCause, RateEvent, RateEvents, Subscriber};
+use bneck_core::{PacketKind, RateCause, RateEvent, RateEvents, Subscriber, UnknownSession};
 use bneck_maxmin::{Allocation, Rate, RateLimit, SessionId, SessionSet};
 use bneck_net::{Network, NodeId, Path, Router};
 use bneck_sim::{Address, Context, Engine, RunReport, SimTime, Simulation, World};
@@ -476,22 +476,38 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
         true
     }
 
-    /// Stops a session at time `at`. Returns `false` for unknown sessions.
-    pub fn leave(&mut self, at: SimTime, session: SessionId) -> bool {
+    /// Stops a session at time `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSession`] (the same typed error as
+    /// `BneckSimulation::leave`) if the session is not active — including a
+    /// session whose own departure marker is already queued: the first
+    /// `leave` deactivates it, so a second one finds no active session.
+    pub fn leave(&mut self, at: SimTime, session: SessionId) -> Result<(), UnknownSession> {
         let Some(slot) = self.world.arena.leave(session) else {
-            return false;
+            return Err(UnknownSession(session));
         };
         self.world.stopping[slot as usize] = true;
         self.engine.inject(at, Address(0), Message::Stop { slot });
-        true
+        Ok(())
     }
 
     /// Changes a session's maximum requested rate. The new demand takes
-    /// effect with the next periodic probe. Returns `false` for unknown
-    /// sessions.
-    pub fn change(&mut self, _at: SimTime, session: SessionId, limit: RateLimit) -> bool {
+    /// effect with the next periodic probe.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSession`] if the session is not active — including a
+    /// session that already left but whose `Stop` marker is still queued.
+    pub fn change(
+        &mut self,
+        _at: SimTime,
+        session: SessionId,
+        limit: RateLimit,
+    ) -> Result<(), UnknownSession> {
         let Some(slot) = self.world.arena.change(session, limit) else {
-            return false;
+            return Err(UnknownSession(session));
         };
         let first_capacity = self
             .world
@@ -499,7 +515,7 @@ impl<'a, P: BaselineProtocol> BaselineSimulation<'a, P> {
             .capacity(self.world.arena.path(slot).first_link());
         self.world.demand[slot as usize] = limit.effective_demand(first_capacity);
         self.world.causes[slot as usize] = RateCause::Changed;
-        true
+        Ok(())
     }
 
     /// Registers an observer of this simulation's rate adoptions (delivered
@@ -601,11 +617,11 @@ impl<'a, P: BaselineProtocol> ScheduleTarget for BaselineSimulation<'a, P> {
     }
 
     fn apply_leave(&mut self, at: SimTime, session: SessionId) -> bool {
-        self.leave(at, session)
+        self.leave(at, session).is_ok()
     }
 
     fn apply_change(&mut self, at: SimTime, session: SessionId, limit: RateLimit) -> bool {
-        self.change(at, session, limit)
+        self.change(at, session, limit).is_ok()
     }
 }
 
@@ -734,7 +750,7 @@ mod tests {
             RateLimit::unlimited(),
         );
         sim.run_until(SimTime::from_millis(5));
-        assert!(sim.leave(SimTime::from_millis(6), SessionId(0)));
+        assert!(sim.leave(SimTime::from_millis(6), SessionId(0)).is_ok());
         sim.run_until(SimTime::from_millis(30));
         assert_eq!(sim.active_count(), 0);
         assert!(sim.current_rates().is_empty());
@@ -772,7 +788,7 @@ mod tests {
             // Leave and rejoin immediately along the 2-link path while the
             // long-path probe train may still be in flight.
             let t = sim.now() + Delay::from_nanos(1);
-            assert!(sim.leave(t, SessionId(0)));
+            assert!(sim.leave(t, SessionId(0)).is_ok());
             sim.run_until(t + Delay::from_nanos(2));
             assert!(sim.join(
                 sim.now() + Delay::from_nanos(1),
@@ -785,7 +801,7 @@ mod tests {
             let rate = sim.current_rates().rate(SessionId(0)).unwrap();
             assert!((rate - 80e6).abs() < 1.0, "short path rate, got {rate}");
             let t = sim.now() + Delay::from_micros(1);
-            assert!(sim.leave(t, SessionId(0)));
+            assert!(sim.leave(t, SessionId(0)).is_ok());
             sim.run_until(t + Delay::from_millis(1));
         }
     }
@@ -809,7 +825,7 @@ mod tests {
             RateLimit::unlimited()
         ));
         sim.run_until(SimTime::from_millis(2));
-        assert!(sim.leave(SimTime::from_millis(3), SessionId(0)));
+        assert!(sim.leave(SimTime::from_millis(3), SessionId(0)).is_ok());
         // The Stop event at 3 ms has not been processed yet.
         assert!(!sim.join(
             SimTime::from_millis(4),
@@ -865,9 +881,17 @@ mod tests {
             hosts[3],
             RateLimit::unlimited()
         ));
-        assert!(sim.change(SimTime::ZERO, SessionId(0), RateLimit::finite(5e6)));
-        assert!(!sim.change(SimTime::ZERO, SessionId(9), RateLimit::finite(5e6)));
-        assert!(!sim.leave(SimTime::ZERO, SessionId(9)));
+        assert!(sim
+            .change(SimTime::ZERO, SessionId(0), RateLimit::finite(5e6))
+            .is_ok());
+        assert_eq!(
+            sim.change(SimTime::ZERO, SessionId(9), RateLimit::finite(5e6)),
+            Err(UnknownSession(SessionId(9)))
+        );
+        assert_eq!(
+            sim.leave(SimTime::ZERO, SessionId(9)),
+            Err(UnknownSession(SessionId(9)))
+        );
         sim.run_until(SimTime::from_millis(5));
         let rate = sim.current_rates().rate(SessionId(0)).unwrap();
         assert!((rate - 5e6).abs() < 1.0, "demand caps the granted rate");
@@ -902,13 +926,14 @@ mod tests {
             SimTime::from_millis(20),
             SessionId(0),
             RateLimit::finite(5e6),
-        );
+        )
+        .unwrap();
         sim.run_until(SimTime::from_millis(25));
         let after_change = events.drain();
         assert_eq!(after_change[0].cause, RateCause::Changed);
         assert!((after_change[0].rate - 5e6).abs() < 1.0);
         // Departure emits the Left marker with the last used rate.
-        sim.leave(SimTime::from_millis(26), SessionId(0));
+        sim.leave(SimTime::from_millis(26), SessionId(0)).unwrap();
         sim.run_until(SimTime::from_millis(30));
         let after_leave = events.drain();
         assert_eq!(after_leave.len(), 1);
@@ -939,5 +964,42 @@ mod tests {
         assert!(world.packets_sent() > 0);
         assert_eq!(ProtocolWorld::session_set(world).len(), 1);
         assert_eq!(world.current_rates().len(), 1);
+    }
+
+    #[test]
+    fn leave_and_change_on_a_departing_session_return_unknown_session() {
+        // Once `leave` is accepted, the session's Stop/Left marker is queued
+        // but not yet processed. A second leave or a change in that window
+        // must fail with the same typed `UnknownSession` the B-Neck harness
+        // returns — not silently succeed against a dying incarnation.
+        let net = network();
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BaselineSimulation::new(&net, GrantAll, BaselineConfig::default());
+        assert!(sim.join(
+            SimTime::ZERO,
+            SessionId(0),
+            hosts[0],
+            hosts[1],
+            RateLimit::unlimited()
+        ));
+        sim.run_until(SimTime::from_millis(2));
+        sim.leave(SimTime::from_millis(3), SessionId(0)).unwrap();
+        // The marker is queued; the session is no longer addressable.
+        assert_eq!(
+            sim.leave(SimTime::from_millis(3), SessionId(0)),
+            Err(UnknownSession(SessionId(0)))
+        );
+        assert_eq!(
+            sim.change(
+                SimTime::from_millis(3),
+                SessionId(0),
+                RateLimit::finite(1e6)
+            ),
+            Err(UnknownSession(SessionId(0)))
+        );
+        // The queued departure still goes through unharmed.
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.active_count(), 0);
+        assert!(sim.is_quiescent());
     }
 }

@@ -42,6 +42,13 @@ RUN OPTIONS:
     --repeats N           override the repeat count (churn specs)
     --baselines A[,B...]  override the baselines (accuracy specs)
     --no-validate         skip the oracle cross-check (scale specs)
+    --faults P[,P...]     run a fault sweep over these drop probabilities
+                          (defaults to the `faults` preset when no spec is
+                          given; the JSON report carries per-channel
+                          injected-fault counters for every run)
+    --dup P[,P...]        override the duplication axis (fault sweeps)
+    --fault-seed N        override the fault-plan seed (fault sweeps)
+    --no-recovery         skip the recovery-enabled runs (fault sweeps)
     --scale-curve         write the per-point performance curve — ns/event,
                           phase timings, peak RSS — as JSON (scale specs)
     --curve-out PATH      scale-curve output path (default: BENCH_SCALE.json)
@@ -119,7 +126,15 @@ fn load_spec(args: &[String], default_preset: Option<&str>) -> Result<Experiment
         let arg = &args[i];
         if matches!(
             arg.as_str(),
-            "--sessions" | "--repeats" | "--baselines" | "--out" | "--preset" | "--curve-out"
+            "--sessions"
+                | "--repeats"
+                | "--baselines"
+                | "--out"
+                | "--preset"
+                | "--curve-out"
+                | "--faults"
+                | "--dup"
+                | "--fault-seed"
         ) {
             i += 2; // skip the flag and its value
         } else if arg.starts_with("--") {
@@ -136,6 +151,11 @@ fn load_spec(args: &[String], default_preset: Option<&str>) -> Result<Experiment
             serde_json::from_str::<ExperimentSpec>(&text)
                 .map_err(|e| format!("cannot parse spec file `{path}`: {e}"))
         }
+        // `--faults` without a spec runs the shipped fault-sweep preset with
+        // the flag's grid overrides applied.
+        None if value_of(args, "--faults").is_some() => {
+            Ok(ExperimentSpec::preset("faults").expect("shipped preset resolves"))
+        }
         None => match default_preset {
             Some(name) => Ok(ExperimentSpec::preset(name).expect("shipped preset resolves")),
             None => Err("`bneck run` needs `--preset NAME` or a spec file".to_string()),
@@ -150,6 +170,9 @@ fn apply_overrides(spec: &mut ExperimentSpec, args: &[String]) -> Result<(), Str
         match &mut spec.experiment {
             ExperimentKind::Joins(joins) => joins.sessions = sessions,
             ExperimentKind::Scale(scale) => scale.sessions = sessions,
+            ExperimentKind::FaultSweep(faults) if sessions.len() == 1 => {
+                faults.sessions = sessions[0]
+            }
             other => {
                 return Err(format!(
                     "--sessions applies to joins/scale specs, not `{}`",
@@ -190,6 +213,55 @@ fn apply_overrides(spec: &mut ExperimentSpec, args: &[String]) -> Result<(), Str
             other => {
                 return Err(format!(
                     "--no-validate applies to scale specs, not `{}`",
+                    other.label()
+                ))
+            }
+        }
+    }
+    if let Some(list) = value_of(args, "--faults") {
+        let drops: Vec<f64> = parse_list(&list, "--faults")?;
+        match &mut spec.experiment {
+            ExperimentKind::FaultSweep(faults) => faults.drop = drops,
+            other => {
+                return Err(format!(
+                    "--faults applies to fault-sweep specs, not `{}`",
+                    other.label()
+                ))
+            }
+        }
+    }
+    if let Some(list) = value_of(args, "--dup") {
+        let dups: Vec<f64> = parse_list(&list, "--dup")?;
+        match &mut spec.experiment {
+            ExperimentKind::FaultSweep(faults) => faults.duplicate = dups,
+            other => {
+                return Err(format!(
+                    "--dup applies to fault-sweep specs, not `{}`",
+                    other.label()
+                ))
+            }
+        }
+    }
+    if let Some(value) = value_of(args, "--fault-seed") {
+        let seed: u64 = value
+            .parse()
+            .map_err(|_| "--fault-seed takes an integer".to_string())?;
+        match &mut spec.experiment {
+            ExperimentKind::FaultSweep(faults) => faults.fault_seed = seed,
+            other => {
+                return Err(format!(
+                    "--fault-seed applies to fault-sweep specs, not `{}`",
+                    other.label()
+                ))
+            }
+        }
+    }
+    if args.iter().any(|a| a == "--no-recovery") {
+        match &mut spec.experiment {
+            ExperimentKind::FaultSweep(faults) => faults.with_recovery = false,
+            other => {
+                return Err(format!(
+                    "--no-recovery applies to fault-sweep specs, not `{}`",
                     other.label()
                 ))
             }

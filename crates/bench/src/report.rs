@@ -15,9 +15,10 @@
 //! binaries printed, keeping the human-readable output next to the JSON.
 
 use crate::runner::{
-    run_experiment1_sweep, run_experiment2_repeats, run_experiment3_registry, run_scale_sweep,
-    run_validation_sweep, Experiment1Point, Experiment2Run, Experiment3Result, ScaleReport,
-    ScaleTimings, ValidationPoint, ValidationReport,
+    fault_point_configs, run_experiment1_sweep, run_experiment2_repeats, run_experiment3_registry,
+    run_fault_sweep, run_scale_sweep, run_validation_sweep, Experiment1Point, Experiment2Run,
+    Experiment3Result, FaultPointReport, ScaleReport, ScaleTimings, ValidationPoint,
+    ValidationReport,
 };
 use crate::sweep::SweepRunner;
 use bneck_core::PacketKind;
@@ -42,6 +43,8 @@ pub enum ExperimentReport {
     Validation(Vec<ValidationReport>),
     /// Paper-scale run reports.
     Scale(Vec<ScaleReport>),
+    /// Fault-sweep cell reports (raw vs recovery-enabled runs per cell).
+    FaultSweep(Vec<FaultPointReport>),
 }
 
 impl ExperimentReport {
@@ -49,13 +52,16 @@ impl ExperimentReport {
     /// of the former binaries: validation runs count oracle mismatches and
     /// max-min violations, scale runs count non-quiescent or mismatching
     /// points; the figure-producing experiments never fail (their `validated`
-    /// flags are part of the data).
+    /// flags are part of the data). Fault sweeps count cells whose
+    /// recovery-enabled run did not converge — raw runs are honest records
+    /// whose stuck/wrong-rates outcomes are the data, not failures.
     pub fn failures(&self) -> usize {
         match self {
             ExperimentReport::Validation(reports) => {
                 reports.iter().map(|r| r.mismatches + r.violations).sum()
             }
             ExperimentReport::Scale(reports) => reports.iter().filter(|r| !r.ok()).count(),
+            ExperimentReport::FaultSweep(reports) => reports.iter().filter(|r| !r.ok()).count(),
             _ => 0,
         }
     }
@@ -180,6 +186,39 @@ pub fn run_spec(
                 report: ExperimentReport::Scale(reports),
                 notes,
                 timings,
+            })
+        }
+        ExperimentKind::FaultSweep(faults) => {
+            let scenario = faults.topology.resolve(topologies)?;
+            let configs = fault_point_configs(faults, scenario)?;
+            let reports = run_fault_sweep(configs, runner);
+            let notes = reports
+                .iter()
+                .map(|r| {
+                    let mut line = format!(
+                        "drop={} dup={} raw={} ({} faults over {} channels)",
+                        r.drop,
+                        r.duplicate,
+                        r.raw.outcome.label(),
+                        r.raw.faults.total(),
+                        r.raw.channel_faults.len()
+                    );
+                    if let Some(rec) = &r.recovered {
+                        let stats = rec.recovery.unwrap_or_default();
+                        line.push_str(&format!(
+                            " recovery={} at {}us ({} retransmits)",
+                            rec.outcome.label(),
+                            rec.quiescent_at_us,
+                            stats.retransmits
+                        ));
+                    }
+                    line
+                })
+                .collect();
+            Ok(SpecOutcome {
+                report: ExperimentReport::FaultSweep(reports),
+                notes,
+                timings: Vec::new(),
             })
         }
     }
@@ -368,6 +407,48 @@ pub fn render_tables(report: &ExperimentReport) -> Vec<Table> {
                         .mismatches
                         .map(|m| m.to_string())
                         .unwrap_or_else(|| "skipped".to_string()),
+                    report.ok().to_string(),
+                ]);
+            }
+            vec![table]
+        }
+        ExperimentReport::FaultSweep(reports) => {
+            let mut table = Table::new(
+                "fault sweep: raw protocol vs recovery layer on faulty channels",
+                &[
+                    "drop",
+                    "duplicate",
+                    "raw",
+                    "raw_mismatches",
+                    "dropped",
+                    "duplicated",
+                    "delayed",
+                    "recovery",
+                    "retransmits",
+                    "recovery_quiescence_us",
+                    "ok",
+                ],
+            );
+            for report in reports {
+                let (recovery, retransmits, quiescence) = match &report.recovered {
+                    Some(run) => (
+                        run.outcome.label().to_string(),
+                        run.recovery.unwrap_or_default().retransmits.to_string(),
+                        run.quiescent_at_us.to_string(),
+                    ),
+                    None => ("skipped".to_string(), "-".to_string(), "-".to_string()),
+                };
+                table.add_row(&[
+                    format!("{:.3}", report.drop),
+                    format!("{:.3}", report.duplicate),
+                    report.raw.outcome.label().to_string(),
+                    report.raw.mismatches.to_string(),
+                    report.raw.faults.dropped.to_string(),
+                    report.raw.faults.duplicated.to_string(),
+                    report.raw.faults.delayed.to_string(),
+                    recovery,
+                    retransmits,
+                    quiescence,
                     report.ok().to_string(),
                 ]);
             }

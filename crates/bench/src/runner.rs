@@ -14,7 +14,7 @@ use bneck_core::prelude::*;
 use bneck_maxmin::prelude::*;
 use bneck_metrics::prelude::*;
 use bneck_net::{Delay, Network};
-use bneck_sim::SimTime;
+use bneck_sim::{FaultCounters, FaultPlan, SimTime};
 use bneck_workload::prelude::*;
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
@@ -671,6 +671,245 @@ impl ScaleCurvePoint {
     }
 }
 
+/// How one fault-injected run ended. The classification is sound by
+/// construction: a run is [`Converged`](FaultOutcome::Converged) only when it
+/// both reached quiescence *and* every rate matched the centralized oracle —
+/// a corrupted run can never be reported as a success.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub enum FaultOutcome {
+    /// Quiescent with oracle-exact rates.
+    Converged,
+    /// Quiescent, but at least one session's rate disagrees with the oracle
+    /// (lost or duplicated control packets corrupted the protocol state).
+    WrongRates,
+    /// Still had events in flight at the horizon (e.g. a lost packet left a
+    /// probe cycle waiting forever, or retransmissions were still draining).
+    Stuck,
+}
+
+impl FaultOutcome {
+    /// Short lowercase label for tables and notes.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultOutcome::Converged => "converged",
+            FaultOutcome::WrongRates => "wrong-rates",
+            FaultOutcome::Stuck => "stuck",
+        }
+    }
+}
+
+/// Injected-fault counters of one channel, keyed by the raw channel index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct ChannelFaultSummary {
+    /// The engine channel the faults were injected on.
+    pub channel: u32,
+    /// What was dropped, duplicated and delayed on it.
+    pub counters: FaultCounters,
+}
+
+/// The outcome of one fault-injected run (raw or recovery-enabled).
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct FaultRunResult {
+    /// The honest classification of the run.
+    pub outcome: FaultOutcome,
+    /// Whether the run drained before the horizon.
+    pub quiescent: bool,
+    /// Simulated time the run went quiescent (or the horizon), microseconds.
+    pub quiescent_at_us: u64,
+    /// Events processed during the run.
+    pub events_processed: u64,
+    /// Packets transmitted over links.
+    pub packets_sent: u64,
+    /// Sessions whose final rate disagrees with the centralized oracle.
+    pub mismatches: usize,
+    /// Total faults injected across every channel.
+    pub faults: FaultCounters,
+    /// Per-channel fault breakdown (channels with at least one fault).
+    pub channel_faults: Vec<ChannelFaultSummary>,
+    /// The recovery layer's work counters (`None` on raw runs).
+    pub recovery: Option<RecoveryStats>,
+    /// Recovery frames still unacknowledged at the end (must be 0 for a
+    /// quiescent recovered run).
+    pub unacked_frames: usize,
+}
+
+/// One lowered cell of a fault sweep: the shared join workload plus this
+/// cell's fault plan, recovery setting and horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct FaultPointConfig {
+    /// The network scenario.
+    pub scenario: NetworkScenario,
+    /// Number of sessions to join.
+    pub sessions: usize,
+    /// Window in which all joins happen.
+    pub join_window: Delay,
+    /// Maximum-rate request policy.
+    pub limits: LimitPolicy,
+    /// Workload seed (shared across the grid, so every cell replays the same
+    /// joins).
+    pub workload_seed: u64,
+    /// This cell's fault plan (its seed differs per cell).
+    pub plan: FaultPlan,
+    /// RTO of the additional recovery-enabled run, `None` to skip it.
+    pub recovery_rto: Option<Delay>,
+    /// Horizon after which a non-quiescent run is recorded as stuck.
+    pub horizon: Delay,
+}
+
+/// The report of one fault-sweep cell: the raw run's honest outcome, and —
+/// when requested — the recovery-enabled run that is expected to restore
+/// oracle-exact convergence.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct FaultPointReport {
+    /// Per-transmission drop probability of this cell.
+    pub drop: f64,
+    /// Per-transmission duplication probability of this cell.
+    pub duplicate: f64,
+    /// The fault-plan seed this cell rolled its faults from.
+    pub fault_seed: u64,
+    /// The run without the recovery layer: converged, wrong-rates or stuck,
+    /// recorded as observed.
+    pub raw: FaultRunResult,
+    /// The run with sequencing + retransmission enabled (`None` when the
+    /// sweep did not request recovery runs).
+    pub recovered: Option<FaultRunResult>,
+}
+
+impl FaultPointReport {
+    /// `true` when the cell meets its contract: a recovery-enabled run must
+    /// converge with nothing left unacknowledged, while the raw run is an
+    /// honest record that cannot fail (its outcome *is* the data).
+    pub fn ok(&self) -> bool {
+        match &self.recovered {
+            Some(run) => run.outcome == FaultOutcome::Converged && run.unacked_frames == 0,
+            None => true,
+        }
+    }
+}
+
+/// Runs one fault-injected simulation and classifies it honestly.
+fn run_fault_run(config: &FaultPointConfig, with_recovery: bool) -> FaultRunResult {
+    let network = config.scenario.build();
+    let workload = Experiment1Config {
+        scenario: config.scenario,
+        sessions: config.sessions,
+        join_window: config.join_window,
+        limits: config.limits,
+        seed: config.workload_seed,
+    };
+    let schedule = workload.schedule(&network);
+    let mut bneck = BneckConfig::default();
+    if with_recovery {
+        if let Some(rto) = config.recovery_rto {
+            bneck = bneck.with_recovery(rto);
+        }
+    }
+    let mut sim = BneckSimulation::new(&network, bneck);
+    sim.set_fault_plan(config.plan);
+    schedule.apply(&mut sim);
+    let report = sim.run_until(SimTime::ZERO + config.horizon);
+    let session_set = sim.session_set();
+    let oracle = CentralizedBneck::new(&network, &session_set).solve();
+    let mismatches = compare_allocations(
+        &session_set,
+        &sim.allocation(),
+        &oracle,
+        Tolerance::new(1e-6, 10.0),
+    )
+    .err()
+    .map(|v| v.len())
+    .unwrap_or(0);
+    let outcome = if !report.quiescent {
+        FaultOutcome::Stuck
+    } else if mismatches > 0 {
+        FaultOutcome::WrongRates
+    } else {
+        FaultOutcome::Converged
+    };
+    FaultRunResult {
+        outcome,
+        quiescent: report.quiescent,
+        quiescent_at_us: report.quiescent_at.as_micros(),
+        events_processed: report.events_processed,
+        packets_sent: report.packets_sent,
+        mismatches,
+        faults: sim.fault_totals(),
+        channel_faults: sim
+            .fault_breakdown()
+            .into_iter()
+            .map(|(channel, counters)| ChannelFaultSummary {
+                channel: channel.0,
+                counters,
+            })
+            .collect(),
+        recovery: sim.recovery_stats(),
+        unacked_frames: sim.unacked_frames(),
+    }
+}
+
+/// Runs one cell of a fault sweep: the raw run always, plus a
+/// recovery-enabled run when the cell carries an RTO.
+pub fn run_fault_point(config: &FaultPointConfig) -> FaultPointReport {
+    let raw = run_fault_run(config, false);
+    let recovered = config.recovery_rto.map(|_| run_fault_run(config, true));
+    FaultPointReport {
+        drop: config.plan.drop,
+        duplicate: config.plan.duplicate,
+        fault_seed: config.plan.seed,
+        raw,
+        recovered,
+    }
+}
+
+/// Lowers a [`FaultSweepSpec`] into per-cell configs: cell `i` (drop-major
+/// order) rolls its faults from `fault_seed + i`, so every cell has an
+/// independent fault stream over the same replayed workload.
+///
+/// # Errors
+///
+/// Propagates the spec's own grid validation ([`FaultSweepSpec::points`]).
+pub fn fault_point_configs(
+    spec: &FaultSweepSpec,
+    scenario: NetworkScenario,
+) -> Result<Vec<FaultPointConfig>, SpecError> {
+    let points = spec.points()?;
+    Ok(points
+        .iter()
+        .enumerate()
+        .map(|(i, point)| FaultPointConfig {
+            scenario,
+            sessions: spec.sessions,
+            join_window: Delay::from_micros(spec.join_window_us),
+            limits: spec.limits,
+            workload_seed: spec.workload_seed,
+            plan: FaultPlan::new(
+                spec.fault_seed + i as u64,
+                point.drop,
+                point.duplicate,
+                spec.reorder,
+                spec.reorder_window,
+            ),
+            recovery_rto: spec.with_recovery.then(|| Delay::from_micros(spec.rto_us)),
+            horizon: Delay::from_millis(spec.horizon_ms),
+        })
+        .collect())
+}
+
+/// Runs every fault-sweep cell, fanned across the runner's worker threads;
+/// reports come back in cell order, bit-identical at any thread count (each
+/// cell's fault and workload seeds live in its config).
+pub fn run_fault_sweep(
+    configs: Vec<FaultPointConfig>,
+    runner: &SweepRunner,
+) -> Vec<FaultPointReport> {
+    runner.run(configs, |_, config| run_fault_point(&config))
+}
+
 /// Runs every paper-scale point, fanned across the runner's worker threads;
 /// reports come back in point order, bit-identical at any thread count.
 pub fn run_scale_sweep(
@@ -771,6 +1010,51 @@ mod tests {
             assert!(build_protocol(name, &network).is_some());
         }
         assert!(build_protocol("XCP", &network).is_none());
+    }
+
+    #[test]
+    fn fault_sweep_cells_are_honest_and_recovery_restores_convergence() {
+        let spec = FaultSweepSpec {
+            topology: ScenarioSpec::new("small/lan", 20),
+            sessions: 8,
+            join_window_us: 1_000,
+            limits: LimitPolicy::Unlimited,
+            workload_seed: 1,
+            fault_seed: 42,
+            drop: vec![0.0, 0.05],
+            duplicate: vec![0.01],
+            reorder: 0.25,
+            reorder_window: 4,
+            with_recovery: true,
+            rto_us: 500,
+            horizon_ms: 200,
+        };
+        let configs = fault_point_configs(&spec, NetworkScenario::small_lan(20)).unwrap();
+        assert_eq!(configs.len(), 2);
+        let reports = run_fault_sweep(configs, &SweepRunner::new(2));
+        for report in &reports {
+            // The recovery contract: oracle-exact quiescent convergence with
+            // nothing left in flight.
+            let recovered = report.recovered.as_ref().unwrap();
+            assert_eq!(recovered.outcome, FaultOutcome::Converged);
+            assert_eq!(recovered.mismatches, 0);
+            assert_eq!(recovered.unacked_frames, 0);
+            assert!(report.ok());
+            // Classification soundness: `Converged` can only mean quiescent
+            // *and* oracle-exact.
+            if report.raw.outcome == FaultOutcome::Converged {
+                assert!(report.raw.quiescent);
+                assert_eq!(report.raw.mismatches, 0);
+            }
+            assert!(report.raw.faults.total() > 0, "faults were injected");
+            assert!(!report.raw.channel_faults.is_empty());
+        }
+        // The lossy cell forced drops on the raw run and retransmissions on
+        // the recovered one.
+        let lossy = &reports[1];
+        assert!(lossy.raw.faults.dropped > 0);
+        let stats = lossy.recovered.as_ref().unwrap().recovery.unwrap();
+        assert!(stats.retransmits > 0);
     }
 
     #[test]

@@ -176,7 +176,7 @@ fn baselines_track_departures() {
     let before = sim.current_rates();
     // Half the sessions leave; the survivors' rates must not decrease.
     for r in requests.iter().take(10) {
-        sim.leave(SimTime::from_millis(41), r.session);
+        sim.leave(SimTime::from_millis(41), r.session).unwrap();
     }
     sim.run_until(SimTime::from_millis(100));
     let after = sim.current_rates();

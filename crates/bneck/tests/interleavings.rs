@@ -1,0 +1,102 @@
+//! Same-instant interleaving exploration: the protocol's outcome must not
+//! depend on the delivery order of causally unrelated events.
+//!
+//! The calendar queue delivers same-timestamp events FIFO in scheduling
+//! order — one of the many orders a real distributed system could exhibit.
+//! [`explore_schedules`] re-executes the whole simulation once per
+//! permutation of every same-instant group (bounded DFS over the choice
+//! tree), and each explored schedule must independently reach quiescence
+//! with oracle-exact rates. Two classic bottleneck structures are covered:
+//! a dumbbell (all sessions share one bottleneck) and a parking lot
+//! (sessions overlap pairwise along a line).
+//!
+//! The budget below caps the number of schedules per instance; the tests
+//! assert the choice space was *exhausted* within it, so every same-instant
+//! permutation of these instances really was executed.
+
+use bneck::prelude::*;
+use bneck_sim::{explore_schedules, ExploreStats, ScheduleCursor, SimTime};
+
+/// Per-instance schedule budget. Both instances below exhaust their choice
+/// space well inside it; raising session counts grows the space
+/// factorially, so keep instances tiny.
+const BUDGET: u64 = 4_000;
+
+/// Runs one complete schedule: fresh simulation, all joins at the same
+/// instant, stepping under the cursor's delivery choices; asserts
+/// quiescence and oracle-exact rates for this schedule.
+fn run_schedule(network: &Network, joins: &[(NodeId, NodeId)], cursor: &mut ScheduleCursor) {
+    let mut sim = BneckSimulation::new(network, BneckConfig::default());
+    for (i, &(source, destination)) in joins.iter().enumerate() {
+        sim.join(
+            SimTime::ZERO,
+            SessionId(i as u64),
+            source,
+            destination,
+            RateLimit::unlimited(),
+        )
+        .expect("sessions are valid");
+    }
+    while sim.step_explored(cursor) {}
+    assert!(
+        sim.is_quiescent(),
+        "a schedule left the protocol non-quiescent"
+    );
+    let sessions = sim.session_set();
+    let oracle = CentralizedBneck::new(network, &sessions).solve();
+    assert!(
+        compare_allocations(
+            &sessions,
+            &sim.allocation(),
+            &oracle,
+            Tolerance::new(1e-6, 10.0)
+        )
+        .is_ok(),
+        "a schedule converged to rates that disagree with the oracle"
+    );
+}
+
+fn explore(network: &Network, joins: &[(NodeId, NodeId)]) -> ExploreStats {
+    let stats = explore_schedules(BUDGET, |cursor| run_schedule(network, joins, cursor));
+    assert!(
+        stats.exhausted,
+        "budget {BUDGET} did not cover the choice space ({} schedules run)",
+        stats.schedules
+    );
+    assert!(
+        stats.schedules > 1,
+        "same-instant joins must produce more than the native FIFO schedule"
+    );
+    assert!(stats.max_choice_points > 0);
+    stats
+}
+
+#[test]
+fn every_dumbbell_interleaving_converges_to_the_oracle() {
+    let network = synthetic::dumbbell(
+        2,
+        Capacity::from_mbps(100.0),
+        Capacity::from_mbps(60.0),
+        Delay::from_micros(1),
+    );
+    let hosts: Vec<_> = network.hosts().map(|h| h.id()).collect();
+    let joins = [(hosts[0], hosts[1]), (hosts[2], hosts[3])];
+    let stats = explore(&network, &joins);
+    eprintln!("[interleavings] dumbbell: {stats:?}");
+}
+
+#[test]
+fn every_parking_lot_interleaving_converges_to_the_oracle() {
+    let network = synthetic::parking_lot(
+        2,
+        Capacity::from_mbps(100.0),
+        Capacity::from_mbps(40.0),
+        Delay::from_micros(1),
+    );
+    let hosts: Vec<_> = network.hosts().map(|h| h.id()).collect();
+    // One long session over both backbone segments, one short session on the
+    // last segment: the classic parking-lot contention pattern.
+    let joins = [(hosts[0], hosts[2]), (hosts[1], hosts[2])];
+    let stats = explore(&network, &joins);
+    eprintln!("[interleavings] parking lot: {stats:?}");
+}

@@ -1,6 +1,8 @@
 //! Configuration of a B-Neck simulation.
 
+use crate::recovery::RecoveryConfig;
 use bneck_maxmin::Tolerance;
+use bneck_net::Delay;
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 
@@ -20,6 +22,13 @@ pub struct BneckConfig {
     /// When `true`, every `API.Rate` notification is recorded with its
     /// timestamp (used to study convergence behaviour over time).
     pub record_rate_history: bool,
+    /// When set, protocol packets travel inside sequenced, acknowledged and
+    /// retransmitted frames (see [`crate::recovery`]), making the protocol
+    /// correct over lossy, duplicating or reordering channels. `None` (the
+    /// default) is paper mode: channels are assumed reliable and the hot path
+    /// carries no recovery machinery.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl Default for BneckConfig {
@@ -29,6 +38,7 @@ impl Default for BneckConfig {
             tolerance: Tolerance::default(),
             record_packet_log: false,
             record_rate_history: false,
+            recovery: None,
         }
     }
 }
@@ -62,6 +72,16 @@ impl BneckConfig {
         self.tolerance = tolerance;
         self
     }
+
+    /// Enables the recovery layer with the given retransmission timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rto` is zero.
+    pub fn with_recovery(mut self, rto: Delay) -> Self {
+        self.recovery = Some(RecoveryConfig::with_rto(rto));
+        self
+    }
 }
 
 #[cfg(test)]
@@ -74,6 +94,13 @@ mod tests {
         assert_eq!(c.packet_bits, 256);
         assert!(!c.record_packet_log);
         assert!(!c.record_rate_history);
+        assert!(c.recovery.is_none());
+    }
+
+    #[test]
+    fn recovery_builder_sets_the_rto() {
+        let c = BneckConfig::default().with_recovery(Delay::from_micros(250));
+        assert_eq!(c.recovery.unwrap().rto, Delay::from_micros(250));
     }
 
     #[test]

@@ -30,6 +30,7 @@ use crate::events::{
     Subscriber, SubscriberSet,
 };
 use crate::packet::{Packet, PacketKind};
+use crate::recovery::{Lane, PendingFrame, RecoveryState, RecoveryStats};
 use crate::router_link::RouterLink;
 use crate::source::SourceNode;
 use crate::stats::PacketStats;
@@ -37,7 +38,10 @@ use crate::task::{Action, ActionBuffer, RateNotification};
 use crate::world::{LinkTable, SessionArena};
 use bneck_maxmin::{Allocation, Rate, RateLimit, SessionId, SessionSet};
 use bneck_net::{LinkId, Network, NodeId, Path, Router};
-use bneck_sim::{Address, Context, Engine, RunReport, SimTime, Simulation, World};
+use bneck_sim::{
+    Address, ChannelId, Context, Engine, FaultCounters, FaultPlan, RunReport, ScheduleCursor,
+    SimTime, Simulation, World,
+};
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -81,6 +85,33 @@ pub struct Envelope {
 enum Payload {
     Api(ApiCall),
     Protocol(Packet),
+    /// A protocol packet framed by the recovery layer: sequenced per
+    /// `(session, link)` lane, acknowledged and retransmitted (see
+    /// [`crate::recovery`]). Only constructed when
+    /// [`BneckConfig::recovery`] is set.
+    Data {
+        /// The directed link the frame travels over (the lane's link half).
+        link: LinkId,
+        /// Per-lane sequence number.
+        seq: u32,
+        packet: Packet,
+    },
+    /// Receiver → sender acknowledgement of a [`Payload::Data`] frame.
+    /// Travels over the lane's reverse channel and is itself subject to
+    /// channel faults.
+    Ack {
+        session: SessionId,
+        link: LinkId,
+        seq: u32,
+    },
+    /// Retransmission timer of an in-flight frame, scheduled outside the
+    /// channels (timers are never dropped or reordered). A no-op if the
+    /// frame has been acknowledged by the time it fires.
+    Retransmit {
+        session: SessionId,
+        link: LinkId,
+        seq: u32,
+    },
 }
 
 /// Error returned when `API.Join` cannot create a session.
@@ -233,6 +264,10 @@ struct BneckWorld {
     /// The registered observers ([`RateEvents`] writers, recorders, user
     /// callbacks).
     subscribers: SubscriberSet,
+    /// The recovery layer's sequencing/retransmission state, present only
+    /// when [`BneckConfig::recovery`] is set. Boxed so paper-mode worlds pay
+    /// one pointer, and the hot paths pay one null check.
+    recovery: Option<Box<RecoveryState<Target>>>,
 }
 
 impl BneckWorld {
@@ -293,6 +328,15 @@ impl BneckWorld {
                     destination.handle(packet, &mut actions);
                 }
                 packet.session()
+            }
+            // Recovery frames, acks and timers are handled by the harness
+            // itself, off the protocol hot path.
+            (_, Payload::Data { .. })
+            | (_, Payload::Ack { .. })
+            | (_, Payload::Retransmit { .. }) => {
+                self.scratch = actions;
+                self.handle_recovery(ctx, envelope);
+                return;
             }
             // API calls are only ever addressed to sources.
             (_, Payload::Api(_)) => {
@@ -459,9 +503,194 @@ impl BneckWorld {
     ) {
         self.stats.record(packet.kind());
         self.subscribers.note_packet(ctx.now(), packet.kind());
+        if self.recovery.is_some() {
+            return self.transmit_recovered(ctx, over, target, packet);
+        }
         ctx.send(
             self.links.channel(over),
             Address(0),
+            Envelope {
+                target,
+                payload: Payload::Protocol(packet),
+            },
+        );
+    }
+
+    /// The envelope target of acknowledgements. Acks are consumed by the
+    /// harness's central recovery state, never routed to a task, so the
+    /// target is a placeholder (every task lookup of this slot misses).
+    const ACK_TARGET: Target = Target::Source(u32::MAX);
+
+    /// Sends `packet` inside a sequenced recovery frame and arms its
+    /// retransmission timer. Only reached when recovery is configured.
+    #[cold]
+    #[inline(never)]
+    fn transmit_recovered(
+        &mut self,
+        ctx: &mut Context<'_, Envelope>,
+        over: LinkId,
+        target: Target,
+        packet: Packet,
+    ) {
+        let recovery = self.recovery.as_mut().expect("checked by transmit");
+        let lane = Lane::new(packet.session(), over);
+        let seq = recovery.assign_seq(lane);
+        recovery.unacked.insert(
+            (lane, seq),
+            PendingFrame {
+                over,
+                target,
+                packet,
+            },
+        );
+        recovery.stats.frames_sent += 1;
+        let rto = recovery.config.rto;
+        ctx.send(
+            self.links.channel(over),
+            Address(0),
+            Envelope {
+                target,
+                payload: Payload::Data {
+                    link: over,
+                    seq,
+                    packet,
+                },
+            },
+        );
+        ctx.schedule_after(
+            rto,
+            Address(0),
+            Envelope {
+                target,
+                payload: Payload::Retransmit {
+                    session: packet.session(),
+                    link: over,
+                    seq,
+                },
+            },
+        );
+    }
+
+    /// Handles the recovery layer's own messages: data frames (ack, then
+    /// deliver in order / buffer / drop duplicates), acknowledgements, and
+    /// retransmission timers.
+    #[cold]
+    #[inline(never)]
+    fn handle_recovery(&mut self, ctx: &mut Context<'_, Envelope>, envelope: Envelope) {
+        match envelope.payload {
+            Payload::Data { link, seq, packet } => {
+                let session = packet.session();
+                let lane = Lane::new(session, link);
+                // Every frame is acked, duplicates included: the duplicate
+                // usually means the previous ack was lost.
+                self.send_ack(ctx, session, link, seq);
+                let recovery = self.recovery.as_mut().expect("recovery frame received");
+                let expected = *recovery.expected.entry(lane).or_insert(0);
+                if seq < expected {
+                    recovery.stats.duplicates_dropped += 1;
+                    return;
+                }
+                if seq > expected {
+                    // A gap: hold the frame until its predecessors arrive.
+                    let frame = PendingFrame {
+                        over: link,
+                        target: envelope.target,
+                        packet,
+                    };
+                    if recovery.buffered.insert((lane, seq), frame).is_none() {
+                        recovery.stats.reordered_buffered += 1;
+                    } else {
+                        recovery.stats.duplicates_dropped += 1;
+                    }
+                    return;
+                }
+                // In order: deliver, then flush any buffered successors the
+                // gap was holding back.
+                *recovery
+                    .expected
+                    .get_mut(&lane)
+                    .expect("entry created above") += 1;
+                self.deliver_frame(ctx, envelope.target, packet);
+                loop {
+                    let recovery = self.recovery.as_mut().expect("still configured");
+                    let next = *recovery.expected.get(&lane).expect("entry created above");
+                    let Some(frame) = recovery.buffered.remove(&(lane, next)) else {
+                        break;
+                    };
+                    *recovery
+                        .expected
+                        .get_mut(&lane)
+                        .expect("entry created above") += 1;
+                    self.deliver_frame(ctx, frame.target, frame.packet);
+                }
+            }
+            Payload::Ack { session, link, seq } => {
+                let recovery = self.recovery.as_mut().expect("recovery ack received");
+                recovery.unacked.remove(&(Lane::new(session, link), seq));
+            }
+            Payload::Retransmit { session, link, seq } => {
+                let recovery = self.recovery.as_mut().expect("recovery timer fired");
+                let lane = Lane::new(session, link);
+                // Acked in the meantime → the timer is stale; its firing is
+                // the RTO tail that delays quiescence.
+                let Some(frame) = recovery.unacked.get(&(lane, seq)).copied() else {
+                    return;
+                };
+                recovery.stats.retransmits += 1;
+                let rto = recovery.config.rto;
+                ctx.send(
+                    self.links.channel(frame.over),
+                    Address(0),
+                    Envelope {
+                        target: frame.target,
+                        payload: Payload::Data {
+                            link,
+                            seq,
+                            packet: frame.packet,
+                        },
+                    },
+                );
+                ctx.schedule_after(
+                    rto,
+                    Address(0),
+                    Envelope {
+                        target: frame.target,
+                        payload: Payload::Retransmit { session, link, seq },
+                    },
+                );
+            }
+            Payload::Api(_) | Payload::Protocol(_) => unreachable!("routed by dispatch"),
+        }
+    }
+
+    /// Sends the acknowledgement of frame `(session, link, seq)` over the
+    /// lane's reverse channel. The ack rides the same faulty substrate as
+    /// data; a lost ack is repaired by the sender's retransmission (which the
+    /// receiver then re-acks as a duplicate).
+    fn send_ack(
+        &mut self,
+        ctx: &mut Context<'_, Envelope>,
+        session: SessionId,
+        link: LinkId,
+        seq: u32,
+    ) {
+        let recovery = self.recovery.as_mut().expect("acking a recovery frame");
+        recovery.stats.acks_sent += 1;
+        ctx.send(
+            self.links.reverse_channel(link),
+            Address(0),
+            Envelope {
+                target: Self::ACK_TARGET,
+                payload: Payload::Ack { session, link, seq },
+            },
+        );
+    }
+
+    /// Hands a recovered in-order packet to the protocol task it was
+    /// addressed to, exactly as an unframed delivery would have.
+    fn deliver_frame(&mut self, ctx: &mut Context<'_, Envelope>, target: Target, packet: Packet) {
+        self.dispatch(
+            ctx,
             Envelope {
                 target,
                 payload: Payload::Protocol(packet),
@@ -617,6 +846,7 @@ impl<'a> BneckSimulation<'a> {
                 scratch: ActionBuffer::new(),
                 stats: PacketStats::new(),
                 subscribers: SubscriberSet::new(),
+                recovery: config.recovery.map(|rc| Box::new(RecoveryState::new(rc))),
             },
             network,
             router: Router::new(network),
@@ -969,6 +1199,49 @@ impl<'a> BneckSimulation<'a> {
     pub fn session_path(&self, session: SessionId) -> Option<&Path> {
         self.world.arena.path_of(session)
     }
+
+    /// Injects channel faults (drops, duplicates, reorder jitter) into every
+    /// link of this simulation, per `plan`. Deterministic: the same
+    /// `(plan, workload)` always produces the same run. Protocol timers and
+    /// API calls are never perturbed — only link traffic is.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.engine.set_fault_plan(plan);
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.engine.fault_plan()
+    }
+
+    /// Total faults injected so far, summed over all channels.
+    pub fn fault_totals(&self) -> FaultCounters {
+        self.engine.fault_totals()
+    }
+
+    /// Per-channel injected-fault counters (channels with at least one fault).
+    pub fn fault_breakdown(&self) -> Vec<(ChannelId, FaultCounters)> {
+        self.engine.fault_breakdown()
+    }
+
+    /// The recovery layer's work counters, or `None` in paper mode
+    /// ([`BneckConfig::recovery`] unset).
+    pub fn recovery_stats(&self) -> Option<RecoveryStats> {
+        self.world.recovery.as_ref().map(|r| r.stats)
+    }
+
+    /// Sent recovery frames not yet acknowledged (0 in paper mode, and 0
+    /// again once a recovered run reaches quiescence).
+    pub fn unacked_frames(&self) -> usize {
+        self.world.recovery.as_ref().map_or(0, |r| r.unacked.len())
+    }
+
+    /// Processes the next event group like [`Simulation::step`], but lets
+    /// `cursor` choose which same-instant event is delivered first (see
+    /// [`bneck_sim::explore_schedules`]). Returns `false` once the queue is
+    /// empty.
+    pub fn step_explored(&mut self, cursor: &mut ScheduleCursor) -> bool {
+        self.engine.step_explored(&mut self.world, cursor)
+    }
 }
 
 impl<'a> Simulation for BneckSimulation<'a> {
@@ -1268,6 +1541,44 @@ mod tests {
             sim.change(SimTime::ZERO, SessionId(9), RateLimit::unlimited()),
             Err(UnknownSession(SessionId(9)))
         );
+    }
+
+    #[test]
+    fn leave_and_change_on_a_departing_session_return_unknown_session() {
+        // `leave` deactivates the session immediately; its `Left` marker is
+        // queued but unprocessed. In that window a second leave or a change
+        // must return the typed `UnknownSession` — the same contract the
+        // baseline harness keeps — and the queued departure must still be
+        // delivered (the stale-incarnation `resolve_hop` path drops whatever
+        // in-flight packets the dead incarnation still owns).
+        let net = synthetic::dumbbell(2, mbps(100.0), mbps(60.0), us(1));
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(&net, BneckConfig::default());
+        for i in 0..2u64 {
+            sim.join(
+                SimTime::ZERO,
+                SessionId(i),
+                hosts[2 * i as usize],
+                hosts[2 * i as usize + 1],
+                RateLimit::unlimited(),
+            )
+            .unwrap();
+        }
+        sim.run_to_quiescence();
+        let t = sim.now();
+        sim.leave(t, SessionId(0)).unwrap();
+        assert_eq!(
+            sim.leave(t, SessionId(0)),
+            Err(UnknownSession(SessionId(0)))
+        );
+        assert_eq!(
+            sim.change(t, SessionId(0), RateLimit::finite(1e6)),
+            Err(UnknownSession(SessionId(0)))
+        );
+        let report = sim.run_to_quiescence();
+        assert!(report.quiescent);
+        assert_eq!(sim.active_sessions().count(), 1);
+        assert_matches_oracle(&sim);
     }
 
     #[test]
@@ -1643,5 +1954,165 @@ mod trait_tests {
         let rates = sim.allocation();
         assert!((rates.rate(SessionId(0)).unwrap() - 30e6).abs() < 1.0);
         assert!((rates.rate(SessionId(1)).unwrap() - 30e6).abs() < 1.0);
+    }
+}
+
+#[cfg(test)]
+mod recovery_tests {
+    use super::*;
+    use bneck_maxmin::prelude::*;
+    use bneck_net::prelude::*;
+
+    fn assert_matches_oracle(sim: &BneckSimulation<'_>) {
+        let sessions = sim.session_set();
+        let expected = CentralizedBneck::new(sim.network(), &sessions).solve();
+        let got = sim.allocation();
+        let tol = Tolerance::new(1e-6, 1.0);
+        if let Err(violations) = compare_allocations(&sessions, &got, &expected, tol) {
+            panic!(
+                "distributed allocation disagrees with the centralized oracle: {:?}\n got: {:?}\n expected: {:?}",
+                violations, got, expected
+            );
+        }
+    }
+
+    fn hostile_plan(seed: u64) -> FaultPlan {
+        FaultPlan::new(seed, 0.05, 0.02, 0.25, 4)
+    }
+
+    fn dumbbell_sim(net: &Network, config: BneckConfig, sessions: u64) -> BneckSimulation<'_> {
+        let hosts: Vec<_> = net.hosts().map(|h| h.id()).collect();
+        let mut sim = BneckSimulation::new(net, config);
+        for i in 0..sessions {
+            sim.join(
+                SimTime::ZERO,
+                SessionId(i),
+                hosts[2 * i as usize],
+                hosts[2 * i as usize + 1],
+                RateLimit::unlimited(),
+            )
+            .unwrap();
+        }
+        sim
+    }
+
+    #[test]
+    fn recovery_survives_drops_duplicates_and_reorders() {
+        let net = synthetic::dumbbell(
+            4,
+            Capacity::from_mbps(100.0),
+            Capacity::from_mbps(60.0),
+            Delay::from_micros(1),
+        );
+        let config = BneckConfig::default().with_recovery(Delay::from_micros(200));
+        let mut sim = dumbbell_sim(&net, config, 4);
+        sim.set_fault_plan(hostile_plan(7));
+        let report = sim.run_to_quiescence();
+        assert!(report.quiescent);
+        let totals = sim.fault_totals();
+        assert!(
+            totals.total() > 0,
+            "the plan injected no faults: {totals:?}"
+        );
+        let stats = sim.recovery_stats().unwrap();
+        assert!(stats.frames_sent > 0);
+        assert!(stats.retransmits > 0, "drops must trigger retransmission");
+        assert_eq!(
+            sim.unacked_frames(),
+            0,
+            "quiescence implies every frame acked"
+        );
+        assert_matches_oracle(&sim);
+        assert!(sim.links_stable());
+    }
+
+    #[test]
+    fn recovery_under_churn_stays_oracle_exact() {
+        let net = synthetic::dumbbell(
+            3,
+            Capacity::from_mbps(100.0),
+            Capacity::from_mbps(60.0),
+            Delay::from_micros(1),
+        );
+        let config = BneckConfig::default().with_recovery(Delay::from_micros(200));
+        let mut sim = dumbbell_sim(&net, config, 3);
+        sim.set_fault_plan(hostile_plan(11));
+        sim.run_to_quiescence();
+        assert_matches_oracle(&sim);
+        sim.leave(sim.now(), SessionId(1)).unwrap();
+        sim.run_to_quiescence();
+        assert_matches_oracle(&sim);
+        sim.change(sim.now(), SessionId(2), RateLimit::finite(5e6))
+            .unwrap();
+        let report = sim.run_to_quiescence();
+        assert!(report.quiescent);
+        assert_eq!(sim.unacked_frames(), 0);
+        assert_matches_oracle(&sim);
+    }
+
+    #[test]
+    fn pristine_channels_with_recovery_pay_only_the_framing() {
+        let net = synthetic::dumbbell(
+            2,
+            Capacity::from_mbps(100.0),
+            Capacity::from_mbps(60.0),
+            Delay::from_micros(1),
+        );
+        let config = BneckConfig::default().with_recovery(Delay::from_micros(500));
+        let mut sim = dumbbell_sim(&net, config, 2);
+        let report = sim.run_to_quiescence();
+        assert!(report.quiescent);
+        let stats = sim.recovery_stats().unwrap();
+        assert_eq!(stats.retransmits, 0, "reliable channels never time out");
+        assert_eq!(stats.duplicates_dropped, 0);
+        assert_eq!(stats.reordered_buffered, 0);
+        assert_eq!(stats.acks_sent, stats.frames_sent);
+        assert_eq!(sim.unacked_frames(), 0);
+        assert_matches_oracle(&sim);
+    }
+
+    #[test]
+    fn faults_without_recovery_corrupt_the_run_detectably() {
+        // Recovery off: heavy loss must not go unnoticed — the run either
+        // fails the oracle comparison or visibly under-notifies. This is the
+        // honesty property the fault-sweep reports build on.
+        let net = synthetic::dumbbell(
+            4,
+            Capacity::from_mbps(100.0),
+            Capacity::from_mbps(60.0),
+            Delay::from_micros(1),
+        );
+        let mut sim = dumbbell_sim(&net, BneckConfig::default(), 4);
+        sim.set_fault_plan(FaultPlan::new(3, 0.3, 0.0, 0.0, 1));
+        let report = sim.run_to_quiescence();
+        // Without timers the queue always drains.
+        assert!(report.quiescent);
+        assert!(sim.fault_totals().dropped > 0);
+        assert!(sim.recovery_stats().is_none());
+        let sessions = sim.session_set();
+        let expected = CentralizedBneck::new(sim.network(), &sessions).solve();
+        let got = sim.allocation();
+        let tol = Tolerance::new(1e-6, 1.0);
+        assert!(
+            compare_allocations(&sessions, &got, &expected, tol).is_err(),
+            "30% loss converged to exact rates — pick a different seed for this test"
+        );
+    }
+
+    #[test]
+    fn paper_mode_reports_no_recovery_state() {
+        let net = synthetic::dumbbell(
+            2,
+            Capacity::from_mbps(100.0),
+            Capacity::from_mbps(60.0),
+            Delay::from_micros(1),
+        );
+        let mut sim = dumbbell_sim(&net, BneckConfig::default(), 2);
+        sim.run_to_quiescence();
+        assert!(sim.recovery_stats().is_none());
+        assert_eq!(sim.unacked_frames(), 0);
+        assert_eq!(sim.fault_totals().total(), 0);
+        assert!(sim.fault_plan().is_none());
+        assert_matches_oracle(&sim);
     }
 }

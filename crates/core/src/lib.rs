@@ -67,6 +67,7 @@ pub mod destination;
 pub mod events;
 pub mod harness;
 pub mod packet;
+pub mod recovery;
 pub mod router_link;
 pub mod source;
 pub mod stats;
@@ -77,6 +78,7 @@ pub use config::BneckConfig;
 pub use events::{RateCause, RateEvent, RateEvents, Subscriber, SubscriberSet};
 pub use harness::{BneckSimulation, JoinError, QuiescenceReport, SessionHandle, UnknownSession};
 pub use packet::{Packet, PacketKind, ResponseKind};
+pub use recovery::{RecoveryConfig, RecoveryStats};
 pub use stats::PacketStats;
 pub use task::{Action, ActionBuffer, RateNotification};
 pub use world::{LinkTable, SessionArena, SlotJoin};
@@ -89,6 +91,7 @@ pub mod prelude {
         BneckSimulation, JoinError, QuiescenceReport, SessionHandle, UnknownSession,
     };
     pub use crate::packet::{Packet, PacketKind, ResponseKind};
+    pub use crate::recovery::{RecoveryConfig, RecoveryStats};
     pub use crate::stats::PacketStats;
     pub use crate::task::{Action, ActionBuffer, RateNotification};
     pub use crate::world::{LinkTable, SessionArena, SlotJoin};

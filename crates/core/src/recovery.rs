@@ -1,0 +1,183 @@
+//! The reliability shim: per-lane sequence numbers, acknowledgements and
+//! timeout-based retransmission over unreliable channels.
+//!
+//! The paper's protocol assumes reliable FIFO delivery between tasks; under a
+//! fault-injecting channel plan (see [`bneck_sim::FaultPlan`]) that assumption
+//! breaks, and B-Neck can get stuck (a lost `Response` strands a probe cycle)
+//! or converge to wrong rates (a duplicated `Update` double-counts). The
+//! recovery layer restores exactly the delivery guarantees the proofs need —
+//! loss-free, duplicate-free, in-order per lane — with the classic minimal
+//! machinery:
+//!
+//! * every transmitted protocol packet travels inside a sequenced frame on a
+//!   *lane* identified by `(session, directed link)` — the unit over which
+//!   the paper's FIFO assumption holds (session identifiers are never reused
+//!   for concurrently active sessions, so a lane cannot be confused across
+//!   incarnations);
+//! * the receiver acks every frame (acks travel over the reverse channel and
+//!   are themselves subject to faults), delivers in-order frames immediately,
+//!   buffers out-of-order ones, and drops duplicates (re-acking them, since
+//!   the previous ack may have been the casualty);
+//! * the sender keeps unacked frames and retransmits on a configurable
+//!   timeout until acked. Retransmission timers are simulator events, so a
+//!   recovered run reaches quiescence only after the last timer expires — the
+//!   measurable "price of reliability" recorded in `BENCH_NOTES.md`.
+//!
+//! The whole layer is config-gated behind
+//! [`BneckConfig::with_recovery`](crate::BneckConfig::with_recovery): in
+//! paper mode (`recovery: None`) no frame, ack or timer is ever constructed
+//! and the hot send/dispatch paths keep their pristine shape.
+
+use crate::packet::Packet;
+use bneck_maxmin::SessionId;
+use bneck_net::{Delay, LinkId};
+#[cfg(feature = "serde")]
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Tunables of the recovery layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct RecoveryConfig {
+    /// The retransmission timeout. Must comfortably exceed one data + ack
+    /// round trip of the slowest lane, or spurious retransmissions (harmless
+    /// but wasteful) pile up.
+    pub rto: Delay,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            rto: Delay::from_micros(500),
+        }
+    }
+}
+
+impl RecoveryConfig {
+    /// A config with the given retransmission timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rto` is zero (a zero timeout would retransmit in the same
+    /// instant the frame is sent).
+    pub fn with_rto(rto: Delay) -> Self {
+        assert!(
+            rto > Delay::ZERO,
+            "the retransmission timeout must be positive"
+        );
+        RecoveryConfig { rto }
+    }
+}
+
+/// One reliability lane: the stream of frames one session's packets form
+/// over one directed link. Sequence numbers are per-lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Lane {
+    pub(crate) session: SessionId,
+    pub(crate) link: u32,
+}
+
+impl Lane {
+    pub(crate) fn new(session: SessionId, link: LinkId) -> Self {
+        Lane {
+            session,
+            link: link.index() as u32,
+        }
+    }
+}
+
+/// A sent-but-unacked frame, kept for retransmission.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PendingFrame<T> {
+    /// The directed link the frame travels over.
+    pub(crate) over: LinkId,
+    /// The receiving task.
+    pub(crate) target: T,
+    /// The framed protocol packet.
+    pub(crate) packet: Packet,
+}
+
+/// Counters of the recovery layer's work, for reports and overhead
+/// measurements.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct RecoveryStats {
+    /// Sequenced data frames sent (first transmissions only).
+    pub frames_sent: u64,
+    /// Frames retransmitted after a timeout.
+    pub retransmits: u64,
+    /// Acknowledgements sent.
+    pub acks_sent: u64,
+    /// Duplicate frames discarded at the receiver (and re-acked).
+    pub duplicates_dropped: u64,
+    /// Out-of-order frames buffered until their gap filled.
+    pub reordered_buffered: u64,
+}
+
+/// The harness-side state of the recovery layer. Generic over the harness's
+/// private `Target` type so the module does not depend on harness internals.
+#[derive(Debug)]
+pub(crate) struct RecoveryState<T> {
+    pub(crate) config: RecoveryConfig,
+    /// Next sequence number to assign, per sending lane.
+    pub(crate) next_seq: BTreeMap<Lane, u32>,
+    /// Next sequence number expected, per receiving lane.
+    pub(crate) expected: BTreeMap<Lane, u32>,
+    /// Sent frames not yet acknowledged.
+    pub(crate) unacked: BTreeMap<(Lane, u32), PendingFrame<T>>,
+    /// Frames that arrived ahead of a gap, waiting for in-order delivery.
+    pub(crate) buffered: BTreeMap<(Lane, u32), PendingFrame<T>>,
+    pub(crate) stats: RecoveryStats,
+}
+
+impl<T> RecoveryState<T> {
+    pub(crate) fn new(config: RecoveryConfig) -> Self {
+        RecoveryState {
+            config,
+            next_seq: BTreeMap::new(),
+            expected: BTreeMap::new(),
+            unacked: BTreeMap::new(),
+            buffered: BTreeMap::new(),
+            stats: RecoveryStats::default(),
+        }
+    }
+
+    /// Assigns the next sequence number of a sending lane.
+    pub(crate) fn assign_seq(&mut self, lane: Lane) -> u32 {
+        let seq = self.next_seq.entry(lane).or_insert(0);
+        let assigned = *seq;
+        *seq += 1;
+        assigned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lanes_order_and_compare() {
+        let a = Lane::new(SessionId(1), LinkId(0));
+        let b = Lane::new(SessionId(1), LinkId(1));
+        let c = Lane::new(SessionId(2), LinkId(0));
+        assert!(a < b && b < c);
+        assert_eq!(a, Lane::new(SessionId(1), LinkId(0)));
+    }
+
+    #[test]
+    fn sequence_numbers_are_per_lane() {
+        let mut state: RecoveryState<()> = RecoveryState::new(RecoveryConfig::default());
+        let a = Lane::new(SessionId(1), LinkId(0));
+        let b = Lane::new(SessionId(1), LinkId(1));
+        assert_eq!(state.assign_seq(a), 0);
+        assert_eq!(state.assign_seq(a), 1);
+        assert_eq!(state.assign_seq(b), 0);
+        assert_eq!(state.assign_seq(a), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_rto_is_rejected() {
+        let _ = RecoveryConfig::with_rto(Delay::ZERO);
+    }
+}

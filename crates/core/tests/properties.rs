@@ -6,7 +6,7 @@
 use bneck_core::prelude::*;
 use bneck_maxmin::prelude::*;
 use bneck_net::prelude::*;
-use bneck_sim::SimTime;
+use bneck_sim::{FaultPlan, SimTime};
 use proptest::prelude::*;
 
 /// Builds a dumbbell with per-pair access capacities and a random bottleneck,
@@ -152,5 +152,80 @@ proptest! {
                 prop_assert!(task.assigned_rate(victim).is_none());
             }
         }
+    }
+
+    /// A faulty channel (random drops and duplicates, recovery off) on a
+    /// 2-session dumbbell can corrupt the run — but never *silently*. Every
+    /// run lands in exactly one honestly observable bucket: converged (and
+    /// then two independent checkers — the oracle comparison and the max-min
+    /// verifier — both agree the rates are right), wrong-rates (mismatches
+    /// recorded in the report), or stuck (flagged non-quiescent at the
+    /// horizon). And the same fault stream with the recovery layer enabled
+    /// always converges to the exact oracle rates.
+    #[test]
+    fn faulty_runs_are_never_silently_wrong(
+        drop in 0.0f64..0.3,
+        duplicate in 0.0f64..0.3,
+        fault_seed in 0u64..10_000,
+    ) {
+        let (network, requests) = run_dumbbell(80.0, &[0.0, 0.0], 0);
+        let hosts: Vec<_> = network.hosts().map(|h| h.id()).collect();
+        let plan = FaultPlan::new(fault_seed, drop, duplicate, 0.2, 4);
+        let horizon = SimTime::from_millis(50);
+
+        // Recovery off: the raw protocol over the hostile channel.
+        let mut sim = BneckSimulation::new(&network, BneckConfig::default());
+        sim.set_fault_plan(plan);
+        for (i, (session, limit)) in requests.iter().enumerate() {
+            sim.join(SimTime::ZERO, *session, hosts[2 * i], hosts[2 * i + 1], *limit)
+                .expect("dumbbell sessions are valid");
+        }
+        let report = sim.run_until(horizon);
+        let sessions = sim.session_set();
+        let oracle = CentralizedBneck::new(&network, &sessions).solve();
+        let mismatches = compare_allocations(
+            &sessions,
+            &sim.allocation(),
+            &oracle,
+            Tolerance::new(1e-6, 10.0),
+        )
+        .err()
+        .map(|v| v.len())
+        .unwrap_or(0);
+        if report.quiescent && mismatches == 0 {
+            // Claimed converged: an oracle-independent checker must agree,
+            // so a wrong allocation cannot slip through as a success.
+            prop_assert!(
+                verify_max_min(&network, &sessions, &sim.allocation()).is_ok(),
+                "a run reported converged but violates max-min fairness"
+            );
+        } else {
+            // Corrupted runs are flagged: non-quiescent or mismatching.
+            prop_assert!(!report.quiescent || mismatches > 0);
+        }
+
+        // Recovery on, same faults: always oracle-exact and quiescent.
+        let mut recovered = BneckSimulation::new(
+            &network,
+            BneckConfig::default().with_recovery(Delay::from_micros(300)),
+        );
+        recovered.set_fault_plan(plan);
+        for (i, (session, limit)) in requests.iter().enumerate() {
+            recovered
+                .join(SimTime::ZERO, *session, hosts[2 * i], hosts[2 * i + 1], *limit)
+                .expect("dumbbell sessions are valid");
+        }
+        let recovered_report = recovered.run_until(horizon);
+        prop_assert!(recovered_report.quiescent, "recovery must drain by the horizon");
+        prop_assert_eq!(recovered.unacked_frames(), 0);
+        let recovered_sessions = recovered.session_set();
+        let recovered_oracle = CentralizedBneck::new(&network, &recovered_sessions).solve();
+        prop_assert!(compare_allocations(
+            &recovered_sessions,
+            &recovered.allocation(),
+            &recovered_oracle,
+            Tolerance::new(1e-6, 10.0)
+        )
+        .is_ok());
     }
 }

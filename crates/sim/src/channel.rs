@@ -90,6 +90,12 @@ impl Channel {
         }
     }
 
+    /// One packet's full flight time (serialization plus propagation) — the
+    /// unit of the fault injector's reorder jitter.
+    pub(crate) fn flight(&self) -> Delay {
+        self.transmission + self.spec.propagation
+    }
+
     /// Computes the arrival time of a packet handed to the channel at `now`,
     /// updating the transmitter occupancy.
     pub(crate) fn accept(&mut self, now: SimTime) -> SimTime {

@@ -2,6 +2,8 @@
 
 use crate::channel::{Channel, ChannelId, ChannelSpec};
 use crate::event::EventQueue;
+use crate::explore::ScheduleCursor;
+use crate::fault::{self, FaultCounters, FaultPlan, FaultState};
 use crate::time::SimTime;
 use bneck_net::Delay;
 #[cfg(feature = "serde")]
@@ -88,6 +90,9 @@ pub struct Context<'a, M> {
     queue: &'a mut EventQueue<M>,
     channels: &'a mut Vec<Channel>,
     messages_sent: &'a mut u64,
+    /// Active fault injection, if any. `None` in paper mode: the pristine
+    /// send path pays one never-taken null check and nothing else.
+    faults: Option<&'a mut FaultState<M>>,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -103,9 +108,62 @@ impl<'a, M> Context<'a, M> {
     ///
     /// Panics if `channel` was not registered with the engine.
     pub fn send(&mut self, channel: ChannelId, to: Address, msg: M) {
+        if self.faults.is_some() {
+            return self.send_faulty(channel, to, msg);
+        }
         let arrival = self.channels[channel.index()].accept(self.now);
         *self.messages_sent += 1;
         self.queue.push(arrival, to, msg);
+    }
+
+    /// The faulty arm of [`Context::send`]: rolls the message against the
+    /// active [`FaultPlan`]. Kept out of line so paper-mode runs carry none
+    /// of this code on the send path.
+    #[cold]
+    #[inline(never)]
+    fn send_faulty(&mut self, channel: ChannelId, to: Address, msg: M) {
+        let faults = self.faults.as_deref_mut().expect("checked by the caller");
+        let plan = faults.plan;
+        let ch = &mut self.channels[channel.index()];
+        let arrival = ch.accept(self.now);
+        *self.messages_sent += 1;
+        // The channel's send counter is the per-packet nonce: deterministic,
+        // thread-independent, unique per (channel, transmission).
+        let send = ch.sent;
+        let flight_ns = ch.flight().as_nanos().max(1);
+        let dropped = plan.drop > 0.0
+            && fault::roll(plan.seed, channel.0, send, fault::SALT_DROP) < plan.drop;
+        let duplicated = plan.duplicate > 0.0
+            && fault::roll(plan.seed, channel.0, send, fault::SALT_DUP) < plan.duplicate;
+        let jitter_ns = if plan.reorder > 0.0
+            && fault::roll(plan.seed, channel.0, send, fault::SALT_REORDER) < plan.reorder
+        {
+            fault::roll_window(plan.seed, channel.0, send, plan.reorder_window) * flight_ns
+        } else {
+            0
+        };
+        let counters = faults.counters_mut(channel.index());
+        if dropped {
+            counters.dropped += 1;
+        }
+        if duplicated {
+            counters.duplicated += 1;
+        }
+        if !dropped && jitter_ns > 0 {
+            counters.delayed += 1;
+        }
+        if duplicated {
+            // The copy is serialized right behind the original, so it always
+            // arrives strictly later (a retransmitting NIC, not magic).
+            let copy = (faults.clone)(&msg);
+            let dup_arrival = self.channels[channel.index()].accept(self.now);
+            *self.messages_sent += 1;
+            self.queue.push(dup_arrival, to, copy);
+        }
+        if !dropped {
+            let at = SimTime::from_nanos(arrival.as_nanos() + jitter_ns);
+            self.queue.push(at, to, msg);
+        }
     }
 
     /// Schedules `msg` for delivery to `to` after `delay`, without involving
@@ -147,6 +205,10 @@ pub struct Engine<M> {
     channels: Vec<Channel>,
     messages_sent: u64,
     events_processed: u64,
+    /// Fault injection state; `None` (paper mode) keeps the send path
+    /// pristine. Boxed so the engine itself stays small and the faulty
+    /// state is one pointer away only when a plan is installed.
+    faults: Option<Box<FaultState<M>>>,
 }
 
 impl<M> Default for Engine<M> {
@@ -164,6 +226,63 @@ impl<M> Engine<M> {
             channels: Vec::new(),
             messages_sent: 0,
             events_processed: 0,
+            faults: None,
+        }
+    }
+
+    /// Installs a seeded fault plan: every subsequent channel send rolls
+    /// against it (drop, duplicate, delay jitter). Runs are bit-identical
+    /// given the same `(seed, plan)` — decisions are a stateless hash of the
+    /// plan seed, the channel and the channel's send counter. Timers and
+    /// injected events are never perturbed.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan)
+    where
+        M: Clone,
+    {
+        self.faults = Some(Box::new(FaultState {
+            plan,
+            counters: Vec::new(),
+            clone: |m| m.clone(),
+        }));
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_deref().map(|f| &f.plan)
+    }
+
+    /// Faults injected on one channel so far (zero when no plan is active or
+    /// the channel never rolled a fault).
+    pub fn fault_counters(&self, channel: ChannelId) -> FaultCounters {
+        self.faults
+            .as_deref()
+            .and_then(|f| f.counters.get(channel.index()).copied())
+            .unwrap_or_default()
+    }
+
+    /// Sum of the injected-fault counters over every channel.
+    pub fn fault_totals(&self) -> FaultCounters {
+        let mut total = FaultCounters::default();
+        if let Some(f) = self.faults.as_deref() {
+            for c in &f.counters {
+                total.absorb(*c);
+            }
+        }
+        total
+    }
+
+    /// Per-channel injected-fault counters, restricted to channels that saw
+    /// at least one fault (the diagnosable artifact for reports).
+    pub fn fault_breakdown(&self) -> Vec<(ChannelId, FaultCounters)> {
+        match self.faults.as_deref() {
+            None => Vec::new(),
+            Some(f) => f
+                .counters
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.total() > 0)
+                .map(|(i, c)| (ChannelId(i as u32), *c))
+                .collect(),
         }
     }
 
@@ -251,8 +370,48 @@ impl<M> Engine<M> {
             queue: &mut self.queue,
             channels: &mut self.channels,
             messages_sent: &mut self.messages_sent,
+            faults: self.faults.as_deref_mut(),
         };
         world.handle(&mut ctx, event.to, event.msg);
+    }
+
+    /// Delivers the next pending event *chosen by the cursor* among the
+    /// same-instant head group: where [`Engine::step`] always takes the
+    /// canonical FIFO head, this hands every event scheduled at the head
+    /// timestamp to the [`ScheduleCursor`] as one choice point and delivers
+    /// the member it picks (the rest keep their relative order). Driving a
+    /// whole run this way executes one *schedule* of the interleaving
+    /// explorer (see [`crate::explore`]). Returns `false` when quiescent.
+    pub fn step_explored<W: World<Message = M>>(
+        &mut self,
+        world: &mut W,
+        cursor: &mut ScheduleCursor,
+    ) -> bool {
+        let mut group: Vec<(Address, M)> = Vec::new();
+        self.queue.drain_head_group(&mut group);
+        if group.is_empty() {
+            return false;
+        }
+        let pick = if group.len() > 1 {
+            cursor.choose(group.len())
+        } else {
+            0
+        };
+        let at = self.queue.now_time();
+        let (to, msg) = group.remove(pick);
+        for (to, msg) in group {
+            self.queue.push(at, to, msg);
+        }
+        self.process(
+            world,
+            crate::event::Event {
+                at,
+                seq: 0,
+                to,
+                msg,
+            },
+        );
+        true
     }
 
     /// Runs until the event queue is empty or the next event is strictly after
@@ -312,6 +471,7 @@ impl<M> Engine<M> {
                 queue: &mut self.queue,
                 channels: &mut self.channels,
                 messages_sent: &mut self.messages_sent,
+                faults: self.faults.as_deref_mut(),
             };
             world.handle_batch(&mut ctx, &mut batch);
             debug_assert!(batch.is_empty(), "handle_batch must drain the batch");
@@ -560,5 +720,127 @@ mod tests {
             world.log
         };
         assert_eq!(run(), run());
+    }
+
+    /// A world that floods one channel with `count` messages and records
+    /// every delivery (for fault-injection assertions).
+    struct Flood {
+        count: u32,
+        channel: ChannelId,
+        delivered: Vec<(u64, u32)>,
+    }
+
+    impl World for Flood {
+        type Message = u32;
+        fn handle(&mut self, ctx: &mut Context<'_, u32>, to: Address, msg: u32) {
+            if to == Address(0) {
+                for i in 0..self.count {
+                    ctx.send(self.channel, Address(1), i);
+                }
+            } else {
+                self.delivered.push((ctx.now().as_nanos(), msg));
+            }
+        }
+    }
+
+    fn faulty_flood(plan: Option<FaultPlan>, count: u32) -> (Engine<u32>, Flood) {
+        let mut engine = Engine::new();
+        let channel = engine.add_channel(ChannelSpec::new(1e9, Delay::from_micros(10), 1000));
+        if let Some(plan) = plan {
+            engine.set_fault_plan(plan);
+        }
+        let mut world = Flood {
+            count,
+            channel,
+            delivered: Vec::new(),
+        };
+        engine.inject(SimTime::ZERO, Address(0), 0);
+        engine.run(&mut world);
+        (engine, world)
+    }
+
+    #[test]
+    fn a_noop_plan_changes_nothing() {
+        let (_, clean) = faulty_flood(None, 50);
+        let (engine, faulted) = faulty_flood(Some(FaultPlan::new(1, 0.0, 0.0, 0.0, 0)), 50);
+        assert_eq!(clean.delivered, faulted.delivered);
+        assert_eq!(engine.fault_totals(), FaultCounters::default());
+        assert!(engine.fault_plan().is_some());
+    }
+
+    #[test]
+    fn drops_remove_deliveries_and_are_counted() {
+        let plan = FaultPlan::new(7, 0.3, 0.0, 0.0, 0);
+        let (engine, world) = faulty_flood(Some(plan), 200);
+        let totals = engine.fault_totals();
+        assert!(totals.dropped > 0, "a 30% plan over 200 sends drops some");
+        assert_eq!(world.delivered.len() as u64, 200 - totals.dropped);
+        assert_eq!(engine.fault_counters(ChannelId(0)).dropped, totals.dropped);
+        assert_eq!(engine.fault_breakdown().len(), 1);
+        // Dropped messages still occupied the transmitter.
+        assert_eq!(engine.channel_sent(ChannelId(0)), 200);
+    }
+
+    #[test]
+    fn duplicates_add_deliveries_and_are_counted() {
+        let plan = FaultPlan::new(7, 0.0, 0.25, 0.0, 0);
+        let (engine, world) = faulty_flood(Some(plan), 200);
+        let totals = engine.fault_totals();
+        assert!(totals.duplicated > 0);
+        assert_eq!(world.delivered.len() as u64, 200 + totals.duplicated);
+    }
+
+    #[test]
+    fn reorder_jitter_lets_later_packets_overtake() {
+        let plan = FaultPlan::new(11, 0.0, 0.0, 0.5, 4);
+        let (engine, world) = faulty_flood(Some(plan), 200);
+        let totals = engine.fault_totals();
+        assert!(totals.delayed > 0);
+        assert_eq!(world.delivered.len(), 200, "jitter never loses a message");
+        let payloads: Vec<u32> = world.delivered.iter().map(|&(_, m)| m).collect();
+        assert!(
+            payloads.windows(2).any(|w| w[0] > w[1]),
+            "with heavy jitter some packet overtakes another"
+        );
+    }
+
+    #[test]
+    fn faulty_runs_are_bit_identical_for_the_same_seed_and_plan() {
+        let plan = FaultPlan::new(42, 0.05, 0.01, 0.1, 4);
+        let (_, a) = faulty_flood(Some(plan), 300);
+        let (_, b) = faulty_flood(Some(plan), 300);
+        assert_eq!(a.delivered, b.delivered);
+        let other = FaultPlan::new(43, 0.05, 0.01, 0.1, 4);
+        let (_, c) = faulty_flood(Some(other), 300);
+        assert_ne!(a.delivered, c.delivered, "a different seed perturbs runs");
+    }
+
+    #[test]
+    fn timers_and_injected_events_are_never_perturbed() {
+        struct Timers {
+            fired: u32,
+        }
+        impl World for Timers {
+            type Message = &'static str;
+            fn handle(
+                &mut self,
+                ctx: &mut Context<'_, &'static str>,
+                _to: Address,
+                msg: &'static str,
+            ) {
+                self.fired += 1;
+                if msg == "start" {
+                    ctx.schedule_after(Delay::from_micros(3), Address(0), "timer");
+                    ctx.deliver_now(Address(0), "now");
+                }
+            }
+        }
+        let mut engine: Engine<&'static str> = Engine::new();
+        engine.set_fault_plan(FaultPlan::new(1, 1.0, 0.0, 0.0, 0));
+        let mut world = Timers { fired: 0 };
+        engine.inject(SimTime::ZERO, Address(0), "start");
+        engine.run(&mut world);
+        assert_eq!(world.fired, 3, "a drop-everything plan spares timers");
+        assert_eq!(engine.fault_totals(), FaultCounters::default());
     }
 }

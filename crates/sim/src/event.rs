@@ -413,6 +413,36 @@ impl<M> EventQueue<M> {
         }
     }
 
+    /// Pops *every* event scheduled at the head timestamp into `buf`, in the
+    /// canonical FIFO order — the whole same-instant group, across tiers.
+    /// Used by the interleaving explorer: the caller delivers one member and
+    /// re-pushes the rest (fresh sequence numbers preserve their relative
+    /// order, and anything a handler then schedules at the same instant
+    /// sorts behind them, exactly as in an unexplored run).
+    pub(crate) fn drain_head_group(&mut self, buf: &mut Vec<(Address, M)>) {
+        buf.clear();
+        let Some((head_key, src)) = self.head() else {
+            return;
+        };
+        let t = (head_key >> 64) as u64;
+        let first = self.take(src);
+        self.now_time = first.at;
+        buf.push((first.to, first.msg));
+        while let Some((k, src)) = self.head() {
+            if (k >> 64) as u64 != t {
+                break;
+            }
+            let e = self.take(src);
+            buf.push((e.to, e.msg));
+        }
+    }
+
+    /// The timestamp of the head-group events most recently drained (the
+    /// queue's current instant).
+    pub(crate) fn now_time(&self) -> SimTime {
+        self.now_time
+    }
+
     /// The message of the globally next event, without popping it. Used by
     /// the engine to warm the next event's destination state while the
     /// current handler runs; like every peek, it may sort the cursor bucket

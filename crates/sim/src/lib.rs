@@ -46,11 +46,15 @@
 pub mod channel;
 pub mod engine;
 pub mod event;
+pub mod explore;
+pub mod fault;
 pub mod simulation;
 pub mod time;
 
 pub use channel::{ChannelId, ChannelSpec};
 pub use engine::{Address, Context, Engine, RunReport, World};
+pub use explore::{explore_schedules, ExploreStats, ScheduleCursor};
+pub use fault::{FaultCounters, FaultPlan};
 pub use simulation::Simulation;
 pub use time::SimTime;
 
@@ -58,6 +62,8 @@ pub use time::SimTime;
 pub mod prelude {
     pub use crate::channel::{ChannelId, ChannelSpec};
     pub use crate::engine::{Address, Context, Engine, RunReport, World};
+    pub use crate::explore::{explore_schedules, ExploreStats, ScheduleCursor};
+    pub use crate::fault::{FaultCounters, FaultPlan};
     pub use crate::simulation::Simulation;
     pub use crate::time::SimTime;
 }

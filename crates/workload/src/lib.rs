@@ -44,8 +44,8 @@ pub use scenario::NetworkScenario;
 pub use schedule::{ApplyStats, Schedule, ScheduleTarget, TimedEvent, WorkloadEvent};
 pub use sessions::{LimitPolicy, SessionPlanner, SessionRequest};
 pub use spec::{
-    AccuracySpec, ChurnSpec, ExperimentKind, ExperimentSpec, JoinsSpec, OutputSpec, ScaleSpec,
-    ScenarioSpec, SpecError, ValidationSpec,
+    AccuracySpec, ChurnSpec, ExperimentKind, ExperimentSpec, FaultPoint, FaultSweepSpec, JoinsSpec,
+    OutputSpec, ScaleSpec, ScenarioSpec, SpecError, ValidationSpec,
 };
 
 /// Commonly used items, suitable for glob import.
@@ -59,5 +59,7 @@ pub mod prelude {
     pub use crate::scenario::NetworkScenario;
     pub use crate::schedule::{ApplyStats, Schedule, ScheduleTarget, TimedEvent, WorkloadEvent};
     pub use crate::sessions::{LimitPolicy, SessionPlanner, SessionRequest};
-    pub use crate::spec::{ExperimentKind, ExperimentSpec, ScenarioSpec, SpecError};
+    pub use crate::spec::{
+        ExperimentKind, ExperimentSpec, FaultPoint, FaultSweepSpec, ScenarioSpec, SpecError,
+    };
 }

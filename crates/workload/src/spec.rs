@@ -148,6 +148,11 @@ pub enum ExperimentKind {
     /// Paper-scale join-to-quiescence points (up to the 300,000 sessions of
     /// Figure 5) with oracle validation.
     Scale(ScaleSpec),
+    /// Robustness off the paper's map: the same join workload run over
+    /// fault-injected channels, across a (drop × duplicate) probability grid,
+    /// recording the convergence/quiescence outcome of every point — raw, and
+    /// optionally with the recovery layer restoring reliable delivery.
+    FaultSweep(FaultSweepSpec),
 }
 
 impl ExperimentKind {
@@ -159,6 +164,7 @@ impl ExperimentKind {
             ExperimentKind::Accuracy(_) => "accuracy",
             ExperimentKind::Validation(_) => "validation",
             ExperimentKind::Scale(_) => "scale",
+            ExperimentKind::FaultSweep(_) => "faults",
         }
     }
 }
@@ -412,8 +418,104 @@ impl ScaleSpec {
     }
 }
 
+/// One cell of a fault sweep's (drop × duplicate) grid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct FaultPoint {
+    /// Per-transmission drop probability.
+    pub drop: f64,
+    /// Per-transmission duplication probability.
+    pub duplicate: f64,
+}
+
+/// A fault-injected robustness sweep as data: one join workload replayed
+/// over every cell of a (drop × duplicate) probability grid, with a shared
+/// reorder setting. Each point runs the raw protocol (recording its honest
+/// converged/stuck/wrong-rates outcome) and, when `with_recovery` is set,
+/// a second run with the retransmission layer enabled — which is expected to
+/// restore oracle-exact quiescent convergence at the price of the RTO tail.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(Serialize, Deserialize))]
+pub struct FaultSweepSpec {
+    /// The network to run on.
+    pub topology: ScenarioSpec,
+    /// Sessions joining.
+    pub sessions: usize,
+    /// Window in which all joins happen, in microseconds.
+    pub join_window_us: u64,
+    /// Maximum-rate request policy.
+    pub limits: LimitPolicy,
+    /// Workload seed (the same workload is replayed at every grid point).
+    pub workload_seed: u64,
+    /// Seed of the fault plans; point `i` (in drop-major order) uses
+    /// `fault_seed + i`, so every cell rolls an independent fault stream.
+    pub fault_seed: u64,
+    /// The drop probabilities of the grid.
+    pub drop: Vec<f64>,
+    /// The duplication probabilities of the grid.
+    pub duplicate: Vec<f64>,
+    /// Reorder probability shared by every point.
+    pub reorder: f64,
+    /// Reorder jitter window, in packet flight times.
+    pub reorder_window: u32,
+    /// Also run every point with the recovery layer enabled.
+    pub with_recovery: bool,
+    /// Retransmission timeout of the recovery runs, in microseconds.
+    pub rto_us: u64,
+    /// Per-run horizon, in milliseconds — a faulty run that has not drained
+    /// by then is recorded as stuck instead of spinning forever.
+    pub horizon_ms: u64,
+}
+
+impl FaultSweepSpec {
+    /// The grid cells, in drop-major order.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError::Empty`] on an empty axis, [`SpecError::Invalid`] on a
+    /// probability outside `[0, 1]`, a zero reorder window, a zero horizon,
+    /// or a zero RTO with recovery requested.
+    pub fn points(&self) -> Result<Vec<FaultPoint>, SpecError> {
+        if self.drop.is_empty() {
+            return Err(SpecError::Empty("drop"));
+        }
+        if self.duplicate.is_empty() {
+            return Err(SpecError::Empty("duplicate"));
+        }
+        let in_unit = |p: f64| (0.0..=1.0).contains(&p);
+        if !self.drop.iter().all(|&p| in_unit(p)) {
+            return Err(SpecError::Invalid("drop"));
+        }
+        if !self.duplicate.iter().all(|&p| in_unit(p)) {
+            return Err(SpecError::Invalid("duplicate"));
+        }
+        if !in_unit(self.reorder) {
+            return Err(SpecError::Invalid("reorder"));
+        }
+        if self.reorder_window == 0 {
+            return Err(SpecError::Invalid("reorder_window"));
+        }
+        if self.horizon_ms == 0 {
+            return Err(SpecError::Invalid("horizon_ms"));
+        }
+        if self.with_recovery && self.rto_us == 0 {
+            return Err(SpecError::Invalid("rto_us"));
+        }
+        if self.sessions == 0 {
+            return Err(SpecError::Invalid("sessions"));
+        }
+        let mut points = Vec::with_capacity(self.drop.len() * self.duplicate.len());
+        for &drop in &self.drop {
+            for &duplicate in &self.duplicate {
+                points.push(FaultPoint { drop, duplicate });
+            }
+        }
+        Ok(points)
+    }
+}
+
 /// The names of the shipped presets, in listing order.
-pub const PRESET_NAMES: [&str; 9] = [
+pub const PRESET_NAMES: [&str; 10] = [
     "exp1",
     "exp1_full",
     "exp2",
@@ -423,6 +525,7 @@ pub const PRESET_NAMES: [&str; 9] = [
     "validate",
     "paper_scale",
     "paper_1m",
+    "faults",
 ];
 
 /// `paper_full` is an alias preset: the 300,000-session point of Figure 5.
@@ -441,6 +544,7 @@ impl ExperimentSpec {
             "validate" => "SS-IV validation: randomized workloads vs the oracle",
             "paper_scale" => "50k-session join-to-quiescence run with oracle check",
             "paper_1m" => "one million sessions on Medium LAN, oracle-checked",
+            "faults" => "drop/dup/reorder grid, raw vs recovery-layer runs",
             PAPER_FULL => "the full 300k-session point of Figure 5",
             _ => return None,
         })
@@ -550,6 +654,23 @@ impl ExperimentSpec {
                 sessions: vec![300_000],
                 validate: true,
             }),
+            // Robustness sweep (not a paper figure): the exp1-style join
+            // workload over hostile channels, raw and recovered.
+            "faults" => ExperimentKind::FaultSweep(FaultSweepSpec {
+                topology: ScenarioSpec::new("small/lan", 20),
+                sessions: 8,
+                join_window_us: 1_000,
+                limits: LimitPolicy::Unlimited,
+                workload_seed: 1,
+                fault_seed: 42,
+                drop: vec![0.0, 0.01, 0.05],
+                duplicate: vec![0.0, 0.01],
+                reorder: 0.25,
+                reorder_window: 4,
+                with_recovery: true,
+                rto_us: 500,
+                horizon_ms: 200,
+            }),
             _ => return None,
         };
         Some(ExperimentSpec {
@@ -600,6 +721,10 @@ impl ExperimentSpec {
             }
             ExperimentKind::Scale(spec) => {
                 spec.configs()?;
+            }
+            ExperimentKind::FaultSweep(spec) => {
+                spec.topology.resolve(topologies)?;
+                spec.points()?;
             }
         }
         Ok(())
@@ -700,6 +825,46 @@ mod tests {
         let configs = spec.configs().unwrap();
         assert_eq!(configs.len(), 2);
         assert_eq!(configs[0], Experiment1Config::paper_scale(1_000));
+    }
+
+    #[test]
+    fn fault_sweeps_validate_their_grid() {
+        let base = match ExperimentSpec::preset("faults").unwrap().experiment {
+            ExperimentKind::FaultSweep(spec) => spec,
+            other => panic!("faults is a fault sweep, got {}", other.label()),
+        };
+        // The shipped grid: drop-major cross product.
+        let points = base.points().unwrap();
+        assert_eq!(points.len(), 6);
+        assert_eq!(
+            points[0],
+            FaultPoint {
+                drop: 0.0,
+                duplicate: 0.0
+            }
+        );
+        assert_eq!(
+            points[5],
+            FaultPoint {
+                drop: 0.05,
+                duplicate: 0.01
+            }
+        );
+        let mut bad = base.clone();
+        bad.drop = vec![];
+        assert_eq!(bad.points(), Err(SpecError::Empty("drop")));
+        let mut bad = base.clone();
+        bad.duplicate = vec![1.5];
+        assert_eq!(bad.points(), Err(SpecError::Invalid("duplicate")));
+        let mut bad = base.clone();
+        bad.reorder_window = 0;
+        assert_eq!(bad.points(), Err(SpecError::Invalid("reorder_window")));
+        let mut bad = base.clone();
+        bad.horizon_ms = 0;
+        assert_eq!(bad.points(), Err(SpecError::Invalid("horizon_ms")));
+        let mut bad = base;
+        bad.rto_us = 0;
+        assert_eq!(bad.points(), Err(SpecError::Invalid("rto_us")));
     }
 
     #[test]
