@@ -40,8 +40,10 @@ impl SweepRunner {
 
     /// A runner honoring the `BNECK_THREADS` environment variable, falling
     /// back to the machine's available parallelism.
+    #[allow(clippy::disallowed_methods)] // mirrored by the xlint DET002 allow below
     pub fn from_env() -> Self {
         Self::new(parse_threads(
+            // xlint: allow(DET002, reason = "thread count selects scheduling only; results are bit-identical at any value (determinism suite)")
             std::env::var("BNECK_THREADS").ok().as_deref(),
         ))
     }

@@ -57,7 +57,16 @@ impl DestinationNode {
             } => {
                 actions.push(Action::SendUpstream(Packet::Update { session }));
             }
-            _ => {}
+            // A SetBottleneck that found its restricting link terminates at
+            // that link; one that reaches the destination unclaimed with
+            // `found: true` cannot happen, and nothing is owed upstream.
+            Packet::SetBottleneck { found: true, .. } => {}
+            // Upstream-travelling kinds a destination emits but never
+            // receives, and Leave which terminates at the last router.
+            Packet::Response { .. }
+            | Packet::Update { .. }
+            | Packet::Bottleneck { .. }
+            | Packet::Leave { .. } => {}
         }
     }
 }

@@ -713,7 +713,14 @@ impl World for BneckWorld {
     fn batch_key(&self, msg: &Envelope) -> Option<u64> {
         match (msg.target, msg.payload) {
             (Target::Link { link, .. }, Payload::Protocol(_)) => Some(link.index() as u64),
-            _ => None,
+            (
+                _,
+                Payload::Api(_)
+                | Payload::Protocol(_)
+                | Payload::Data { .. }
+                | Payload::Ack { .. }
+                | Payload::Retransmit { .. },
+            ) => None,
         }
     }
 

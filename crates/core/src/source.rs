@@ -149,7 +149,11 @@ impl SourceNode {
             Packet::Update { .. } => self.on_update(actions),
             Packet::Bottleneck { .. } => self.on_bottleneck(actions),
             Packet::Response { kind, rate, .. } => self.on_response(kind, rate, actions),
-            _ => {}
+            // Downstream-travelling kinds a source emits but never receives.
+            Packet::Join { .. }
+            | Packet::Probe { .. }
+            | Packet::SetBottleneck { .. }
+            | Packet::Leave { .. } => {}
         }
     }
 

@@ -1,0 +1,3 @@
+//! Positive fixture for BENCH001: no [[bench]] entry declares this file.
+
+fn main() {}

@@ -1,0 +1,10 @@
+//! Positive fixture for EXH001: a catch-all arm swallowing protocol variants.
+
+use crate::packet::Packet;
+
+pub fn handle(p: Packet) -> u64 {
+    match p {
+        Packet::Join { session } => session, // EXH001: Probe and Leave unnamed
+        _ => 0,                              // EXH001: catch-all
+    }
+}

@@ -1,0 +1,5 @@
+//! Positive fixture for HOT001: allocation in a hot-path-manifest module.
+
+pub fn allocates() -> Vec<u32> {
+    Vec::new() // HOT001
+}

@@ -1,0 +1,11 @@
+//! The protocol enum the EXH001 fixtures match on.
+
+/// A three-variant protocol message.
+pub enum Packet {
+    /// A session joins.
+    Join { session: u64 },
+    /// A probe.
+    Probe { session: u64, rate: f64 },
+    /// A session leaves.
+    Leave { session: u64 },
+}

@@ -1,0 +1,5 @@
+//! Positive fixture for SPEC001: `beta` has no golden fixture, and the
+//! fixtures directory holds a stray `ghost.json`.
+
+/// The shipped presets.
+pub const PRESET_NAMES: [&str; 2] = ["alpha", "beta"];

@@ -1,0 +1,11 @@
+//! Negative fixture for BENCH001: declares the group the manifest lists.
+
+fn main() {
+    let c = Criterion;
+    c.benchmark_group("alpha_group");
+}
+
+struct Criterion;
+impl Criterion {
+    fn benchmark_group(&self, _name: &str) {}
+}

@@ -1,0 +1,12 @@
+//! Negative fixture for EXH001: every variant named, ignored ones
+//! explicitly.
+
+use crate::packet::Packet;
+
+pub fn handle(p: Packet) -> u64 {
+    match p {
+        Packet::Join { session } => session,
+        Packet::Probe { session, .. } => session,
+        Packet::Leave { .. } => 0,
+    }
+}

@@ -1,0 +1,19 @@
+//! Negative fixture for HOT001: the one construction-time allocation is
+//! annotated with its reason.
+
+pub struct Buffers {
+    scratch: Vec<u32>,
+}
+
+impl Buffers {
+    pub fn new() -> Self {
+        Buffers {
+            // xlint: allow(HOT001, reason = "fixture: one-time construction, off the per-event path")
+            scratch: Vec::new(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.scratch.len()
+    }
+}

@@ -1,0 +1,18 @@
+//! Negative fixture: ordered collections, annotated exceptions with
+//! reasons, and a bare unwrap exactly at its budget.
+
+use std::collections::BTreeMap;
+
+pub fn ordered_map() -> BTreeMap<u32, u32> {
+    BTreeMap::new()
+}
+
+pub fn clock() -> u64 {
+    // xlint: allow(DET002, reason = "fixture: timing detail that never reaches a report")
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn at_budget(a: Option<u32>) -> u32 {
+    a.unwrap() // one site, budget is one: neither finding nor note
+}

@@ -1,0 +1,5 @@
+//! Negative fixture for SPEC001: the preset list and the fixtures
+//! directory agree exactly.
+
+/// The shipped presets.
+pub const PRESET_NAMES: [&str; 1] = ["alpha"];

@@ -8,6 +8,7 @@
 //! multiply-xor hash in the spirit of `fxhash`/`ahash`-fallback: a couple of
 //! arithmetic instructions per integer key.
 
+// xlint: allow(DET001, reason = "re-exported only with the fixed Fibonacci hasher below: iteration order is a pure function of the op sequence")
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -67,9 +68,11 @@ impl Hasher for FastHasher {
 pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
 
 /// A `HashMap` using [`FastHasher`].
+// xlint: allow(DET001, reason = "FastBuildHasher is stateless and unseeded: same inserts, same order, every process")
 pub type FastMap<K, V> = HashMap<K, V, FastBuildHasher>;
 
 /// A `HashSet` using [`FastHasher`].
+// xlint: allow(DET001, reason = "FastBuildHasher is stateless and unseeded: same inserts, same order, every process")
 pub type FastSet<K> = HashSet<K, FastBuildHasher>;
 
 #[cfg(test)]

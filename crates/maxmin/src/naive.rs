@@ -12,7 +12,7 @@
 use crate::rate::{Rate, Tolerance};
 use crate::session::{Allocation, SessionId, SessionSet};
 use bneck_net::{LinkId, Network};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The seed-era progressive-filling solver.
 pub(crate) fn naive_waterfill(
@@ -26,7 +26,7 @@ pub(crate) fn naive_waterfill(
     }
 
     let mut active: Vec<SessionId> = sessions.iter().map(|s| s.id()).collect();
-    let mut frozen_rate: HashMap<SessionId, Rate> = HashMap::new();
+    let mut frozen_rate: BTreeMap<SessionId, Rate> = BTreeMap::new();
     let used_links: Vec<LinkId> = sessions.used_links().collect();
     let mut level: Rate = 0.0;
 

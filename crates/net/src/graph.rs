@@ -5,7 +5,7 @@ use crate::capacity::Capacity;
 use crate::delay::Delay;
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifier of a node (router or host) in a [`Network`].
@@ -164,7 +164,7 @@ pub struct Network {
     out_offsets: Vec<u32>,
     out_link_ids: Vec<LinkId>,
     /// Lookup from `(src, dst)` to the connecting link, if any.
-    by_endpoints: HashMap<(NodeId, NodeId), LinkId>,
+    by_endpoints: BTreeMap<(NodeId, NodeId), LinkId>,
 }
 
 impl Network {
@@ -280,7 +280,7 @@ impl Network {
 pub struct NetworkBuilder {
     nodes: Vec<Node>,
     links: Vec<Link>,
-    by_endpoints: HashMap<(NodeId, NodeId), LinkId>,
+    by_endpoints: BTreeMap<(NodeId, NodeId), LinkId>,
 }
 
 impl NetworkBuilder {

@@ -7,7 +7,7 @@
 
 use crate::graph::{LinkId, Network, NodeId};
 use crate::path::Path;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Shortest-path (minimum hop) router over a [`Network`].
 ///
@@ -53,7 +53,7 @@ pub struct Router<'a> {
     /// shortest path; router graphs stay small (the paper's Big network has
     /// 11,000 routers) even when hundreds of thousands of hosts attach, so
     /// these trees make planning huge session populations cheap.
-    router_trees: HashMap<NodeId, Box<[LinkId]>>,
+    router_trees: BTreeMap<NodeId, Box<[LinkId]>>,
 }
 
 /// Sentinel parent for unreachable routers in a cached router tree.
@@ -75,7 +75,7 @@ impl<'a> Router<'a> {
             cache_parent: Vec::new(),
             router_index: Vec::new(),
             router_nodes: Vec::new(),
-            router_trees: HashMap::new(),
+            router_trees: BTreeMap::new(),
         }
     }
 
@@ -278,7 +278,7 @@ impl<'a> Router<'a> {
     /// wall-clock time changes.
     pub fn warm_router_trees(&mut self, hosts: &[NodeId], threads: usize) -> usize {
         self.ensure_router_index();
-        let mut seen = HashSet::new();
+        let mut seen = BTreeSet::new();
         let mut roots: Vec<NodeId> = Vec::new();
         for &host in hosts {
             if !self.network.node(host).kind().is_host() {

@@ -223,6 +223,7 @@ impl<M> Engine<M> {
         Engine {
             now: SimTime::ZERO,
             queue: EventQueue::default(),
+            // xlint: allow(HOT001, reason = "engine construction, runs once before any event")
             channels: Vec::new(),
             messages_sent: 0,
             events_processed: 0,
@@ -239,9 +240,12 @@ impl<M> Engine<M> {
     where
         M: Clone,
     {
+        // xlint: allow(HOT001, reason = "fault-plan installation, once per run before any event")
         self.faults = Some(Box::new(FaultState {
             plan,
+            // xlint: allow(HOT001, reason = "fault-plan installation, once per run before any event")
             counters: Vec::new(),
+            // xlint: allow(HOT001, reason = "defines the clone hook; only a rolled duplicate fault invokes it")
             clone: |m| m.clone(),
         }));
     }
@@ -275,6 +279,7 @@ impl<M> Engine<M> {
     /// at least one fault (the diagnosable artifact for reports).
     pub fn fault_breakdown(&self) -> Vec<(ChannelId, FaultCounters)> {
         match self.faults.as_deref() {
+            // xlint: allow(HOT001, reason = "post-run report assembly, off the per-event path")
             None => Vec::new(),
             Some(f) => f
                 .counters
@@ -387,6 +392,7 @@ impl<M> Engine<M> {
         world: &mut W,
         cursor: &mut ScheduleCursor,
     ) -> bool {
+        // xlint: allow(HOT001, reason = "interleaving-explorer stepping, not the production run loop")
         let mut group: Vec<(Address, M)> = Vec::new();
         self.queue.drain_head_group(&mut group);
         if group.is_empty() {
@@ -437,6 +443,7 @@ impl<M> Engine<M> {
         let start_events = self.events_processed;
         let start_messages = self.messages_sent;
         let mut last_event_time = self.now;
+        // xlint: allow(HOT001, reason = "one reusable batch buffer per run_until call; drained in place, never reallocated per event")
         let mut batch: Vec<(Address, M)> = Vec::new();
         while let Some(event) = self.queue.pop_at_most(horizon) {
             last_event_time = event.at;

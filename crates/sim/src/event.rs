@@ -119,7 +119,9 @@ pub(crate) struct EventQueue<M> {
 
 impl<M> Default for EventQueue<M> {
     fn default() -> Self {
+        // xlint: allow(HOT001, reason = "calendar-ring construction, once per queue lifetime")
         let mut ring = Vec::with_capacity(RING_LEN);
+        // xlint: allow(HOT001, reason = "calendar-ring construction, once per queue lifetime")
         ring.resize_with(RING_LEN, Vec::new);
         EventQueue {
             ring: ring.into_boxed_slice(),
@@ -128,7 +130,9 @@ impl<M> Default for EventQueue<M> {
             cursor: 0,
             cursor_sorted: true,
             overflow: BinaryHeap::new(),
+            // xlint: allow(HOT001, reason = "queue construction, once per queue lifetime")
             slab: Vec::new(),
+            // xlint: allow(HOT001, reason = "queue construction, once per queue lifetime")
             free: Vec::new(),
             head_cache: None,
             now: VecDeque::new(),

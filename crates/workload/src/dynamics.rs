@@ -8,7 +8,7 @@ use bneck_net::{Delay, Network, NodeId};
 use bneck_sim::SimTime;
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Plans successive phases of session dynamics over one network, keeping track
 /// of which sessions are alive so that leaves and changes always target active
@@ -16,7 +16,7 @@ use std::collections::HashMap;
 #[derive(Debug)]
 pub struct DynamicsPlanner<'a> {
     planner: SessionPlanner<'a>,
-    active: HashMap<SessionId, NodeId>,
+    active: BTreeMap<SessionId, NodeId>,
 }
 
 impl<'a> DynamicsPlanner<'a> {
@@ -28,7 +28,7 @@ impl<'a> DynamicsPlanner<'a> {
     pub fn new(network: &'a Network, seed: u64) -> Self {
         DynamicsPlanner {
             planner: SessionPlanner::new(network, seed),
-            active: HashMap::new(),
+            active: BTreeMap::new(),
         }
     }
 
@@ -37,7 +37,7 @@ impl<'a> DynamicsPlanner<'a> {
         self.active.len()
     }
 
-    /// The identifiers of the currently active sessions, in unspecified order.
+    /// The identifiers of the currently active sessions, in ascending order.
     pub fn active_sessions(&self) -> impl Iterator<Item = SessionId> + '_ {
         self.active.keys().copied()
     }
@@ -66,9 +66,10 @@ impl<'a> DynamicsPlanner<'a> {
         let mut schedule = Schedule::new();
 
         // Leaves and changes draw from the currently active sessions, without
-        // overlap (a session either leaves or changes in one phase).
+        // overlap (a session either leaves or changes in one phase). The
+        // BTreeMap yields the pool in key order, so the shuffle outcome is a
+        // pure function of the seed.
         let mut pool: Vec<SessionId> = self.active.keys().copied().collect();
-        pool.sort_unstable();
         pool.shuffle(self.planner.rng());
         let leaving: Vec<SessionId> = pool.iter().copied().take(leaves).collect();
         let changing: Vec<SessionId> = pool

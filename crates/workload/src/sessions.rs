@@ -7,7 +7,7 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 #[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Policy for choosing the maximum requested rate of planned sessions.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,7 +80,7 @@ pub struct SessionPlanner<'a> {
     router: Router<'a>,
     hosts: Vec<NodeId>,
     rng: SmallRng,
-    used_sources: HashSet<NodeId>,
+    used_sources: BTreeSet<NodeId>,
     next_id: u64,
     /// Worker threads used to pre-build per-router routing trees before the
     /// (serial) random planning loop; never affects planner output, only
@@ -108,7 +108,7 @@ impl<'a> SessionPlanner<'a> {
             router: Router::new(network),
             hosts,
             rng: SmallRng::seed_from_u64(seed),
-            used_sources: HashSet::new(),
+            used_sources: BTreeSet::new(),
             next_id: 0,
             threads: threads_from_env(),
         }
@@ -195,7 +195,9 @@ impl<'a> SessionPlanner<'a> {
 
 /// Worker-thread count from `BNECK_THREADS`; unset, empty or unparsable
 /// values fall back to the available parallelism.
+#[allow(clippy::disallowed_methods)] // mirrored by the xlint DET002 allow below
 fn threads_from_env() -> usize {
+    // xlint: allow(DET002, reason = "thread count selects scheduling only; results are bit-identical at any value (determinism suite)")
     match std::env::var("BNECK_THREADS") {
         Ok(v) => match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => n,
@@ -222,7 +224,7 @@ mod tests {
         let mut planner = SessionPlanner::new(&net, 7);
         let requests = planner.plan(25, LimitPolicy::Unlimited);
         assert_eq!(requests.len(), 25);
-        let mut sources = HashSet::new();
+        let mut sources = BTreeSet::new();
         for r in &requests {
             assert!(sources.insert(r.source), "duplicate source host");
             assert_ne!(r.source, r.destination);

@@ -21,6 +21,7 @@ pub use std::hint::black_box;
 
 /// Wall-clock measurement budget per benchmark, overridable with the
 /// `BNECK_BENCH_BUDGET_MS` environment variable.
+#[allow(clippy::disallowed_methods)] // the bench harness is the one place wall-clock budgets belong
 fn measurement_budget() -> Duration {
     let ms = std::env::var("BNECK_BENCH_BUDGET_MS")
         .ok()
@@ -141,6 +142,7 @@ pub struct Bencher {
 impl Bencher {
     /// Runs `f` repeatedly within the measurement budget and records the
     /// elapsed time per iteration.
+    #[allow(clippy::disallowed_methods)] // the bench harness is the one place wall-clock timing belongs
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         black_box(f()); // warm-up, untimed
         let budget = measurement_budget();
