@@ -8,14 +8,15 @@
 //!
 //! ```text
 //! bneck run (--preset NAME | SPEC.json) [overrides] [--json] [--out PATH]
-//! bneck sweep [--preset paper_scale] [--sessions N[,N...]]
+//! bneck sweep [--preset paper_scale] [--sessions N[,N...]] [--shards N[,N...]]
 //! bneck validate [SPEC.json ...]
 //! bneck bench-presets [--json]
 //! ```
 //!
 //! `run` executes a spec and prints the text tables, CSV and (on request)
 //! the machine-readable JSON report; reports are bit-identical at any
-//! `BNECK_THREADS`. `sweep` is `run` specialised to the paper-scale session
+//! `BNECK_THREADS`/`--threads` worker count and at any `--shards` engine
+//! shard count. `sweep` is `run` specialised to the paper-scale session
 //! sweep. `validate` checks spec files against the registries without
 //! running anything (CI's `spec-check`). `bench-presets` lists the shipped
 //! presets.
@@ -39,6 +40,12 @@ USAGE:
 RUN OPTIONS:
     --preset NAME         run a shipped preset (see `bneck bench-presets`)
     --sessions N[,N...]   override the session sweep (joins/scale specs)
+    --shards N[,N...]     run each scale point at these engine shard counts
+                          (scale specs; default 1 = the serial engine —
+                          reports are bit-identical at any shard count)
+    --threads N           worker threads for fanning sweep points
+                          (overrides BNECK_THREADS; default: BNECK_THREADS,
+                          then all cores)
     --repeats N           override the repeat count (churn specs)
     --baselines A[,B...]  override the baselines (accuracy specs)
     --no-validate         skip the oracle cross-check (scale specs)
@@ -57,8 +64,9 @@ RUN OPTIONS:
     --no-tables           suppress the text tables
     --no-csv              suppress the CSV renderings
 
-The worker-thread count comes from BNECK_THREADS (default: all cores);
-reports are bit-identical at any thread count.
+The worker-thread count precedence is --threads, then BNECK_THREADS, then
+all cores; reports are bit-identical at any thread count and at any engine
+shard count.
 ";
 
 /// Runs the CLI on the given arguments (without the program name), returning
@@ -94,6 +102,9 @@ struct RunOptions {
     csv: bool,
     /// `--scale-curve`: path to write the performance-curve JSON to.
     scale_curve: Option<String>,
+    /// `--threads`: worker-thread override (takes precedence over the
+    /// `BNECK_THREADS` environment variable).
+    threads: Option<usize>,
 }
 
 fn value_of(args: &[String], name: &str) -> Option<String> {
@@ -127,6 +138,8 @@ fn load_spec(args: &[String], default_preset: Option<&str>) -> Result<Experiment
         if matches!(
             arg.as_str(),
             "--sessions"
+                | "--shards"
+                | "--threads"
                 | "--repeats"
                 | "--baselines"
                 | "--out"
@@ -176,6 +189,21 @@ fn apply_overrides(spec: &mut ExperimentSpec, args: &[String]) -> Result<(), Str
             other => {
                 return Err(format!(
                     "--sessions applies to joins/scale specs, not `{}`",
+                    other.label()
+                ))
+            }
+        }
+    }
+    if let Some(list) = value_of(args, "--shards") {
+        let shards: Vec<usize> = parse_list(&list, "--shards")?;
+        if shards.is_empty() || shards.contains(&0) {
+            return Err("--shards takes positive shard counts".to_string());
+        }
+        match &mut spec.experiment {
+            ExperimentKind::Scale(scale) => scale.shards = shards,
+            other => {
+                return Err(format!(
+                    "--shards applies to scale specs, not `{}`",
                     other.label()
                 ))
             }
@@ -306,12 +334,23 @@ fn parse_run_options(args: &[String], default_preset: Option<&str>) -> Result<Ru
     } else {
         None
     };
+    let threads = match value_of(args, "--threads") {
+        Some(value) => Some(
+            value
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| "--threads takes a positive integer".to_string())?,
+        ),
+        None => None,
+    };
     Ok(RunOptions {
         json: json_flag,
         out,
         tables: spec.output.tables,
         csv: spec.output.csv,
         scale_curve,
+        threads,
         spec,
     })
 }
@@ -319,7 +358,11 @@ fn parse_run_options(args: &[String], default_preset: Option<&str>) -> Result<Ru
 fn execute(options: RunOptions) -> i32 {
     let topologies = TopologyRegistry::builtin();
     let protocols = default_protocols();
-    let runner = SweepRunner::from_env();
+    // Precedence: --threads beats BNECK_THREADS beats the machine default.
+    let runner = match options.threads {
+        Some(n) => SweepRunner::new(n),
+        None => SweepRunner::from_env(),
+    };
     eprintln!(
         "[bneck] running spec `{}` ({}) on {} worker thread(s)",
         options.spec.name,

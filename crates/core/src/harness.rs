@@ -50,7 +50,7 @@ use std::sync::Arc;
 
 /// The session API primitives, delivered to a session's source task.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum ApiCall {
+pub(crate) enum ApiCall {
     Join { limit: RateLimit },
     Leave,
     Change { limit: RateLimit },
@@ -62,7 +62,7 @@ enum ApiCall {
 /// packet's session path and that session's slot, so forwarding the packet a
 /// further hop needs neither an id → slot lookup nor a path position scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Target {
+pub(crate) enum Target {
     Source(u32),
     Link {
         link: LinkId,
@@ -77,12 +77,12 @@ enum Target {
 /// A simulated message: an API call or a protocol packet, with its target.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Envelope {
-    target: Target,
-    payload: Payload,
+    pub(crate) target: Target,
+    pub(crate) payload: Payload,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum Payload {
+pub(crate) enum Payload {
     Api(ApiCall),
     Protocol(Packet),
     /// A protocol packet framed by the recovery layer: sequenced per
@@ -189,6 +189,10 @@ pub struct SessionHandle {
 }
 
 impl SessionHandle {
+    pub(crate) fn new(session: SessionId, slot: u32) -> Self {
+        SessionHandle { session, slot }
+    }
+
     /// The session's identifier.
     pub fn id(&self) -> SessionId {
         self.session
@@ -237,7 +241,7 @@ impl From<RunReport> for QuiescenceReport {
 /// The simulation world: all protocol tasks plus the shared routing and
 /// session-slot state of [`crate::world`], in dense per-link /
 /// per-session-slot vectors.
-struct BneckWorld {
+pub(crate) struct BneckWorld {
     config: BneckConfig,
     /// Channels, capacities and the reverse-link table, indexed by `LinkId`.
     links: LinkTable,
@@ -271,6 +275,104 @@ struct BneckWorld {
 }
 
 impl BneckWorld {
+    /// Builds a world over `network`, registering every directed link as a
+    /// channel on `engine`. Channels are registered in link order, so channel
+    /// identifiers equal link identifiers on every engine the same network is
+    /// registered with — the property the sharded engine relies on for
+    /// cross-shard event keys.
+    pub(crate) fn new(
+        network: &Network,
+        engine: &mut Engine<Envelope>,
+        config: BneckConfig,
+    ) -> Self {
+        let links = LinkTable::new(network, engine, config.packet_bits);
+        let mut router_links = Vec::new();
+        router_links.resize_with(network.link_count(), || None);
+        BneckWorld {
+            config,
+            links,
+            router_links,
+            sources: Vec::new(),
+            destinations: Vec::new(),
+            notified: Vec::new(),
+            arena: SessionArena::new(),
+            causes: Vec::new(),
+            scratch: ActionBuffer::new(),
+            stats: PacketStats::new(),
+            subscribers: SubscriberSet::new(),
+            recovery: config.recovery.map(|rc| Box::new(RecoveryState::new(rc))),
+        }
+    }
+
+    /// Activates `session` in the arena and installs its source and
+    /// destination tasks, returning the assigned slot. The caller performs
+    /// the duplicate-session and source-host-uniqueness checks; slot
+    /// assignment itself is deterministic, so replicated worlds that apply
+    /// the same registrations in the same order assign the same slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session is already active.
+    pub(crate) fn register_session(
+        &mut self,
+        session: SessionId,
+        path: Path,
+        limit: RateLimit,
+    ) -> u32 {
+        let first_link = path.first_link();
+        let first_capacity = self.links.capacity(first_link);
+        let source_task =
+            SourceNode::new(session, first_link, first_capacity, self.config.tolerance);
+        let joined = self
+            .arena
+            .join(session, path, limit)
+            .expect("the session must not be active");
+        let slot = joined.slot;
+        if joined.reused {
+            let i = slot as usize;
+            self.sources[i] = source_task;
+            self.destinations[i] = DestinationNode::new(session);
+            self.notified[i] = f64::NAN;
+            self.causes[i] = RateCause::Joined;
+        } else {
+            self.sources.push(source_task);
+            self.destinations.push(DestinationNode::new(session));
+            self.notified.push(f64::NAN);
+            self.causes.push(RateCause::Joined);
+        }
+        slot
+    }
+
+    /// Deactivates `session`, clearing its notified rate. Returns the slot it
+    /// occupied, or `None` if the session was not active.
+    pub(crate) fn deregister_session(&mut self, session: SessionId) -> Option<u32> {
+        let slot = self.arena.leave(session)?;
+        self.notified[slot as usize] = f64::NAN;
+        Some(slot)
+    }
+
+    /// Updates `session`'s requested rate limit in the arena. Returns its
+    /// slot, or `None` if the session is not active.
+    pub(crate) fn change_session(&mut self, session: SessionId, limit: RateLimit) -> Option<u32> {
+        self.arena.change(session, limit)
+    }
+
+    /// The shared session-slot arena.
+    pub(crate) fn arena(&self) -> &SessionArena {
+        &self.arena
+    }
+
+    /// Cumulative packet counts recorded by this world.
+    pub(crate) fn stats(&self) -> &PacketStats {
+        &self.stats
+    }
+
+    /// The last rate notified to the source task in `slot` (`NaN` when the
+    /// slot has never been notified since its last join).
+    pub(crate) fn notified_rate(&self, slot: u32) -> Rate {
+        self.notified[slot as usize]
+    }
+
     fn dispatch(&mut self, ctx: &mut Context<'_, Envelope>, envelope: Envelope) {
         let mut actions = std::mem::take(&mut self.scratch);
         actions.clear();
@@ -836,25 +938,10 @@ impl<'a> BneckSimulation<'a> {
     /// with the link's bandwidth and propagation delay.
     pub fn new(network: &'a Network, config: BneckConfig) -> Self {
         let mut engine = Engine::new();
-        let links = LinkTable::new(network, &mut engine, config.packet_bits);
-        let mut router_links = Vec::new();
-        router_links.resize_with(network.link_count(), || None);
+        let world = BneckWorld::new(network, &mut engine, config);
         let mut sim = BneckSimulation {
             engine,
-            world: BneckWorld {
-                config,
-                links,
-                router_links,
-                sources: Vec::new(),
-                destinations: Vec::new(),
-                notified: Vec::new(),
-                arena: SessionArena::new(),
-                causes: Vec::new(),
-                scratch: ActionBuffer::new(),
-                stats: PacketStats::new(),
-                subscribers: SubscriberSet::new(),
-                recovery: config.recovery.map(|rc| Box::new(RecoveryState::new(rc))),
-            },
+            world,
             network,
             router: Router::new(network),
             source_hosts: BTreeMap::new(),
@@ -968,32 +1055,7 @@ impl<'a> BneckSimulation<'a> {
             });
         }
         self.source_hosts.insert(path.source(), session);
-        let first_link = path.first_link();
-        let first_capacity = self.world.links.capacity(first_link);
-        let source_task = SourceNode::new(
-            session,
-            first_link,
-            first_capacity,
-            self.world.config.tolerance,
-        );
-        let joined = self
-            .world
-            .arena
-            .join(session, path, limit)
-            .expect("activity was checked above");
-        let slot = joined.slot;
-        if joined.reused {
-            let i = slot as usize;
-            self.world.sources[i] = source_task;
-            self.world.destinations[i] = DestinationNode::new(session);
-            self.world.notified[i] = f64::NAN;
-            self.world.causes[i] = RateCause::Joined;
-        } else {
-            self.world.sources.push(source_task);
-            self.world.destinations.push(DestinationNode::new(session));
-            self.world.notified.push(f64::NAN);
-            self.world.causes.push(RateCause::Joined);
-        }
+        let slot = self.world.register_session(session, path, limit);
         self.engine.inject(
             at,
             Address(0),
@@ -1012,11 +1074,10 @@ impl<'a> BneckSimulation<'a> {
     ///
     /// Returns [`UnknownSession`] if the session is not active.
     pub fn leave(&mut self, at: SimTime, session: SessionId) -> Result<(), UnknownSession> {
-        let Some(slot) = self.world.arena.leave(session) else {
+        let Some(slot) = self.world.deregister_session(session) else {
             return Err(UnknownSession(session));
         };
         self.source_hosts.retain(|_, s| *s != session);
-        self.world.notified[slot as usize] = f64::NAN;
         self.engine.inject(
             at,
             Address(0),
@@ -1040,7 +1101,7 @@ impl<'a> BneckSimulation<'a> {
         session: SessionId,
         limit: RateLimit,
     ) -> Result<(), UnknownSession> {
-        let Some(slot) = self.world.arena.change(session, limit) else {
+        let Some(slot) = self.world.change_session(session, limit) else {
             return Err(UnknownSession(session));
         };
         self.engine.inject(

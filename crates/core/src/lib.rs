@@ -67,8 +67,10 @@ pub mod destination;
 pub mod events;
 pub mod harness;
 pub mod packet;
+pub mod partition;
 pub mod recovery;
 pub mod router_link;
+pub mod sharded;
 pub mod source;
 pub mod stats;
 pub mod task;
@@ -78,7 +80,9 @@ pub use config::BneckConfig;
 pub use events::{RateCause, RateEvent, RateEvents, Subscriber, SubscriberSet};
 pub use harness::{BneckSimulation, JoinError, QuiescenceReport, SessionHandle, UnknownSession};
 pub use packet::{Packet, PacketKind, ResponseKind};
+pub use partition::WorldPartition;
 pub use recovery::{RecoveryConfig, RecoveryStats};
+pub use sharded::ShardedBneckSimulation;
 pub use stats::PacketStats;
 pub use task::{Action, ActionBuffer, RateNotification};
 pub use world::{LinkTable, SessionArena, SlotJoin};
@@ -91,7 +95,9 @@ pub mod prelude {
         BneckSimulation, JoinError, QuiescenceReport, SessionHandle, UnknownSession,
     };
     pub use crate::packet::{Packet, PacketKind, ResponseKind};
+    pub use crate::partition::WorldPartition;
     pub use crate::recovery::{RecoveryConfig, RecoveryStats};
+    pub use crate::sharded::ShardedBneckSimulation;
     pub use crate::stats::PacketStats;
     pub use crate::task::{Action, ActionBuffer, RateNotification};
     pub use crate::world::{LinkTable, SessionArena, SlotJoin};

@@ -74,6 +74,7 @@ impl Default for Config {
             hot_path_files: s(&[
                 "crates/sim/src/engine.rs",
                 "crates/sim/src/event.rs",
+                "crates/sim/src/par.rs",
                 "crates/core/src/router_link.rs",
                 "crates/maxmin/src/idmap.rs",
             ]),

@@ -83,8 +83,32 @@ pub trait World {
     }
 }
 
+/// Cross-shard delivery hook used by the parallel engine (see [`crate::par`]).
+///
+/// When installed on a [`Context`], every channel send is offered to the
+/// router first: a send whose destination lives on another shard is diverted
+/// to that shard's mailbox (stamped with its arrival time and canonical
+/// sequence word) instead of the local queue.
+pub(crate) trait MessageRouter<M> {
+    /// Returns the message back when its destination is local to this shard;
+    /// consumes it (queueing it for its owning shard) and returns `None`
+    /// otherwise.
+    fn try_route(&mut self, at: SimTime, key: u64, to: Address, msg: M) -> Option<M>;
+}
+
+/// Reborrows an optional router for one event delivery. The explicit return
+/// type is a coercion site that shortens the trait object's lifetime bound,
+/// so the per-event borrow does not entangle the caller's longer one.
+fn reborrow_route<'s, M>(
+    route: &'s mut Option<&mut dyn MessageRouter<M>>,
+) -> Option<&'s mut dyn MessageRouter<M>> {
+    match route {
+        Some(r) => Some(&mut **r),
+        None => None,
+    }
+}
+
 /// Scheduling facilities available to a [`World`] while it handles an event.
-#[derive(Debug)]
 pub struct Context<'a, M> {
     now: SimTime,
     queue: &'a mut EventQueue<M>,
@@ -93,6 +117,9 @@ pub struct Context<'a, M> {
     /// Active fault injection, if any. `None` in paper mode: the pristine
     /// send path pays one never-taken null check and nothing else.
     faults: Option<&'a mut FaultState<M>>,
+    /// Cross-shard routing, if any. `None` on the serial engine: like
+    /// `faults`, the single-engine send path pays one null check.
+    route: Option<&'a mut dyn MessageRouter<M>>,
 }
 
 impl<'a, M> Context<'a, M> {
@@ -111,9 +138,24 @@ impl<'a, M> Context<'a, M> {
         if self.faults.is_some() {
             return self.send_faulty(channel, to, msg);
         }
-        let arrival = self.channels[channel.index()].accept(self.now);
+        let ch = &mut self.channels[channel.index()];
+        let arrival = ch.accept(self.now);
+        let key = crate::event::channel_seq(channel.0, ch.sent);
         *self.messages_sent += 1;
-        self.queue.push(arrival, to, msg);
+        self.push_routed(arrival, key, to, msg);
+    }
+
+    /// Hands a channel delivery to the local queue, or to the cross-shard
+    /// router when one is installed and the destination lives elsewhere.
+    fn push_routed(&mut self, at: SimTime, key: u64, to: Address, msg: M) {
+        let msg = match self.route.as_mut() {
+            Some(r) => match r.try_route(at, key, to, msg) {
+                Some(m) => m,
+                None => return,
+            },
+            None => msg,
+        };
+        self.queue.push_channel(at, key, to, msg);
     }
 
     /// The faulty arm of [`Context::send`]: rolls the message against the
@@ -128,8 +170,11 @@ impl<'a, M> Context<'a, M> {
         let arrival = ch.accept(self.now);
         *self.messages_sent += 1;
         // The channel's send counter is the per-packet nonce: deterministic,
-        // thread-independent, unique per (channel, transmission).
+        // thread-independent, unique per (channel, transmission). It is also
+        // the event's canonical sequence word, so fault decisions and
+        // delivery order survive sharding unchanged.
         let send = ch.sent;
+        let key = crate::event::channel_seq(channel.0, send);
         let flight_ns = ch.flight().as_nanos().max(1);
         let dropped = plan.drop > 0.0
             && fault::roll(plan.seed, channel.0, send, fault::SALT_DROP) < plan.drop;
@@ -152,30 +197,34 @@ impl<'a, M> Context<'a, M> {
         if !dropped && jitter_ns > 0 {
             counters.delayed += 1;
         }
-        if duplicated {
+        let copy = duplicated.then(|| (faults.clone)(&msg));
+        if let Some(copy) = copy {
             // The copy is serialized right behind the original, so it always
-            // arrives strictly later (a retransmitting NIC, not magic).
-            let copy = (faults.clone)(&msg);
-            let dup_arrival = self.channels[channel.index()].accept(self.now);
+            // arrives strictly later (a retransmitting NIC, not magic); the
+            // second `accept` gives it its own transmission number and key.
+            let ch = &mut self.channels[channel.index()];
+            let dup_arrival = ch.accept(self.now);
+            let dup_key = crate::event::channel_seq(channel.0, ch.sent);
             *self.messages_sent += 1;
-            self.queue.push(dup_arrival, to, copy);
+            self.push_routed(dup_arrival, dup_key, to, copy);
         }
         if !dropped {
             let at = SimTime::from_nanos(arrival.as_nanos() + jitter_ns);
-            self.queue.push(at, to, msg);
+            self.push_routed(at, key, to, msg);
         }
     }
 
     /// Schedules `msg` for delivery to `to` after `delay`, without involving
     /// any channel (used for timers and locally generated events).
     pub fn schedule_after(&mut self, delay: Delay, to: Address, msg: M) {
-        self.queue.push(self.now + delay, to, msg);
+        self.queue.push_timer(self.now + delay, to, msg);
     }
 
     /// Delivers `msg` to `to` at the current time, after all events already
     /// scheduled for this instant.
     pub fn deliver_now(&mut self, to: Address, msg: M) {
-        self.queue.push(self.now, to, msg);
+        debug_assert_eq!(self.now, self.queue.now_time());
+        self.queue.push_now(to, msg);
     }
 }
 
@@ -341,7 +390,42 @@ impl<M> Engine<M> {
     /// Panics if `at` is in the simulated past.
     pub fn inject(&mut self, at: SimTime, to: Address, msg: M) {
         assert!(at >= self.now, "cannot inject an event in the past");
-        self.queue.push(at, to, msg);
+        self.queue.push_injected(at, to, msg);
+    }
+
+    /// Injects an event under a caller-assigned [`crate::event::CLASS_INJECT`]
+    /// sequence word. The sharded engine numbers injections with one global
+    /// counter so the canonical order is independent of the shard count.
+    pub(crate) fn inject_keyed(&mut self, at: SimTime, seq: u64, to: Address, msg: M) {
+        assert!(at >= self.now, "cannot inject an event in the past");
+        self.queue.push_injected_keyed(at, seq, to, msg);
+    }
+
+    /// Timestamp of the next pending event, if any (the shard-local lower
+    /// bound of the parallel engine's horizon computation).
+    pub(crate) fn next_event_time(&mut self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Enqueues a channel delivery that was accepted on another shard; its
+    /// arrival time and canonical sequence word were computed by the sender.
+    pub(crate) fn enqueue_remote(&mut self, at: SimTime, key: u64, to: Address, msg: M) {
+        self.queue.push_channel(at, key, to, msg);
+    }
+
+    /// Re-synchronizes the clock after a sharded run: while a shard waits for
+    /// global termination its clock creeps ahead of the last real event, so
+    /// the parallel driver rewinds (or advances) every shard to one fleet-wide
+    /// end time — matching the serial contract that `now` is the last event
+    /// time after a quiescent run, or the horizon after a bounded one.
+    ///
+    /// Only sound when no pending event precedes `at`.
+    pub(crate) fn set_clock(&mut self, at: SimTime) {
+        debug_assert!(
+            self.queue.peek_time().map_or(true, |head| head >= at),
+            "cannot move the clock past a pending event"
+        );
+        self.now = at;
     }
 
     /// Runs until the event queue is empty, returning a report whose
@@ -356,7 +440,7 @@ impl<M> Engine<M> {
     pub fn step<W: World<Message = M>>(&mut self, world: &mut W) -> bool {
         match self.queue.pop_at_most(SimTime::MAX) {
             Some(event) => {
-                self.process(world, event);
+                self.process(world, event, None);
                 true
             }
             None => false,
@@ -366,7 +450,12 @@ impl<M> Engine<M> {
     /// Delivers one popped event: advances the clock and hands the message to
     /// the world with a scheduling context (shared by [`Engine::step`] and
     /// [`Engine::run_until`], so the two can never diverge).
-    fn process<W: World<Message = M>>(&mut self, world: &mut W, event: crate::event::Event<M>) {
+    fn process<W: World<Message = M>>(
+        &mut self,
+        world: &mut W,
+        event: crate::event::Event<M>,
+        mut route: Option<&mut dyn MessageRouter<M>>,
+    ) {
         debug_assert!(event.at >= self.now, "time must not go backwards");
         self.now = event.at;
         self.events_processed += 1;
@@ -376,6 +465,7 @@ impl<M> Engine<M> {
             channels: &mut self.channels,
             messages_sent: &mut self.messages_sent,
             faults: self.faults.as_deref_mut(),
+            route: reborrow_route(&mut route),
         };
         world.handle(&mut ctx, event.to, event.msg);
     }
@@ -406,7 +496,10 @@ impl<M> Engine<M> {
         let at = self.queue.now_time();
         let (to, msg) = group.remove(pick);
         for (to, msg) in group {
-            self.queue.push(at, to, msg);
+            // Re-pushed at the current instant: fresh `CLASS_NOW` words
+            // preserve the group's relative order, and anything a handler
+            // then schedules at the instant sorts behind them.
+            self.queue.push_now(to, msg);
         }
         self.process(
             world,
@@ -416,6 +509,7 @@ impl<M> Engine<M> {
                 to,
                 msg,
             },
+            None,
         );
         true
     }
@@ -437,6 +531,28 @@ impl<M> Engine<M> {
         world: &mut W,
         horizon: SimTime,
     ) -> RunReport {
+        self.run_until_inner(world, horizon, None)
+    }
+
+    /// [`Engine::run_until`] with a cross-shard router installed: every
+    /// channel send is offered to `route` first. The parallel engine drives
+    /// each shard through this entry point so the batched-delivery/warm hot
+    /// path is shared with the serial engine, not duplicated.
+    pub(crate) fn run_until_routed<W: World<Message = M>>(
+        &mut self,
+        world: &mut W,
+        horizon: SimTime,
+        route: &mut dyn MessageRouter<M>,
+    ) -> RunReport {
+        self.run_until_inner(world, horizon, Some(route))
+    }
+
+    fn run_until_inner<W: World<Message = M>>(
+        &mut self,
+        world: &mut W,
+        horizon: SimTime,
+        mut route: Option<&mut dyn MessageRouter<M>>,
+    ) -> RunReport {
         /// Upper bound on one batch, so the reusable buffer stays small and a
         /// mega-burst cannot starve the clock of progress bookkeeping.
         const MAX_BATCH: usize = 128;
@@ -451,7 +567,7 @@ impl<M> Engine<M> {
                 if let Some(next) = self.queue.peek_msg() {
                     world.warm(next);
                 }
-                self.process(world, event);
+                self.process(world, event, reborrow_route(&mut route));
                 continue;
             };
             let at = event.at;
@@ -479,6 +595,7 @@ impl<M> Engine<M> {
                 channels: &mut self.channels,
                 messages_sent: &mut self.messages_sent,
                 faults: self.faults.as_deref_mut(),
+                route: reborrow_route(&mut route),
             };
             world.handle_batch(&mut ctx, &mut batch);
             debug_assert!(batch.is_empty(), "handle_batch must drain the batch");

@@ -10,12 +10,40 @@ use std::collections::{BinaryHeap, VecDeque};
 #[derive(Debug, Clone)]
 pub(crate) struct Event<M> {
     pub(crate) at: SimTime,
-    /// Tie-break so that events scheduled earlier (in wall-clock order of
-    /// scheduling) are processed first among equal timestamps, giving the
-    /// simulator deterministic FIFO semantics.
+    /// Canonical tie-break among equal timestamps: a partition-independent
+    /// sequence word whose top two bits carry the event class (see the
+    /// `CLASS_*` constants). Channel deliveries are keyed by
+    /// `(channel, transmission)` — a property of the send itself, not of
+    /// which queue it was pushed through — so the same workload produces the
+    /// same global order whether one engine or many shards run it.
     pub(crate) seq: u64,
     pub(crate) to: Address,
     pub(crate) msg: M,
+}
+
+/// Mask of the class bits in a sequence word.
+pub(crate) const CLASS_MASK: u64 = 0b11 << 62;
+/// Externally injected events (workload API calls), numbered by one
+/// injection counter in submission order.
+pub(crate) const CLASS_INJECT: u64 = 0b00 << 62;
+/// Timer events scheduled at a future instant.
+pub(crate) const CLASS_TIMER: u64 = 0b01 << 62;
+/// Channel deliveries, keyed by `(channel, transmission number)`.
+pub(crate) const CLASS_CHANNEL: u64 = 0b10 << 62;
+/// Events scheduled *at the current instant* (`deliver_now` and zero-delay
+/// timers). This is the top class so that such events sort after everything
+/// already scheduled for the instant, which is the documented `deliver_now`
+/// contract.
+pub(crate) const CLASS_NOW: u64 = 0b11 << 62;
+
+/// The canonical sequence word of a channel delivery: the channel identifier
+/// in bits 32..62 and the 1-based transmission number in the low 32 bits.
+/// Both are properties of the simulated network, so the key is identical at
+/// any shard count.
+pub(crate) fn channel_seq(channel: u32, sent: u64) -> u64 {
+    debug_assert!(u64::from(channel) < (1 << 30), "channel id fits the key");
+    debug_assert!(sent <= u64::from(u32::MAX), "per-channel sends fit 32 bits");
+    CLASS_CHANNEL | (u64::from(channel) << 32) | (sent & u64::from(u32::MAX))
 }
 
 impl<M> Event<M> {
@@ -113,7 +141,12 @@ pub(crate) struct EventQueue<M> {
     /// calendar (`SimTime::ZERO` before the first pop, matching the engine's
     /// clock).
     now_time: SimTime,
-    next_seq: u64,
+    /// Counter behind [`CLASS_INJECT`] sequence words.
+    inject_seq: u64,
+    /// Counter behind [`CLASS_TIMER`] sequence words.
+    timer_seq: u64,
+    /// Counter behind [`CLASS_NOW`] sequence words.
+    now_seq: u64,
     len: usize,
 }
 
@@ -137,26 +170,78 @@ impl<M> Default for EventQueue<M> {
             head_cache: None,
             now: VecDeque::new(),
             now_time: SimTime::ZERO,
-            next_seq: 0,
+            inject_seq: 0,
+            timer_seq: 0,
+            now_seq: 0,
             len: 0,
         }
     }
 }
 
 impl<M> EventQueue<M> {
-    pub(crate) fn push(&mut self, at: SimTime, to: Address, msg: M) {
+    /// Schedules an externally injected event (workload API calls); the
+    /// per-queue injection counter numbers them in submission order.
+    pub(crate) fn push_injected(&mut self, at: SimTime, to: Address, msg: M) {
+        let seq = CLASS_INJECT | self.inject_seq;
+        self.inject_seq += 1;
+        self.push_with(at, seq, to, msg);
+    }
+
+    /// Schedules an injected event carrying a caller-assigned sequence word
+    /// (the sharded engine numbers injections with one *global* counter so
+    /// every shard count sees the same canonical order).
+    pub(crate) fn push_injected_keyed(&mut self, at: SimTime, seq: u64, to: Address, msg: M) {
+        debug_assert_eq!(seq & CLASS_MASK, CLASS_INJECT);
+        self.push_with(at, seq, to, msg);
+    }
+
+    /// Schedules a timer. A zero-delay timer lands at the current instant and
+    /// takes a [`CLASS_NOW`] word (it must sort after everything already
+    /// scheduled for the instant, like any other same-instant push).
+    pub(crate) fn push_timer(&mut self, at: SimTime, to: Address, msg: M) {
+        let seq = if at == self.now_time {
+            let s = CLASS_NOW | self.now_seq;
+            self.now_seq += 1;
+            s
+        } else {
+            let s = CLASS_TIMER | self.timer_seq;
+            self.timer_seq += 1;
+            s
+        };
+        self.push_with(at, seq, to, msg);
+    }
+
+    /// Schedules a delivery at the current instant, after all events already
+    /// scheduled for it.
+    pub(crate) fn push_now(&mut self, to: Address, msg: M) {
+        let seq = CLASS_NOW | self.now_seq;
+        self.now_seq += 1;
+        self.push_with(self.now_time, seq, to, msg);
+    }
+
+    /// Schedules a channel delivery under its canonical
+    /// `(channel, transmission)` sequence word — computed by the sender,
+    /// possibly on another shard.
+    pub(crate) fn push_channel(&mut self, at: SimTime, seq: u64, to: Address, msg: M) {
+        debug_assert_eq!(seq & CLASS_MASK, CLASS_CHANNEL);
+        debug_assert!(at > self.now_time, "channel flight times are positive");
+        self.push_with(at, seq, to, msg);
+    }
+
+    fn push_with(&mut self, at: SimTime, seq: u64, to: Address, msg: M) {
         // A push can only change the head when it lands *before* it; handler
         // sends — future deliveries behind the imminent next event — leave
         // the memo valid, so steady state recomputes the head once per pop.
         match self.head_cache {
-            Some(Some((k, _))) if key(at, self.next_seq) >= k => {}
+            Some(Some((k, _))) if key(at, seq) >= k => {}
             _ => self.head_cache = None,
         }
-        let seq = self.next_seq;
-        self.next_seq += 1;
         self.len += 1;
         // The engine never schedules into the simulated past, so `at` is
         // either exactly the current instant (fast path) or in the future.
+        // FIFO order is positional, which equals key order: same-instant
+        // pushes carry ascending counter words of one class per run phase
+        // (injections before a run, `CLASS_NOW` words during it).
         if at == self.now_time {
             self.now.push_back(Event { at, seq, to, msg });
             return;
@@ -469,7 +554,9 @@ impl<M> EventQueue<M> {
         })
     }
 
-    #[cfg(test)]
+    /// The timestamp of the globally next event, without popping it. The
+    /// sharded engine uses this as a shard's local lower bound when
+    /// computing its safe horizon.
     pub(crate) fn peek_time(&mut self) -> Option<SimTime> {
         let calendar = self.calendar_peek();
         match (self.now.front(), calendar) {
@@ -496,9 +583,9 @@ mod tests {
     #[test]
     fn pops_in_time_order() {
         let mut q = EventQueue::default();
-        q.push(SimTime::from_micros(5), Address(0), "b");
-        q.push(SimTime::from_micros(1), Address(0), "a");
-        q.push(SimTime::from_micros(9), Address(0), "c");
+        q.push_timer(SimTime::from_micros(5), Address(0), "b");
+        q.push_timer(SimTime::from_micros(1), Address(0), "a");
+        q.push_timer(SimTime::from_micros(9), Address(0), "c");
         assert_eq!(q.len(), 3);
         assert_eq!(q.pop().unwrap().msg, "a");
         assert_eq!(q.pop().unwrap().msg, "b");
@@ -511,7 +598,7 @@ mod tests {
         let mut q = EventQueue::default();
         let t = SimTime::from_micros(3);
         for i in 0..10 {
-            q.push(t, Address(i), i);
+            q.push_timer(t, Address(i), i);
         }
         for i in 0..10 {
             let e = q.pop().unwrap();
@@ -524,8 +611,8 @@ mod tests {
     fn peek_time_reports_earliest() {
         let mut q = EventQueue::default();
         assert_eq!(q.peek_time(), None);
-        q.push(SimTime::from_micros(8), Address(0), ());
-        q.push(SimTime::from_micros(2), Address(0), ());
+        q.push_timer(SimTime::from_micros(8), Address(0), ());
+        q.push_timer(SimTime::from_micros(2), Address(0), ());
         assert_eq!(q.peek_time(), Some(SimTime::from_micros(2)));
     }
 
@@ -533,9 +620,9 @@ mod tests {
     fn far_future_events_cross_the_overflow_boundary() {
         let mut q = EventQueue::default();
         // Beyond the ~4.2 ms ring horizon: lands in the overflow heap.
-        q.push(SimTime::from_millis(50), Address(1), "far");
-        q.push(SimTime::from_millis(200), Address(2), "farther");
-        q.push(SimTime::from_micros(1), Address(0), "near");
+        q.push_timer(SimTime::from_millis(50), Address(1), "far");
+        q.push_timer(SimTime::from_millis(200), Address(2), "farther");
+        q.push_timer(SimTime::from_micros(1), Address(0), "near");
         assert_eq!(q.len(), 3);
         let a = q.pop().unwrap();
         assert_eq!(a.msg, "near");
@@ -553,10 +640,10 @@ mod tests {
         // the overflow event must pop exactly in order.
         let mut q = EventQueue::default();
         // Overflow event at 6 ms (beyond the 4.19 ms horizon from t=0).
-        q.push(SimTime::from_micros(6_000), Address(9), u64::MAX);
+        q.push_timer(SimTime::from_micros(6_000), Address(9), u64::MAX);
         // A chain of ring events marching right past 6 ms.
         for i in 0..1_000u64 {
-            q.push(SimTime::from_micros(i * 10 + 1), Address(0), i);
+            q.push_timer(SimTime::from_micros(i * 10 + 1), Address(0), i);
         }
         let mut last = 0u128;
         let mut seen_overflow_after = None;
@@ -581,7 +668,7 @@ mod tests {
         // ahead, with occasional long timers; the popped sequence must be
         // globally non-decreasing in (at, seq).
         let mut q = EventQueue::default();
-        q.push(SimTime::from_nanos(1), Address(0), 0u64);
+        q.push_timer(SimTime::from_nanos(1), Address(0), 0u64);
         let mut popped = 0u64;
         let mut last_key = 0u128;
         let mut rng: u64 = 0x243F_6A88_85A3_08D3;
@@ -606,7 +693,7 @@ mod tests {
                     3 => 100_000 + r % 1_000_000,    // WAN-ish
                     _ => 5_000_000 + r % 20_000_000, // beyond the ring span
                 };
-                q.push(
+                q.push_timer(
                     SimTime::from_nanos(e.at.as_nanos() + delay_ns),
                     Address(j as u32),
                     popped,
@@ -622,12 +709,12 @@ mod tests {
     fn now_bucket_and_calendar_interleave_deterministically() {
         let mut q = EventQueue::default();
         // Advance the queue's notion of "now" to 5 µs.
-        q.push(SimTime::from_micros(5), Address(0), 0u32);
+        q.push_timer(SimTime::from_micros(5), Address(0), 0u32);
         assert_eq!(q.pop().unwrap().msg, 0);
         // Same-instant events (FIFO bucket) plus later calendar events.
-        q.push(SimTime::from_micros(5), Address(0), 1);
-        q.push(SimTime::from_micros(6), Address(0), 3);
-        q.push(SimTime::from_micros(5), Address(0), 2);
+        q.push_timer(SimTime::from_micros(5), Address(0), 1);
+        q.push_timer(SimTime::from_micros(6), Address(0), 3);
+        q.push_timer(SimTime::from_micros(5), Address(0), 2);
         let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|e| e.msg)).collect();
         assert_eq!(order, vec![1, 2, 3]);
     }
