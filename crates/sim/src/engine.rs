@@ -94,6 +94,15 @@ pub(crate) trait MessageRouter<M> {
     /// consumes it (queueing it for its owning shard) and returns `None`
     /// otherwise.
     fn try_route(&mut self, at: SimTime, key: u64, to: Address, msg: M) -> Option<M>;
+
+    /// `true` when `to` is owned by this shard. Backs the debug assertion
+    /// that channel-less scheduling ([`Context::schedule_after`],
+    /// [`Context::deliver_now`]) stays on the owning shard — such events
+    /// bypass routing entirely, so a cross-shard destination would silently
+    /// deliver to the wrong replica and diverge.
+    fn is_local(&self, _to: Address, _msg: &M) -> bool {
+        true
+    }
 }
 
 /// Reborrows an optional router for one event delivery. The explicit return
@@ -215,15 +224,26 @@ impl<'a, M> Context<'a, M> {
     }
 
     /// Schedules `msg` for delivery to `to` after `delay`, without involving
-    /// any channel (used for timers and locally generated events).
+    /// any channel (used for timers and locally generated events). In a
+    /// sharded run `to` must be owned by the handling shard: timers bypass
+    /// the cross-shard router (they have no channel, hence no lookahead).
     pub fn schedule_after(&mut self, delay: Delay, to: Address, msg: M) {
+        debug_assert!(
+            self.route.as_ref().map_or(true, |r| r.is_local(to, &msg)),
+            "schedule_after must target the handling shard; {to} is remote"
+        );
         self.queue.push_timer(self.now + delay, to, msg);
     }
 
     /// Delivers `msg` to `to` at the current time, after all events already
-    /// scheduled for this instant.
+    /// scheduled for this instant. In a sharded run `to` must be owned by
+    /// the handling shard, like [`Context::schedule_after`].
     pub fn deliver_now(&mut self, to: Address, msg: M) {
         debug_assert_eq!(self.now, self.queue.now_time());
+        debug_assert!(
+            self.route.as_ref().map_or(true, |r| r.is_local(to, &msg)),
+            "deliver_now must target the handling shard; {to} is remote"
+        );
         self.queue.push_now(to, msg);
     }
 }
@@ -341,7 +361,18 @@ impl<M> Engine<M> {
     }
 
     /// Registers a channel and returns its identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if 2^30 channels are already registered: channel identifiers
+    /// must fit the 30-bit field of the canonical sequence word (see
+    /// [`crate::event`]), and aliased identifiers would corrupt the
+    /// deterministic same-instant delivery order.
     pub fn add_channel(&mut self, spec: ChannelSpec) -> ChannelId {
+        assert!(
+            self.channels.len() < (1 << 30),
+            "channel identifiers overflow the 30-bit sequence-key field"
+        );
         let id = ChannelId(self.channels.len() as u32);
         self.channels.push(Channel::new(spec));
         id

@@ -40,10 +40,19 @@ pub(crate) const CLASS_NOW: u64 = 0b11 << 62;
 /// in bits 32..62 and the 1-based transmission number in the low 32 bits.
 /// Both are properties of the simulated network, so the key is identical at
 /// any shard count.
+///
+/// The transmission-number bound is a hard assert even in release builds: a
+/// channel past 2^32 sends would silently alias sequence words (fault rolls
+/// use the full counter but ordering keys would not), corrupting same-instant
+/// order with no diagnostic. The channel-id bound stays a debug assert — it
+/// is enforced once at registration by `Engine::add_channel`.
 pub(crate) fn channel_seq(channel: u32, sent: u64) -> u64 {
     debug_assert!(u64::from(channel) < (1 << 30), "channel id fits the key");
-    debug_assert!(sent <= u64::from(u32::MAX), "per-channel sends fit 32 bits");
-    CLASS_CHANNEL | (u64::from(channel) << 32) | (sent & u64::from(u32::MAX))
+    assert!(
+        sent <= u64::from(u32::MAX),
+        "per-channel transmission numbers overflow the 32-bit sequence-key field"
+    );
+    CLASS_CHANNEL | (u64::from(channel) << 32) | sent
 }
 
 impl<M> Event<M> {

@@ -99,13 +99,21 @@ impl<M, P: Partition<M>> MessageRouter<M> for ShardRouter<'_, M, P> {
         self.outbound[shard].push(Remote { at, key, to, msg });
         None
     }
+
+    fn is_local(&self, to: Address, msg: &M) -> bool {
+        self.partition.shard_of(to, msg) == self.me
+    }
 }
 
 /// Termination-detection ledger, written only under its mutex. A worker
-/// claims idleness together with its message totals; the run is over exactly
-/// when every worker is idle *and* the fleet-wide pushed and drained totals
-/// agree — any in-flight or not-yet-accounted message shows up as a sum
-/// mismatch, so the check can never declare done early.
+/// claims idleness together with its message totals, and *retracts* the
+/// claim (clearing its idle bit) the moment it drains new work; the run is
+/// over exactly when every worker's claim stands and the fleet-wide pushed
+/// and drained totals agree. An idle bit that is set therefore vouches that
+/// its shard has neither drained nor pushed since the matching totals were
+/// written — so any in-flight or not-yet-accounted message shows up as a
+/// sum mismatch (its push is claimed by the sender, its drain by nobody),
+/// and the check can never declare done early.
 struct TermState {
     idle: Vec<bool>,
     pushed: Vec<u64>,
@@ -392,6 +400,10 @@ where
     let mut last_event = engine.now();
     // The last ledger entry written, to skip the mutex while nothing changed.
     let mut claimed: Option<(u64, u64)> = None;
+    // Whether our idle claim currently stands in the ledger. Local mirror of
+    // `term.idle[me]` (we are its only writer), so the busy path skips the
+    // termination mutex when there is nothing to retract.
+    let mut idle_standing = false;
     loop {
         if shared.done.load(Ordering::SeqCst) {
             break;
@@ -407,15 +419,32 @@ where
                 safe = safe.min(c.saturating_add((*l).max(1)));
             }
         }
-        // 2. Drain inbound mailboxes into the local calendar.
+        // 2. Drain inbound mailboxes into the local calendar. (No worker
+        //    ever holds a mailbox guard while taking the termination mutex,
+        //    so the done check below — which locks mailboxes *while* holding
+        //    the termination mutex — cannot deadlock.)
+        let mut drained_now = 0u64;
         for (p, boxes) in shared.mailboxes[me].iter().enumerate() {
             if p == me {
                 continue;
             }
             let mut mailbox = boxes.lock().expect("mailbox lock poisoned");
-            drained_total += mailbox.len() as u64;
+            drained_now += mailbox.len() as u64;
             for r in mailbox.drain(..) {
                 engine.enqueue_remote(r.at, r.key, r.to, r.msg);
+            }
+        }
+        if drained_now > 0 {
+            drained_total += drained_now;
+            if idle_standing {
+                // The shard is active again: retract the standing idle claim
+                // *before* processing the new events. Without this, the stale
+                // ledger entry (missing both this drain and the pushes the new
+                // events are about to fan out) could balance the fleet-wide
+                // sums and declare the run over with a message still in flight.
+                let mut term = shared.term.lock().expect("termination lock poisoned");
+                term.idle[me] = false;
+                idle_standing = false;
             }
         }
         // 3. Run the serial hot path up to the safe horizon (exclusive: we
@@ -423,8 +452,10 @@ where
         //    inclusive, hence `safe - 1`).
         let run_to = SimTime::from_nanos(safe.saturating_sub(1).min(shared.horizon.as_nanos()));
         let head = engine.next_event_time();
+        let mut processed_now = 0u64;
         if head.is_some_and(|h| h <= run_to) {
             let report = engine.run_until_routed(world, run_to, &mut route);
+            processed_now = report.events_processed;
             if report.events_processed > 0 {
                 last_event = last_event.max(report.quiescent_at);
             }
@@ -457,20 +488,37 @@ where
         let idle = engine
             .next_event_time()
             .map_or(true, |t| t > shared.horizon);
-        if idle {
-            if claimed != Some((pushed_total, drained_total)) {
-                claimed = Some((pushed_total, drained_total));
-                let mut term = shared.term.lock().expect("termination lock poisoned");
-                term.idle[me] = true;
-                term.pushed[me] = pushed_total;
-                term.drained[me] = drained_total;
-                if term.idle.iter().all(|&b| b)
-                    && term.pushed.iter().sum::<u64>() == term.drained.iter().sum::<u64>()
-                {
-                    shared.done.store(true, Ordering::SeqCst);
-                    break;
-                }
+        if idle && claimed != Some((pushed_total, drained_total)) {
+            // The totals are monotone, so any drain since the last claim
+            // (which retracted the idle bit above) re-enters here and
+            // re-claims with current numbers — a retracted bit can never
+            // get stuck clear.
+            claimed = Some((pushed_total, drained_total));
+            idle_standing = true;
+            let mut term = shared.term.lock().expect("termination lock poisoned");
+            term.idle[me] = true;
+            term.pushed[me] = pushed_total;
+            term.drained[me] = drained_total;
+            if term.idle.iter().all(|&b| b)
+                && term.pushed.iter().sum::<u64>() == term.drained.iter().sum::<u64>()
+                // Belt and braces behind the accounting argument: an empty
+                // fleet of mailboxes is cheap to confirm here (the sums
+                // balance at most once per claim) and makes "done with a
+                // message in flight" structurally impossible.
+                && shared
+                    .mailboxes
+                    .iter()
+                    .flatten()
+                    .all(|m| m.lock().expect("mailbox lock poisoned").is_empty())
+            {
+                shared.done.store(true, Ordering::SeqCst);
+                break;
             }
+        }
+        // A pass that moved nothing — idle, or blocked on a peer's clock
+        // below our head — would otherwise spin on the atomics at full
+        // speed and starve co-scheduled shards when shards exceed cores.
+        if drained_now == 0 && processed_now == 0 {
             std::thread::yield_now();
         }
     }
@@ -640,6 +688,131 @@ mod tests {
             let (log, report) = sharded_run(6, 60, shards, Some(plan));
             assert_eq!(log, serial_log, "{shards} shards diverged under faults");
             assert_eq!(report.messages_sent, serial_report.messages_sent);
+        }
+    }
+
+    /// A fan-out mesh: address `a` relays a decrementing token to *two*
+    /// successors over dedicated channels, so one drained event pushes more
+    /// cross-shard messages than it consumed. This is the load pattern that
+    /// could trick the termination ledger through a stale idle entry —
+    /// fan-out 1 (the ring) can never make pushes outrun drains between
+    /// claims, so these runs are the regression guard for early termination.
+    struct Fanout {
+        n: u32,
+        /// `channels[2a]` targets `a+1`, `channels[2a+1]` targets `a+2`.
+        channels: Vec<ChannelId>,
+        log: Vec<(u64, u32, u32)>,
+    }
+
+    impl World for Fanout {
+        type Message = u32;
+        fn handle(&mut self, ctx: &mut Context<'_, u32>, to: Address, msg: u32) {
+            self.log.push((ctx.now().as_nanos(), to.0, msg));
+            if msg > 0 {
+                let a = to.0;
+                let near = self.channels[2 * a as usize];
+                let far = self.channels[2 * a as usize + 1];
+                ctx.send(near, Address((a + 1) % self.n), msg - 1);
+                ctx.send(far, Address((a + 2) % self.n), msg - 1);
+            }
+        }
+    }
+
+    fn fanout_spec(i: u32) -> ChannelSpec {
+        ChannelSpec::new(
+            1e9,
+            Delay::from_micros(4 + u64::from(i % 5) * 3),
+            800 + u64::from(i % 3) * 400,
+        )
+    }
+
+    fn fanout_channels(engine: &mut Engine<u32>, n: u32) -> Vec<ChannelId> {
+        (0..2 * n)
+            .map(|i| engine.add_channel(fanout_spec(i)))
+            .collect()
+    }
+
+    struct FanoutPartition {
+        shards: usize,
+        n: u32,
+        flights: Vec<u64>,
+    }
+
+    impl Partition<u32> for FanoutPartition {
+        fn shards(&self) -> usize {
+            self.shards
+        }
+        fn shard_of(&self, to: Address, _msg: &u32) -> usize {
+            to.index() % self.shards
+        }
+        fn lookahead_ns(&self, from: usize, to: usize) -> Option<u64> {
+            let n = self.n as usize;
+            (0..n)
+                .flat_map(|a| [(2 * a, a, (a + 1) % n), (2 * a + 1, a, (a + 2) % n)])
+                .filter(|&(_, src, dst)| src % self.shards == from && dst % self.shards == to)
+                .map(|(c, _, _)| self.flights[c])
+                .min()
+        }
+    }
+
+    fn fanout_serial(n: u32, token: u32) -> (Vec<(u64, u32, u32)>, RunReport) {
+        let mut engine = Engine::new();
+        let channels = fanout_channels(&mut engine, n);
+        let mut world = Fanout {
+            n,
+            channels,
+            log: Vec::new(),
+        };
+        engine.inject(SimTime::ZERO, Address(0), token);
+        let report = engine.run(&mut world);
+        (world.log, report)
+    }
+
+    fn fanout_sharded(n: u32, token: u32, shards: usize) -> (Vec<(u64, u32, u32)>, RunReport) {
+        let mut engine = ShardedEngine::new(shards);
+        let mut worlds: Vec<Fanout> = (0..shards)
+            .map(|k| {
+                let channels = fanout_channels(engine.shard_mut(k), n);
+                Fanout {
+                    n,
+                    channels,
+                    log: Vec::new(),
+                }
+            })
+            .collect();
+        let flights = (0..2 * n)
+            .map(|i| {
+                let spec = fanout_spec(i);
+                spec.transmission_delay().as_nanos() + spec.propagation.as_nanos()
+            })
+            .collect();
+        let partition = FanoutPartition { shards, n, flights };
+        engine.inject(0, SimTime::ZERO, Address(0), token);
+        let report = engine.run(&mut worlds, &partition, SimTime::MAX);
+        let mut merged: Vec<(u64, u32, u32)> = Vec::new();
+        for w in worlds {
+            merged.extend(w.log);
+        }
+        merged.sort_unstable();
+        (merged, report)
+    }
+
+    #[test]
+    fn fanout_runs_lose_no_event_and_match_serial() {
+        let (mut serial_log, serial_report) = fanout_serial(6, 9);
+        serial_log.sort_unstable();
+        // 2^10 - 1 deliveries: every level of the fan-out tree doubles.
+        assert_eq!(serial_log.len(), (1 << 10) - 1);
+        // Repeat the racy shard counts: a lost in-flight message (early
+        // termination) would surface as a shorter merged log.
+        for round in 0..10 {
+            for shards in [2usize, 3, 6] {
+                let (log, report) = fanout_sharded(6, 9, shards);
+                assert_eq!(log, serial_log, "{shards} shards diverged (round {round})");
+                assert_eq!(report.events_processed, serial_report.events_processed);
+                assert_eq!(report.messages_sent, serial_report.messages_sent);
+                assert!(report.quiescent);
+            }
         }
     }
 
