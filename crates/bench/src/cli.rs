@@ -9,6 +9,7 @@
 //! ```text
 //! bneck run (--preset NAME | SPEC.json) [overrides] [--json] [--out PATH]
 //! bneck sweep [--preset paper_scale] [--sessions N[,N...]] [--shards N[,N...]]
+//! bneck node [--nodes N] [--sessions N] [--routers N] [--transport tcp|channel]
 //! bneck validate [SPEC.json ...]
 //! bneck bench-presets [--json]
 //! ```
@@ -17,16 +18,23 @@
 //! the machine-readable JSON report; reports are bit-identical at any
 //! `BNECK_THREADS`/`--threads` worker count and at any `--shards` engine
 //! shard count. `sweep` is `run` specialised to the paper-scale session
-//! sweep. `validate` checks spec files against the registries without
-//! running anything (CI's `spec-check`). `bench-presets` lists the shipped
-//! presets.
+//! sweep. `node` leaves the simulator entirely: it spins up a loopback
+//! cluster of real worker threads (`bneck-node`), joins every session, waits
+//! for the control plane to go measurably silent, and cross-checks the final
+//! rates against the centralized oracle. `validate` checks spec files against
+//! the registries without running anything (CI's `spec-check`).
+//! `bench-presets` lists the shipped presets.
 
 use crate::report::{render_tables, run_spec, SpecOutcome};
 use crate::runner::default_protocols;
 use crate::sweep::SweepRunner;
+use bneck_core::RecoveryConfig;
 use bneck_metrics::Table;
+use bneck_net::Delay;
+use bneck_node::{run_cluster, ClusterSpec, ClusterTransport};
 use bneck_workload::registry::{ProtocolRegistry, TopologyRegistry};
 use bneck_workload::spec::{ExperimentKind, ExperimentSpec, PAPER_FULL, PRESET_NAMES};
+use std::time::Duration;
 
 const USAGE: &str = "\
 bneck — declarative driver for the B-Neck paper experiments
@@ -34,6 +42,7 @@ bneck — declarative driver for the B-Neck paper experiments
 USAGE:
     bneck run (--preset NAME | SPEC.json) [OPTIONS]
     bneck sweep [--preset NAME] [--sessions N[,N...]] [OPTIONS]
+    bneck node [NODE OPTIONS]
     bneck validate [SPEC.json ...]
     bneck bench-presets [--json]
 
@@ -64,6 +73,30 @@ RUN OPTIONS:
     --no-tables           suppress the text tables
     --no-csv              suppress the CSV renderings
 
+NODE OPTIONS (multi-node loopback cluster, no simulator):
+    --nodes N             worker threads to partition the topology over
+                          (default 4)
+    --sessions N          client sessions, one fresh host pair each
+                          (default 1000)
+    --routers N           routers in the trunk chain (default 8)
+    --long-every N        every N-th session spans the whole chain; 0 keeps
+                          all sessions on one trunk hop (default 10)
+    --transport KIND      `tcp` (loopback sockets) or `channel` (in-process;
+                          default tcp)
+    --recovery            frame protocol packets through the ack/retransmit
+                          recovery layer (off by default: both transports
+                          are already reliable and FIFO per lane)
+    --rto-ms N            recovery retransmission timeout in milliseconds
+                          (default 200; implies --recovery)
+    --settle-ms N         how long the global counters must stay frozen for
+                          silence to count as measured (default 2)
+    --timeout-s N         give-up bound on the join -> silent wait
+                          (default 120)
+
+`bneck node` exits 1 if any session's final rate disagrees with the
+centralized max-min oracle (`mismatches` in the report) or if the cluster
+never goes silent within the timeout.
+
 The worker-thread count precedence is --threads, then BNECK_THREADS, then
 all cores; reports are bit-identical at any thread count and at any engine
 shard count.
@@ -75,6 +108,7 @@ pub fn run_main(args: &[String]) -> i32 {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..], None),
         Some("sweep") => cmd_run(&args[1..], Some("paper_scale")),
+        Some("node") => cmd_node(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("bench-presets") => cmd_bench_presets(&args[1..]),
         Some("help") | Some("--help") | Some("-h") => {
@@ -353,6 +387,93 @@ fn parse_run_options(args: &[String], default_preset: Option<&str>) -> Result<Ru
         threads,
         spec,
     })
+}
+
+/// `bneck node`: the loopback-cluster demo — real worker threads, a real
+/// transport, join → converged → measurably silent, rates cross-checked
+/// against the centralized oracle.
+fn cmd_node(args: &[String]) -> i32 {
+    let spec = match parse_node_spec(args) {
+        Ok(spec) => spec,
+        Err(message) => {
+            eprintln!("[bneck] {message}");
+            return 2;
+        }
+    };
+    eprintln!(
+        "[bneck] node cluster: {} node(s), {} router(s), {} session(s) over {}",
+        spec.nodes,
+        spec.routers,
+        spec.sessions,
+        spec.transport.name()
+    );
+    match run_cluster(spec) {
+        Ok(report) => {
+            println!("{report}");
+            if report.mismatches > 0 {
+                eprintln!(
+                    "[bneck] FAILURES: {} session(s) off the max-min oracle",
+                    report.mismatches
+                );
+                1
+            } else {
+                0
+            }
+        }
+        Err(error) => {
+            eprintln!("[bneck] node cluster failed: {error}");
+            1
+        }
+    }
+}
+
+fn parse_node_spec(args: &[String]) -> Result<ClusterSpec, String> {
+    fn parsed<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+        match value_of(args, name) {
+            Some(value) => value
+                .parse::<T>()
+                .map_err(|_| format!("{name} takes a number, got `{value}`")),
+            None => Ok(default),
+        }
+    }
+    let defaults = ClusterSpec::default();
+    let transport = match value_of(args, "--transport").as_deref() {
+        None | Some("tcp") => ClusterTransport::Tcp,
+        Some("channel") => ClusterTransport::Channel,
+        Some(other) => {
+            return Err(format!(
+                "--transport takes `tcp` or `channel`, got `{other}`"
+            ))
+        }
+    };
+    let rto_ms = value_of(args, "--rto-ms")
+        .map(|value| {
+            value
+                .parse::<u64>()
+                .map_err(|_| format!("--rto-ms takes a number, got `{value}`"))
+        })
+        .transpose()?;
+    let recovery = if args.iter().any(|a| a == "--recovery") || rto_ms.is_some() {
+        Some(RecoveryConfig::with_rto(Delay::from_micros(
+            rto_ms.unwrap_or(200).saturating_mul(1_000),
+        )))
+    } else {
+        None
+    };
+    let spec = ClusterSpec {
+        nodes: parsed(args, "--nodes", defaults.nodes)?,
+        routers: parsed(args, "--routers", defaults.routers)?,
+        sessions: parsed(args, "--sessions", defaults.sessions)?,
+        long_every: parsed(args, "--long-every", defaults.long_every)?,
+        transport,
+        recovery,
+        settle: Duration::from_millis(parsed(args, "--settle-ms", 2u64)?),
+        timeout: Duration::from_secs(parsed(args, "--timeout-s", 120u64)?),
+    };
+    if spec.nodes == 0 || spec.sessions == 0 || spec.routers < 2 {
+        return Err("`bneck node` needs --nodes >= 1, --sessions >= 1, --routers >= 2".into());
+    }
+    Ok(spec)
 }
 
 fn execute(options: RunOptions) -> i32 {

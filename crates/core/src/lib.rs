@@ -81,7 +81,7 @@ pub use events::{RateCause, RateEvent, RateEvents, Subscriber, SubscriberSet};
 pub use harness::{BneckSimulation, JoinError, QuiescenceReport, SessionHandle, UnknownSession};
 pub use packet::{Packet, PacketKind, ResponseKind};
 pub use partition::WorldPartition;
-pub use recovery::{RecoveryConfig, RecoveryStats};
+pub use recovery::{Lane, PendingFrame, RecoveryConfig, RecoveryState, RecoveryStats};
 pub use sharded::ShardedBneckSimulation;
 pub use stats::PacketStats;
 pub use task::{Action, ActionBuffer, RateNotification};

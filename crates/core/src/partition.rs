@@ -143,6 +143,22 @@ impl WorldPartition {
     pub fn source_shard(&self, slot: u32) -> usize {
         self.source_shard[slot as usize] as usize
     }
+
+    /// The shard owning session slot `slot`'s destination task.
+    pub fn dest_shard(&self, slot: u32) -> usize {
+        self.dest_shard[slot as usize] as usize
+    }
+
+    /// The shard owning link `link`'s `RouterLink` task (the shard of the
+    /// link's source node).
+    pub fn link_shard(&self, link: bneck_net::LinkId) -> usize {
+        self.link_shard[link.index()] as usize
+    }
+
+    /// Number of shards of this partition.
+    pub fn shard_count(&self) -> usize {
+        self.shards
+    }
 }
 
 impl Partition<Envelope> for WorldPartition {

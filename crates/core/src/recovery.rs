@@ -71,14 +71,21 @@ impl RecoveryConfig {
 
 /// One reliability lane: the stream of frames one session's packets form
 /// over one directed link. Sequence numbers are per-lane.
+///
+/// Public because the lane/sequence machinery is shared with the `bneck-node`
+/// multi-node runtime, which runs the same recovery layer over real
+/// transports instead of simulator channels.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub(crate) struct Lane {
-    pub(crate) session: SessionId,
-    pub(crate) link: u32,
+pub struct Lane {
+    /// The session whose packets form the lane.
+    pub session: SessionId,
+    /// Dense index of the directed link the lane runs over.
+    pub link: u32,
 }
 
 impl Lane {
-    pub(crate) fn new(session: SessionId, link: LinkId) -> Self {
+    /// The lane of `session`'s packets over directed link `link`.
+    pub fn new(session: SessionId, link: LinkId) -> Self {
         Lane {
             session,
             link: link.index() as u32,
@@ -88,13 +95,13 @@ impl Lane {
 
 /// A sent-but-unacked frame, kept for retransmission.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct PendingFrame<T> {
+pub struct PendingFrame<T> {
     /// The directed link the frame travels over.
-    pub(crate) over: LinkId,
+    pub over: LinkId,
     /// The receiving task.
-    pub(crate) target: T,
+    pub target: T,
     /// The framed protocol packet.
-    pub(crate) packet: Packet,
+    pub packet: Packet,
 }
 
 /// Counters of the recovery layer's work, for reports and overhead
@@ -114,24 +121,28 @@ pub struct RecoveryStats {
     pub reordered_buffered: u64,
 }
 
-/// The harness-side state of the recovery layer. Generic over the harness's
-/// private `Target` type so the module does not depend on harness internals.
+/// The sender/receiver state of the recovery layer. Generic over the host's
+/// target type (the harness's private `Target`, the node runtime's wire
+/// target) so the module depends on neither.
 #[derive(Debug)]
-pub(crate) struct RecoveryState<T> {
-    pub(crate) config: RecoveryConfig,
+pub struct RecoveryState<T> {
+    /// The layer's tunables.
+    pub config: RecoveryConfig,
     /// Next sequence number to assign, per sending lane.
-    pub(crate) next_seq: BTreeMap<Lane, u32>,
+    pub next_seq: BTreeMap<Lane, u32>,
     /// Next sequence number expected, per receiving lane.
-    pub(crate) expected: BTreeMap<Lane, u32>,
+    pub expected: BTreeMap<Lane, u32>,
     /// Sent frames not yet acknowledged.
-    pub(crate) unacked: BTreeMap<(Lane, u32), PendingFrame<T>>,
+    pub unacked: BTreeMap<(Lane, u32), PendingFrame<T>>,
     /// Frames that arrived ahead of a gap, waiting for in-order delivery.
-    pub(crate) buffered: BTreeMap<(Lane, u32), PendingFrame<T>>,
-    pub(crate) stats: RecoveryStats,
+    pub buffered: BTreeMap<(Lane, u32), PendingFrame<T>>,
+    /// Work counters, for reports and overhead measurements.
+    pub stats: RecoveryStats,
 }
 
 impl<T> RecoveryState<T> {
-    pub(crate) fn new(config: RecoveryConfig) -> Self {
+    /// An empty state with the given tunables.
+    pub fn new(config: RecoveryConfig) -> Self {
         RecoveryState {
             config,
             next_seq: BTreeMap::new(),
@@ -143,7 +154,7 @@ impl<T> RecoveryState<T> {
     }
 
     /// Assigns the next sequence number of a sending lane.
-    pub(crate) fn assign_seq(&mut self, lane: Lane) -> u32 {
+    pub fn assign_seq(&mut self, lane: Lane) -> u32 {
         let seq = self.next_seq.entry(lane).or_insert(0);
         let assigned = *seq;
         *seq += 1;

@@ -84,6 +84,7 @@ impl Default for Config {
                 "crates/core/src/destination.rs",
                 "crates/core/src/recovery.rs",
                 "crates/core/src/harness.rs",
+                "crates/node/src/codec.rs",
             ]),
             protocol_enums: vec![
                 (

@@ -1,0 +1,281 @@
+//! The byte-moving layer under the node runtime: a small [`Transport`] trait
+//! and its two implementations.
+//!
+//! A transport connects `N + 1` endpoints — one per node plus a coordinator —
+//! each addressed by index. Frames are opaque byte strings (the codec's
+//! length-prefixed frames); a transport promises per-sender-per-peer FIFO
+//! order and nothing else, which is exactly the substrate the runtime needs:
+//! every reliability lane has a single sending task on a single thread, so
+//! per-connection FIFO implies per-lane FIFO.
+//!
+//! * [`channel_mesh`] — in-process [`std::sync::mpsc`] channels. Reliable,
+//!   allocation-cheap, and free of socket nondeterminism: the e2e tests run
+//!   on it.
+//! * [`tcp_mesh`] — real `std::net` loopback sockets, one listener per
+//!   endpoint, lazily dialled outbound connections with `TCP_NODELAY`, and a
+//!   per-connection reader thread that reassembles length-prefixed frames.
+//!   The cluster demo runs on it.
+
+use crate::codec::{LEN_PREFIX, MAX_FRAME_LEN};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One endpoint of a frame-moving mesh.
+///
+/// `Send` so an endpoint can move onto its node's thread; object-safe so the
+/// runtime can hold `Box<dyn Transport>` and stay independent of the wire.
+pub trait Transport: Send {
+    /// Sends one complete frame to endpoint `peer`.
+    fn send_to(&mut self, peer: usize, frame: &[u8]) -> io::Result<()>;
+
+    /// Receives the next frame addressed to this endpoint, waiting at most
+    /// `timeout`. `Ok(None)` means the wait elapsed (or every peer is gone)
+    /// with nothing to deliver.
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>>;
+}
+
+/// An endpoint of an in-process channel mesh (see [`channel_mesh`]).
+pub struct ChannelEndpoint {
+    senders: Vec<Sender<Vec<u8>>>,
+    inbox: Receiver<Vec<u8>>,
+}
+
+/// Builds a fully connected in-process mesh of `endpoints` endpoints.
+pub fn channel_mesh(endpoints: usize) -> Vec<ChannelEndpoint> {
+    let mut senders = Vec::with_capacity(endpoints);
+    let mut inboxes = Vec::with_capacity(endpoints);
+    for _ in 0..endpoints {
+        let (tx, rx) = mpsc::channel();
+        senders.push(tx);
+        inboxes.push(rx);
+    }
+    inboxes
+        .into_iter()
+        .map(|inbox| ChannelEndpoint {
+            senders: senders.clone(),
+            inbox,
+        })
+        .collect()
+}
+
+impl Transport for ChannelEndpoint {
+    fn send_to(&mut self, peer: usize, frame: &[u8]) -> io::Result<()> {
+        self.senders[peer]
+            .send(frame.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer endpoint dropped"))
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            // Every sender gone means every peer exited; report "nothing" and
+            // let the runtime's own shutdown protocol decide when to stop.
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => Ok(None),
+        }
+    }
+}
+
+/// An endpoint of a TCP loopback mesh (see [`tcp_mesh`]).
+///
+/// Inbound: an acceptor thread takes connections on this endpoint's listener
+/// and spawns one reader thread per connection; readers reassemble frames and
+/// feed a single inbox channel. Outbound: one lazily dialled stream per peer.
+pub struct TcpEndpoint {
+    peers: Vec<SocketAddr>,
+    outbound: Vec<Option<TcpStream>>,
+    inbox: Receiver<Vec<u8>>,
+    listen_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+/// Builds a fully connected mesh of `endpoints` endpoints over 127.0.0.1
+/// sockets with ephemeral ports. Connections are dialled on first send.
+pub fn tcp_mesh(endpoints: usize) -> io::Result<Vec<TcpEndpoint>> {
+    let listeners: Vec<TcpListener> = (0..endpoints)
+        .map(|_| TcpListener::bind(("127.0.0.1", 0)))
+        .collect::<io::Result<_>>()?;
+    let peers: Vec<SocketAddr> = listeners
+        .iter()
+        .map(|l| l.local_addr())
+        .collect::<io::Result<_>>()?;
+    let mut mesh = Vec::with_capacity(endpoints);
+    for (index, listener) in listeners.into_iter().enumerate() {
+        let (tx, inbox) = mpsc::channel();
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("bneck-accept-{index}"))
+                .spawn(move || accept_loop(listener, tx, stop))
+                .expect("spawn acceptor thread")
+        };
+        mesh.push(TcpEndpoint {
+            peers: peers.clone(),
+            outbound: (0..endpoints).map(|_| None).collect(),
+            inbox,
+            listen_addr: peers[index],
+            stop,
+            acceptor: Some(acceptor),
+        });
+    }
+    Ok(mesh)
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<Vec<u8>>, stop: Arc<AtomicBool>) {
+    let mut readers = 0usize;
+    while let Ok((stream, _)) = listener.accept() {
+        if stop.load(Ordering::Acquire) {
+            return;
+        }
+        let tx = tx.clone();
+        readers += 1;
+        // Readers are detached: they exit on EOF when the peer closes its
+        // outbound stream, or when the inbox is dropped.
+        let _ = std::thread::Builder::new()
+            .name(format!("bneck-read-{readers}"))
+            .spawn(move || read_loop(stream, tx));
+    }
+}
+
+/// Reassembles length-prefixed frames off one connection and forwards each
+/// (prefix included) to the endpoint's inbox. A frame whose prefix exceeds
+/// [`MAX_FRAME_LEN`] is forwarded as just its prefix — the decoder turns it
+/// into a typed error — and the connection is abandoned, since the stream
+/// can no longer be framed.
+fn read_loop(mut stream: TcpStream, tx: Sender<Vec<u8>>) {
+    let mut prefix = [0u8; LEN_PREFIX];
+    loop {
+        if stream.read_exact(&mut prefix).is_err() {
+            return; // EOF or reset: the peer is done sending.
+        }
+        let len = u32::from_le_bytes(prefix) as usize;
+        if len > MAX_FRAME_LEN {
+            let _ = tx.send(prefix.to_vec());
+            return;
+        }
+        let mut frame = vec![0u8; LEN_PREFIX + len];
+        frame[..LEN_PREFIX].copy_from_slice(&prefix);
+        if stream.read_exact(&mut frame[LEN_PREFIX..]).is_err() {
+            return;
+        }
+        if tx.send(frame).is_err() {
+            return; // The endpoint was dropped; stop reading.
+        }
+    }
+}
+
+impl Transport for TcpEndpoint {
+    fn send_to(&mut self, peer: usize, frame: &[u8]) -> io::Result<()> {
+        if self.outbound[peer].is_none() {
+            let stream = TcpStream::connect(self.peers[peer])?;
+            // Frames are tiny control packets; coalescing them behind Nagle
+            // would serialize the whole protocol on ack round trips.
+            stream.set_nodelay(true)?;
+            self.outbound[peer] = Some(stream);
+        }
+        let stream = self.outbound[peer].as_mut().expect("dialled above");
+        match stream.write_all(frame) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // Drop the broken stream so a later send can redial.
+                self.outbound[peer] = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> io::Result<Option<Vec<u8>>> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(frame) => Ok(Some(frame)),
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => Ok(None),
+        }
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        // Close outbound streams first so peers' readers see EOF and exit,
+        // then stop the acceptor: flag it and dial the listener once to wake
+        // it out of `accept`.
+        for stream in &mut self.outbound {
+            *stream = None;
+        }
+        self.stop.store(true, Ordering::Release);
+        let _ = TcpStream::connect(self.listen_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(bytes: &[u8]) -> Vec<u8> {
+        let mut f = (bytes.len() as u32).to_le_bytes().to_vec();
+        f.extend_from_slice(bytes);
+        f
+    }
+
+    #[test]
+    fn channel_mesh_delivers_in_order() {
+        let mut mesh = channel_mesh(3);
+        let mut b = mesh.remove(1);
+        let mut a = mesh.remove(0);
+        a.send_to(1, &frame(b"first")).unwrap();
+        a.send_to(1, &frame(b"second")).unwrap();
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap(),
+            Some(frame(b"first"))
+        );
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(1)).unwrap(),
+            Some(frame(b"second"))
+        );
+        assert_eq!(b.recv_timeout(Duration::from_millis(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn tcp_mesh_round_trips_both_directions() {
+        let mut mesh = tcp_mesh(2).unwrap();
+        let mut b = mesh.remove(1);
+        let mut a = mesh.remove(0);
+        a.send_to(1, &frame(b"ping")).unwrap();
+        assert_eq!(
+            b.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Some(frame(b"ping"))
+        );
+        b.send_to(0, &frame(b"pong")).unwrap();
+        assert_eq!(
+            a.recv_timeout(Duration::from_secs(5)).unwrap(),
+            Some(frame(b"pong"))
+        );
+    }
+
+    #[test]
+    fn tcp_mesh_preserves_per_connection_order() {
+        let mut mesh = tcp_mesh(2).unwrap();
+        let mut b = mesh.remove(1);
+        let mut a = mesh.remove(0);
+        for i in 0u32..100 {
+            a.send_to(1, &frame(&i.to_le_bytes())).unwrap();
+        }
+        for i in 0u32..100 {
+            let got = b.recv_timeout(Duration::from_secs(5)).unwrap().unwrap();
+            assert_eq!(got, frame(&i.to_le_bytes()), "frame {i} out of order");
+        }
+    }
+
+    #[test]
+    fn tcp_endpoints_tear_down_cleanly() {
+        let mesh = tcp_mesh(4).unwrap();
+        drop(mesh); // Must not hang on acceptor or reader threads.
+    }
+}
